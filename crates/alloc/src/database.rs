@@ -1,0 +1,111 @@
+//! The trained runtime site database.
+
+use crate::site::SiteKey;
+use std::collections::HashSet;
+
+/// A set of runtime allocation sites predicted to allocate only
+/// short-lived objects — the "small hash table" the paper links into
+/// the optimized allocator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeSiteDb {
+    threshold: u64,
+    sites: HashSet<SiteKey>,
+}
+
+impl RuntimeSiteDb {
+    /// Creates an empty database with the given lifetime threshold.
+    pub fn new(threshold: u64) -> Self {
+        RuntimeSiteDb {
+            threshold,
+            sites: HashSet::new(),
+        }
+    }
+
+    /// The training threshold in bytes of allocation.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// Adds a site (size class already folded in).
+    pub fn insert(&mut self, site: SiteKey) {
+        self.sites.insert(site);
+    }
+
+    /// Whether `site` is predicted short-lived.
+    pub fn predicts(&self, site: SiteKey) -> bool {
+        self.sites.contains(&site)
+    }
+
+    /// Number of sites.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Serializes to a line-oriented text format.
+    pub fn save_to_string(&self) -> String {
+        let mut keys: Vec<u64> = self.sites.iter().map(|s| s.0).collect();
+        keys.sort_unstable();
+        let mut out = format!("lifepred-runtime-sites v1 threshold={}\n", self.threshold);
+        for k in keys {
+            out.push_str(&format!("{k:016x}\n"));
+        }
+        out
+    }
+
+    /// Parses a database produced by [`RuntimeSiteDb::save_to_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a malformed header or site line.
+    pub fn load_from_str(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty database")?;
+        let threshold = header
+            .strip_prefix("lifepred-runtime-sites v1 threshold=")
+            .ok_or_else(|| format!("bad header: {header}"))?
+            .parse::<u64>()
+            .map_err(|e| format!("bad threshold: {e}"))?;
+        let mut sites = HashSet::new();
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let key = u64::from_str_radix(line.trim(), 16)
+                .map_err(|e| format!("bad site {line}: {e}"))?;
+            sites.insert(SiteKey(key));
+        }
+        Ok(RuntimeSiteDb { threshold, sites })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut db = RuntimeSiteDb::new(32 * 1024);
+        db.insert(SiteKey(1));
+        db.insert(SiteKey(0xdead_beef));
+        let text = db.save_to_string();
+        let loaded = RuntimeSiteDb::load_from_str(&text).expect("parse");
+        assert_eq!(loaded, db);
+        assert!(loaded.predicts(SiteKey(1)));
+        assert!(!loaded.predicts(SiteKey(2)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(RuntimeSiteDb::load_from_str("").is_err());
+        assert!(RuntimeSiteDb::load_from_str("nope\n").is_err());
+        assert!(RuntimeSiteDb::load_from_str(
+            "lifepred-runtime-sites v1 threshold=1\nzznothex\n"
+        )
+        .is_err());
+    }
+}

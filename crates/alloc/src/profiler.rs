@@ -1,0 +1,173 @@
+//! In-process lifetime profiling for training runs.
+
+use crate::database::RuntimeSiteDb;
+use crate::site::SiteKey;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Handle for one live allocation being profiled.
+///
+/// Returned by [`RuntimeProfiler::record_alloc`]; hand it back to
+/// [`RuntimeProfiler::record_free`] when the object dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AllocTicket(u64);
+
+#[derive(Debug, Default, Clone, Copy)]
+struct SiteAgg {
+    objects: u64,
+    bytes: u64,
+    max_lifetime: u64,
+}
+
+#[derive(Debug)]
+struct Live {
+    site: SiteKey,
+    size: u64,
+    birth_clock: u64,
+}
+
+/// Records (site, size, lifetime) for every allocation of a training
+/// run, measuring lifetimes on the paper's byte clock.
+///
+/// Thread-safe: the clock is atomic and tables are mutex-protected
+/// (profiling runs are not performance-critical).
+#[derive(Debug)]
+pub struct RuntimeProfiler {
+    threshold: u64,
+    clock: AtomicU64,
+    next_ticket: AtomicU64,
+    live: Mutex<HashMap<u64, Live>>,
+    sites: Mutex<HashMap<SiteKey, SiteAgg>>,
+}
+
+impl RuntimeProfiler {
+    /// Creates a profiler with the short-lived `threshold` in bytes.
+    pub fn new(threshold: u64) -> Self {
+        RuntimeProfiler {
+            threshold,
+            clock: AtomicU64::new(0),
+            next_ticket: AtomicU64::new(0),
+            live: Mutex::new(HashMap::new()),
+            sites: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records an allocation of `size` bytes at `site` (the size class
+    /// is folded into the site, per the paper).
+    pub fn record_alloc(&self, site: SiteKey, size: usize) -> AllocTicket {
+        let site = site.with_size(size);
+        let birth = self.clock.fetch_add(size as u64, Ordering::Relaxed);
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.live.lock().insert(
+            ticket,
+            Live {
+                site,
+                size: size as u64,
+                birth_clock: birth,
+            },
+        );
+        AllocTicket(ticket)
+    }
+
+    /// Records the death of a profiled allocation.
+    ///
+    /// Unknown tickets (e.g. double frees) are ignored, matching a
+    /// profiler's best-effort role.
+    pub fn record_free(&self, ticket: AllocTicket) {
+        let Some(live) = self.live.lock().remove(&ticket.0) else {
+            return;
+        };
+        let now = self.clock.load(Ordering::Relaxed);
+        let lifetime = now.saturating_sub(live.birth_clock);
+        let mut sites = self.sites.lock();
+        let agg = sites.entry(live.site).or_default();
+        agg.objects += 1;
+        agg.bytes += live.size;
+        agg.max_lifetime = agg.max_lifetime.max(lifetime);
+    }
+
+    /// Bytes allocated so far (the byte clock).
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Trains a database with the paper's all-short rule: a site is
+    /// admitted iff every *freed* object died under the threshold and
+    /// nothing allocated there is still live (still-live objects are
+    /// not short-lived).
+    pub fn train(&self) -> RuntimeSiteDb {
+        let mut db = RuntimeSiteDb::new(self.threshold);
+        let live = self.live.lock();
+        let mut leaky: HashMap<SiteKey, bool> = HashMap::new();
+        for l in live.values() {
+            leaky.insert(l.site, true);
+        }
+        for (&site, agg) in self.sites.lock().iter() {
+            if agg.objects > 0
+                && agg.max_lifetime < self.threshold
+                && !leaky.contains_key(&site)
+            {
+                db.insert(site);
+            }
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::site_key;
+
+    #[test]
+    fn trains_short_sites_only() {
+        let p = RuntimeProfiler::new(1000);
+        let short_site = site_key();
+        let long_site = site_key();
+        // Short-lived: freed immediately.
+        for _ in 0..10 {
+            let t = p.record_alloc(short_site, 16);
+            p.record_free(t);
+        }
+        // Long-lived: freed after the clock advanced past threshold.
+        let t = p.record_alloc(long_site, 16);
+        for _ in 0..100 {
+            let x = p.record_alloc(short_site, 16);
+            p.record_free(x);
+        }
+        p.record_free(t);
+        let db = p.train();
+        assert!(db.predicts(short_site.with_size(16)));
+        assert!(!db.predicts(long_site.with_size(16)));
+    }
+
+    #[test]
+    fn still_live_objects_block_their_site() {
+        let p = RuntimeProfiler::new(1_000_000);
+        let site = site_key();
+        let _never_freed = p.record_alloc(site, 8);
+        let t = p.record_alloc(site, 8);
+        p.record_free(t);
+        let db = p.train();
+        assert!(!db.predicts(site.with_size(8)), "leaky site admitted");
+    }
+
+    #[test]
+    fn unknown_ticket_is_ignored() {
+        let p = RuntimeProfiler::new(100);
+        p.record_free(AllocTicket(12345)); // must not panic
+        assert_eq!(p.clock(), 0);
+    }
+
+    #[test]
+    fn clock_advances_by_bytes() {
+        let p = RuntimeProfiler::new(100);
+        let site = site_key();
+        let t1 = p.record_alloc(site, 30);
+        let t2 = p.record_alloc(site, 12);
+        assert_eq!(p.clock(), 42);
+        p.record_free(t1);
+        p.record_free(t2);
+    }
+}

@@ -1,0 +1,443 @@
+//! The runtime arena allocator (real memory, not simulation).
+
+use crate::database::RuntimeSiteDb;
+use crate::site::{site_key, SiteKey};
+use parking_lot::Mutex;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::ptr;
+
+/// Geometry of the runtime arena area (paper defaults: 16 × 4 KB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeArenaConfig {
+    /// Number of arenas.
+    pub arena_count: usize,
+    /// Bytes per arena.
+    pub arena_size: usize,
+}
+
+impl Default for RuntimeArenaConfig {
+    fn default() -> Self {
+        RuntimeArenaConfig {
+            arena_count: 16,
+            arena_size: 4096,
+        }
+    }
+}
+
+impl RuntimeArenaConfig {
+    /// Total bytes of the arena area.
+    pub fn total_bytes(&self) -> usize {
+        self.arena_count * self.arena_size
+    }
+}
+
+/// Counters describing how the allocator has behaved so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Allocations served by bump-pointer arenas.
+    pub arena_allocs: u64,
+    /// Allocations served by the system allocator.
+    pub general_allocs: u64,
+    /// Frees that decremented an arena live count.
+    pub arena_frees: u64,
+    /// Frees forwarded to the system allocator.
+    pub general_frees: u64,
+    /// Arena resets (exhausted chain found an empty arena).
+    pub arena_resets: u64,
+    /// Predicted-short allocations that had to fall back (all arenas
+    /// pinned, or the object was larger than an arena).
+    pub overflows: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct ArenaState {
+    used: usize,
+    live: u32,
+}
+
+#[derive(Debug)]
+struct Inner {
+    arenas: Vec<ArenaState>,
+    current: usize,
+    stats: RuntimeStats,
+}
+
+/// A lifetime-predicting allocator over real memory.
+///
+/// Allocations whose (site, size-class) is in the trained
+/// [`RuntimeSiteDb`] are bump-allocated into fixed arenas with a live
+/// count and no per-object header; everything else goes to the system
+/// allocator. Frees route by address range, exactly as in §5.1 of the
+/// paper.
+///
+/// The type also implements [`GlobalAlloc`]; in that mode the site is
+/// the ambient [`SiteScope`](crate::SiteScope) chain key, captured at
+/// allocation time.
+#[derive(Debug)]
+pub struct PredictiveAllocator {
+    config: RuntimeArenaConfig,
+    db: RuntimeSiteDb,
+    /// Base of the arena area; owned, freed on drop.
+    base: *mut u8,
+    inner: Mutex<Inner>,
+}
+
+// SAFETY: the raw base pointer is only read concurrently; all mutable
+// bookkeeping sits behind the mutex, and the arena memory itself is
+// handed out in disjoint chunks.
+unsafe impl Send for PredictiveAllocator {}
+unsafe impl Sync for PredictiveAllocator {}
+
+impl PredictiveAllocator {
+    /// Creates an allocator with an empty database (everything goes to
+    /// the system allocator) and default geometry.
+    pub fn new() -> Self {
+        PredictiveAllocator::with_database(RuntimeSiteDb::default())
+    }
+
+    /// Creates an allocator driven by a trained database.
+    pub fn with_database(db: RuntimeSiteDb) -> Self {
+        PredictiveAllocator::with_config(db, RuntimeArenaConfig::default())
+    }
+
+    /// Creates an allocator with explicit arena geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is empty or the arena area cannot be
+    /// allocated.
+    pub fn with_config(db: RuntimeSiteDb, config: RuntimeArenaConfig) -> Self {
+        assert!(config.arena_count > 0 && config.arena_size > 0, "empty geometry");
+        let layout = Layout::from_size_align(config.total_bytes(), 4096)
+            .expect("arena area layout");
+        // SAFETY: layout has nonzero size.
+        let base = unsafe { System.alloc(layout) };
+        assert!(!base.is_null(), "arena area allocation failed");
+        PredictiveAllocator {
+            config,
+            db,
+            base,
+            inner: Mutex::new(Inner {
+                arenas: vec![ArenaState::default(); config.arena_count],
+                current: 0,
+                stats: RuntimeStats::default(),
+            }),
+        }
+    }
+
+    /// The arena geometry.
+    pub fn config(&self) -> &RuntimeArenaConfig {
+        &self.config
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> RuntimeStats {
+        self.inner.lock().stats
+    }
+
+    /// Whether `ptr` points into the arena area.
+    pub fn is_arena_ptr(&self, ptr: *mut u8) -> bool {
+        let p = ptr as usize;
+        let base = self.base as usize;
+        p >= base && p < base + self.config.total_bytes()
+    }
+
+    /// Allocates memory for `layout`, deciding by `site`.
+    ///
+    /// Returns null on failure (or for zero-size layouts). The
+    /// returned memory must be released with
+    /// [`PredictiveAllocator::deallocate`] while this allocator is
+    /// still alive.
+    pub fn allocate(&self, site: SiteKey, layout: Layout) -> *mut u8 {
+        if layout.size() == 0 {
+            return ptr::null_mut();
+        }
+        let keyed = site.with_size(layout.size());
+        let predicted = self.db.predicts(keyed);
+        let need = layout.size();
+        if !predicted || need > self.config.arena_size || layout.align() > 4096 {
+            let mut inner = self.inner.lock();
+            if predicted {
+                inner.stats.overflows += 1;
+            }
+            inner.stats.general_allocs += 1;
+            drop(inner);
+            // SAFETY: nonzero size checked above.
+            return unsafe { System.alloc(layout) };
+        }
+        let mut inner = self.inner.lock();
+        // Fast path: bump the current arena.
+        let current = inner.current;
+        if let Some(p) = self.bump(&mut inner, current, layout) {
+            return p;
+        }
+        // Scan for an empty arena and reset it.
+        if let Some(idx) = inner.arenas.iter().position(|a| a.live == 0) {
+            inner.arenas[idx] = ArenaState::default();
+            inner.current = idx;
+            inner.stats.arena_resets += 1;
+            if let Some(p) = self.bump(&mut inner, idx, layout) {
+                return p;
+            }
+        }
+        // All arenas pinned: degenerate to the general allocator.
+        inner.stats.overflows += 1;
+        inner.stats.general_allocs += 1;
+        drop(inner);
+        // SAFETY: nonzero size checked above.
+        unsafe { System.alloc(layout) }
+    }
+
+    fn bump(&self, inner: &mut Inner, idx: usize, layout: Layout) -> Option<*mut u8> {
+        let arena_base = idx * self.config.arena_size;
+        let arena = &mut inner.arenas[idx];
+        let offset = align_up(arena.used, layout.align());
+        if offset + layout.size() > self.config.arena_size {
+            return None;
+        }
+        arena.used = offset + layout.size();
+        arena.live += 1;
+        inner.stats.arena_allocs += 1;
+        // SAFETY: arena_base + offset + size <= total area size, so the
+        // resulting pointer is inside the owned area allocation.
+        Some(unsafe { self.base.add(arena_base + offset) })
+    }
+
+    /// Releases memory obtained from [`PredictiveAllocator::allocate`].
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from `allocate` on this same allocator with the
+    /// same `layout`, and must not be used afterwards.
+    pub unsafe fn deallocate(&self, ptr: *mut u8, layout: Layout) {
+        if ptr.is_null() {
+            return;
+        }
+        if self.is_arena_ptr(ptr) {
+            let offset = ptr as usize - self.base as usize;
+            let idx = offset / self.config.arena_size;
+            let mut inner = self.inner.lock();
+            let arena = &mut inner.arenas[idx];
+            debug_assert!(arena.live > 0, "arena free with zero live count");
+            arena.live = arena.live.saturating_sub(1);
+            inner.stats.arena_frees += 1;
+        } else {
+            self.inner.lock().stats.general_frees += 1;
+            // SAFETY: forwarded from `allocate`'s system path per the
+            // caller contract.
+            unsafe { System.dealloc(ptr, layout) };
+        }
+    }
+
+    /// Live objects across all arenas.
+    pub fn arena_live_objects(&self) -> u64 {
+        self.inner
+            .lock()
+            .arenas
+            .iter()
+            .map(|a| u64::from(a.live))
+            .sum()
+    }
+}
+
+impl Default for PredictiveAllocator {
+    fn default() -> Self {
+        PredictiveAllocator::new()
+    }
+}
+
+impl Drop for PredictiveAllocator {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.config.total_bytes(), 4096)
+            .expect("arena area layout");
+        // SAFETY: base was allocated with exactly this layout in
+        // `with_config` and is not referenced after drop.
+        unsafe { System.dealloc(self.base, layout) };
+    }
+}
+
+// SAFETY: allocate/deallocate satisfy the GlobalAlloc contract:
+// allocate returns either null or a block valid for `layout`, and
+// deallocate is only called (per contract) with blocks from alloc.
+unsafe impl GlobalAlloc for PredictiveAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // The ambient SiteScope chain identifies the site; the leaf
+        // location inside this function is constant, so discrimination
+        // comes from the scopes plus the size class.
+        self.allocate(site_key(), layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: per the GlobalAlloc contract, ptr came from alloc.
+        unsafe { self.deallocate(ptr, layout) };
+    }
+}
+
+fn align_up(offset: usize, align: usize) -> usize {
+    (offset + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::RuntimeProfiler;
+    use crate::site::SiteScope;
+
+    fn layout(n: usize) -> Layout {
+        Layout::from_size_align(n, 8).expect("layout")
+    }
+
+    fn trained_db(site: SiteKey, size: usize) -> RuntimeSiteDb {
+        let mut db = RuntimeSiteDb::new(32 * 1024);
+        db.insert(site.with_size(size));
+        db
+    }
+
+    #[test]
+    fn predicted_sites_use_arenas() {
+        let site = site_key();
+        let heap = PredictiveAllocator::with_database(trained_db(site, 64));
+        let p = heap.allocate(site, layout(64));
+        assert!(heap.is_arena_ptr(p));
+        assert_eq!(heap.arena_live_objects(), 1);
+        unsafe { heap.deallocate(p, layout(64)) };
+        assert_eq!(heap.arena_live_objects(), 0);
+        assert_eq!(heap.stats().arena_allocs, 1);
+        assert_eq!(heap.stats().arena_frees, 1);
+    }
+
+    #[test]
+    fn unpredicted_sites_use_system() {
+        let site = site_key();
+        let heap = PredictiveAllocator::new();
+        let p = heap.allocate(site, layout(64));
+        assert!(!p.is_null());
+        assert!(!heap.is_arena_ptr(p));
+        unsafe { heap.deallocate(p, layout(64)) };
+        assert_eq!(heap.stats().general_allocs, 1);
+        assert_eq!(heap.stats().general_frees, 1);
+    }
+
+    #[test]
+    fn arena_memory_is_usable_and_disjoint() {
+        let site = site_key();
+        let heap = PredictiveAllocator::with_database(trained_db(site, 16));
+        let mut ptrs = Vec::new();
+        for i in 0..100u8 {
+            let p = heap.allocate(site, layout(16));
+            assert!(heap.is_arena_ptr(p));
+            unsafe { ptr::write_bytes(p, i, 16) };
+            ptrs.push(p);
+        }
+        for (i, &p) in ptrs.iter().enumerate() {
+            // Values must still be intact: chunks are disjoint.
+            let v = unsafe { *p };
+            assert_eq!(v, i as u8);
+        }
+        for p in ptrs {
+            unsafe { heap.deallocate(p, layout(16)) };
+        }
+    }
+
+    #[test]
+    fn exhausted_arenas_reset_when_empty() {
+        let site = site_key();
+        let heap = PredictiveAllocator::with_config(
+            trained_db(site, 512),
+            RuntimeArenaConfig {
+                arena_count: 2,
+                arena_size: 1024,
+            },
+        );
+        for _ in 0..50 {
+            let p = heap.allocate(site, layout(512));
+            assert!(heap.is_arena_ptr(p));
+            unsafe { heap.deallocate(p, layout(512)) };
+        }
+        assert!(heap.stats().arena_resets > 0);
+        assert_eq!(heap.stats().overflows, 0);
+    }
+
+    #[test]
+    fn pinned_arenas_overflow_to_system() {
+        let site = site_key();
+        let heap = PredictiveAllocator::with_config(
+            trained_db(site, 512),
+            RuntimeArenaConfig {
+                arena_count: 2,
+                arena_size: 1024,
+            },
+        );
+        // Pin every arena with a live object.
+        let pins: Vec<*mut u8> = (0..4).map(|_| heap.allocate(site, layout(512))).collect();
+        let p = heap.allocate(site, layout(512));
+        assert!(!p.is_null());
+        assert!(!heap.is_arena_ptr(p), "should fall back when pinned");
+        assert!(heap.stats().overflows >= 1);
+        unsafe { heap.deallocate(p, layout(512)) };
+        for pin in pins {
+            unsafe { heap.deallocate(pin, layout(512)) };
+        }
+    }
+
+    #[test]
+    fn end_to_end_profile_then_predict() {
+        // Train on a phase...
+        let profiler = RuntimeProfiler::new(32 * 1024);
+        let site = {
+            let _s = SiteScope::enter("hot_phase");
+            site_key()
+        };
+        {
+            let _s = SiteScope::enter("hot_phase");
+            for _ in 0..1000 {
+                let t = profiler.record_alloc(site, 40);
+                profiler.record_free(t);
+            }
+        }
+        let db = profiler.train();
+        assert!(!db.is_empty());
+
+        // ...then run with prediction: the same site hits arenas.
+        let heap = PredictiveAllocator::with_database(db);
+        let p = heap.allocate(site, layout(40));
+        assert!(heap.is_arena_ptr(p));
+        unsafe { heap.deallocate(p, layout(40)) };
+    }
+
+    #[test]
+    fn global_alloc_contract() {
+        let site = site_key();
+        let heap = PredictiveAllocator::with_database(trained_db(site, 32));
+        // Through the GlobalAlloc interface the leaf site differs, so
+        // this goes to the system path — but must still be valid.
+        let l = layout(32);
+        let p = unsafe { GlobalAlloc::alloc(&heap, l) };
+        assert!(!p.is_null());
+        unsafe { ptr::write_bytes(p, 7, 32) };
+        unsafe { GlobalAlloc::dealloc(&heap, p, l) };
+    }
+
+    #[test]
+    fn alignment_respected_in_arenas() {
+        let site = site_key();
+        let mut db = RuntimeSiteDb::new(32 * 1024);
+        db.insert(site.with_size(24));
+        db.insert(site.with_size(64));
+        let heap = PredictiveAllocator::with_database(db);
+        let a = heap.allocate(site, Layout::from_size_align(24, 8).expect("l"));
+        let b = heap.allocate(site, Layout::from_size_align(64, 64).expect("l"));
+        assert_eq!(b as usize % 64, 0, "alignment violated");
+        unsafe {
+            heap.deallocate(a, Layout::from_size_align(24, 8).expect("l"));
+            heap.deallocate(b, Layout::from_size_align(64, 64).expect("l"));
+        }
+    }
+
+    #[test]
+    fn zero_size_returns_null() {
+        let heap = PredictiveAllocator::new();
+        let p = heap.allocate(site_key(), Layout::from_size_align(0, 1).expect("l"));
+        assert!(p.is_null());
+    }
+}

@@ -1,0 +1,80 @@
+//! Microbenchmarks of the simulated allocators' hot paths and the
+//! runtime predictive allocator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lifepred_alloc::{site_key, PredictiveAllocator, RuntimeSiteDb};
+use lifepred_heap::{ArenaAllocator, ArenaConfig, BsdMalloc, FirstFit};
+use std::alloc::Layout;
+
+/// One allocate-then-free cycle per iteration, the allocator's fast
+/// path (sizes cycle through a small realistic mix).
+fn sim_allocators(c: &mut Criterion) {
+    let sizes: [u32; 8] = [16, 24, 8, 48, 32, 104, 16, 64];
+
+    let mut group = c.benchmark_group("sim_alloc_free");
+    group.bench_function("first_fit", |b| {
+        let mut heap = FirstFit::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = heap.alloc(sizes[i % sizes.len()]);
+            heap.free(black_box(a));
+            i += 1;
+        });
+    });
+    group.bench_function("bsd", |b| {
+        let mut heap = BsdMalloc::new();
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = heap.alloc(sizes[i % sizes.len()]);
+            heap.free(black_box(a));
+            i += 1;
+        });
+    });
+    group.bench_function("arena_predicted", |b| {
+        let mut heap = ArenaAllocator::new(ArenaConfig::default());
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = heap.alloc(sizes[i % sizes.len()], true);
+            heap.free(black_box(a));
+            i += 1;
+        });
+    });
+    group.bench_function("arena_unpredicted", |b| {
+        let mut heap = ArenaAllocator::new(ArenaConfig::default());
+        let mut i = 0usize;
+        b.iter(|| {
+            let a = heap.alloc(sizes[i % sizes.len()], false);
+            heap.free(black_box(a));
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+/// The runtime allocator against real memory.
+fn runtime_allocator(c: &mut Criterion) {
+    let site = site_key();
+    let layout = Layout::from_size_align(48, 8).expect("layout");
+
+    let mut group = c.benchmark_group("runtime_alloc_free");
+    group.bench_function("arena_hit", |b| {
+        let mut db = RuntimeSiteDb::new(32 * 1024);
+        db.insert(site.with_size(layout.size()));
+        let heap = PredictiveAllocator::with_database(db);
+        b.iter(|| {
+            let p = heap.allocate(site, layout);
+            unsafe { heap.deallocate(black_box(p), layout) };
+        });
+    });
+    group.bench_function("system_fallback", |b| {
+        let heap = PredictiveAllocator::new();
+        b.iter(|| {
+            let p = heap.allocate(site, layout);
+            unsafe { heap.deallocate(black_box(p), layout) };
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, sim_allocators, runtime_allocator);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Microbenchmarks of prediction machinery: site extraction, database
+//! lookup, P² maintenance and chain keying.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lifepred_core::{train, Profile, SiteConfig, SiteExtractor, TrainConfig, DEFAULT_THRESHOLD};
+use lifepred_quantile::P2Histogram;
+use lifepred_trace::{eliminate_cycles, shared_registry, Trace};
+use lifepred_workloads::{by_name, record};
+
+fn sample_trace() -> Trace {
+    let w = by_name("espresso").expect("workload");
+    record(w.as_ref(), 0, shared_registry())
+}
+
+fn site_extraction(c: &mut Criterion) {
+    let trace = sample_trace();
+    let records = trace.records();
+
+    let mut group = c.benchmark_group("site_extraction");
+    for (label, cfg) in [
+        ("complete", SiteConfig::default()),
+        ("len4", SiteConfig::last_n(4)),
+        ("cce", SiteConfig::encrypted()),
+        ("size_only", SiteConfig::size_only()),
+    ] {
+        group.bench_function(label, |b| {
+            let mut extractor = SiteExtractor::new(&trace, cfg);
+            let mut i = 0usize;
+            b.iter(|| {
+                let key = extractor.site_of(&records[i % records.len()]);
+                black_box(key);
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn database_lookup(c: &mut Criterion) {
+    let trace = sample_trace();
+    let cfg = SiteConfig::default();
+    let profile = Profile::build(&trace, &cfg, DEFAULT_THRESHOLD);
+    let db = train(&profile, &TrainConfig::default());
+    let mut extractor = SiteExtractor::new(&trace, cfg);
+    let keys: Vec<_> = trace
+        .records()
+        .iter()
+        .map(|r| extractor.site_of(r))
+        .collect();
+
+    c.bench_function("database_predicts", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let hit = db.predicts(&keys[i % keys.len()]);
+            black_box(hit);
+            i += 1;
+        });
+    });
+}
+
+fn quantile_maintenance(c: &mut Criterion) {
+    c.bench_function("p2_observe", |b| {
+        let mut h = P2Histogram::quartiles();
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.observe(black_box((x >> 40) as f64));
+        });
+    });
+}
+
+fn chain_keying(c: &mut Criterion) {
+    let trace = sample_trace();
+    let chains: Vec<_> = trace.chains().iter().map(|(_, c)| c.clone()).collect();
+
+    let mut group = c.benchmark_group("chain_ops");
+    group.bench_function("encryption_key", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let k = chains[i % chains.len()].encryption_key();
+            black_box(k);
+            i += 1;
+        });
+    });
+    group.bench_function("eliminate_cycles", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let v = eliminate_cycles(chains[i % chains.len()].frames());
+            black_box(v);
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    site_extraction,
+    database_lookup,
+    quantile_maintenance,
+    chain_keying
+);
+criterion_main!(benches);

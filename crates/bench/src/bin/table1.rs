@@ -1,0 +1,16 @@
+//! Table 1: general information about the test programs.
+
+use lifepred_bench::build_suite;
+
+fn main() {
+    println!("== Table 1: test programs ==");
+    for entry in build_suite() {
+        println!("\n{}", entry.name.to_uppercase());
+        println!("  {}", entry.description);
+        println!(
+            "  training input: {} objects; test input: {} objects",
+            entry.train.stats().total_objects,
+            entry.test.stats().total_objects
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Table 2: allocation behaviour of the test programs (test input).
+
+use lifepred_bench::{build_suite, f1, print_table};
+
+fn main() {
+    let suite = build_suite();
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|e| {
+            let s = e.test.stats();
+            vec![
+                e.name.to_uppercase(),
+                f1(s.instructions as f64 / 1e6),
+                format!("{:.2}", s.function_calls as f64 / 1e6),
+                format!("{:.2}", s.total_bytes as f64 / 1e6),
+                format!("{:.2}", s.total_objects as f64 / 1e6),
+                format!("{}", s.max_live_bytes / 1000),
+                format!("{}", s.max_live_objects),
+                f1(s.heap_ref_pct()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 2: memory allocation behaviour (test inputs)",
+        &[
+            "Program",
+            "Instr (x10^6)",
+            "Calls (x10^6)",
+            "Bytes (x10^6)",
+            "Objects (x10^6)",
+            "MaxBytes (x10^3)",
+            "MaxObjects",
+            "HeapRefs (%)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,41 @@
+//! Table 4: bytes predicted short-lived from allocation site + size,
+//! self and true prediction.
+
+use lifepred_bench::{analyze, build_suite, f1, f2, print_table};
+use lifepred_core::SiteConfig;
+
+fn main() {
+    let suite = build_suite();
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|e| {
+            let a = analyze(e, &SiteConfig::default());
+            vec![
+                e.name.to_uppercase(),
+                a.self_report.total_sites.to_string(),
+                f1(a.self_report.actual_short_bytes_pct),
+                a.self_report.sites_used.to_string(),
+                f1(a.self_report.predicted_short_bytes_pct),
+                f2(a.self_report.error_bytes_pct),
+                a.true_report.sites_used.to_string(),
+                f1(a.true_report.predicted_short_bytes_pct),
+                f2(a.true_report.error_bytes_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 4: bytes predicted short-lived by site+size (threshold 32 KB)",
+        &[
+            "Program",
+            "Total Sites",
+            "Actual Short (%)",
+            "Self Sites",
+            "Self Pred (%)",
+            "Self Err (%)",
+            "True Sites",
+            "True Pred (%)",
+            "True Err (%)",
+        ],
+        &rows,
+    );
+}

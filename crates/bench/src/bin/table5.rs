@@ -1,0 +1,33 @@
+//! Table 5: prediction from object size alone (self prediction).
+
+use lifepred_bench::{analyze, build_suite, f1, print_table};
+use lifepred_core::SiteConfig;
+
+fn main() {
+    let suite = build_suite();
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|e| {
+            let site_size = analyze(e, &SiteConfig::default());
+            let size_only = analyze(e, &SiteConfig::size_only());
+            vec![
+                e.name.to_uppercase(),
+                f1(size_only.self_report.actual_short_bytes_pct),
+                f1(size_only.self_report.predicted_short_bytes_pct),
+                size_only.self_report.sites_used.to_string(),
+                f1(site_size.self_report.predicted_short_bytes_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 5: size-only prediction (self), vs site+size for reference",
+        &[
+            "Program",
+            "Actual Short (%)",
+            "Size-only Pred (%)",
+            "Sites Used",
+            "Site+Size Pred (%)",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,42 @@
+//! Table 6: effect of call-chain length on prediction and locality.
+
+use lifepred_bench::{build_suite, print_table};
+use lifepred_core::{evaluate, train, Profile, SiteConfig, SitePolicy, TrainConfig, DEFAULT_THRESHOLD};
+
+fn main() {
+    let suite = build_suite();
+    let lengths: Vec<SitePolicy> = (1..=7)
+        .map(SitePolicy::LastN)
+        .chain([SitePolicy::Complete])
+        .collect();
+
+    let mut rows = Vec::new();
+    for policy in &lengths {
+        let config = SiteConfig {
+            policy: *policy,
+            ..SiteConfig::default()
+        };
+        let mut row = vec![policy.to_string()];
+        for e in &suite {
+            let profile = Profile::build(&e.test, &config, DEFAULT_THRESHOLD);
+            let db = train(&profile, &TrainConfig::default());
+            let report = evaluate(&db, &e.test);
+            row.push(format!("{:.0}", report.predicted_short_bytes_pct));
+            row.push(format!("{:.0}", report.new_ref_pct));
+        }
+        rows.push(row);
+    }
+
+    let mut headers: Vec<String> = vec!["Chain Length".to_owned()];
+    for e in &suite {
+        headers.push(format!("{} Pred(%)", e.name));
+        headers.push(format!("{} NewRef(%)", e.name));
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    print_table(
+        "Table 6: call-chain length vs short-lived prediction (self)",
+        &header_refs,
+        &rows,
+    );
+    println!("\n(The \u{221e} row is the complete chain with recursion-cycle elimination.)");
+}

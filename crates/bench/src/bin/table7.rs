@@ -1,0 +1,38 @@
+//! Table 7: objects and bytes landing in arenas under true prediction.
+
+use lifepred_bench::{analyze, build_suite, f1, print_table};
+use lifepred_core::SiteConfig;
+use lifepred_heap::{replay_arena, ReplayConfig};
+
+fn main() {
+    let suite = build_suite();
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|e| {
+            let a = analyze(e, &SiteConfig::default());
+            let r = replay_arena(&e.test, &a.true_db, &ReplayConfig::default());
+            vec![
+                e.name.to_uppercase(),
+                f1(r.total_allocs as f64 / 1000.0),
+                f1(r.arena_alloc_pct()),
+                f1(r.non_arena_alloc_pct()),
+                (r.total_bytes / 1024).to_string(),
+                f1(r.arena_byte_pct()),
+                f1(r.non_arena_byte_pct()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 7: arena allocator utilization (true prediction, 16 x 4 KB arenas)",
+        &[
+            "Program",
+            "Allocs (1000s)",
+            "Arena Allocs (%)",
+            "Non-arena (%)",
+            "Bytes (KB)",
+            "Arena Bytes (%)",
+            "Non-arena (%)",
+        ],
+        &rows,
+    );
+}

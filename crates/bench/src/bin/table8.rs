@@ -1,0 +1,40 @@
+//! Table 8: maximum heap sizes, first-fit vs arena allocator.
+
+use lifepred_bench::{analyze, build_suite, f1, print_table};
+use lifepred_core::SiteConfig;
+use lifepred_heap::{replay_arena, replay_firstfit, ReplayConfig};
+
+fn main() {
+    let suite = build_suite();
+    let cfg = ReplayConfig::default();
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|e| {
+            let a = analyze(e, &SiteConfig::default());
+            let ff = replay_firstfit(&e.test, &cfg);
+            let self_arena = replay_arena(&e.test, &a.self_db, &cfg);
+            let true_arena = replay_arena(&e.test, &a.true_db, &cfg);
+            let pct = |x: u64| 100.0 * x as f64 / ff.max_heap_bytes as f64;
+            vec![
+                e.name.to_uppercase(),
+                (ff.max_heap_bytes / 1024).to_string(),
+                (self_arena.max_heap_bytes / 1024).to_string(),
+                f1(pct(self_arena.max_heap_bytes)),
+                (true_arena.max_heap_bytes / 1024).to_string(),
+                f1(pct(true_arena.max_heap_bytes)),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 8: maximum heap sizes (KB), arena area included",
+        &[
+            "Program",
+            "First-fit Heap",
+            "Self Arena Heap",
+            "Self/FF (%)",
+            "True Arena Heap",
+            "True/FF (%)",
+        ],
+        &rows,
+    );
+}

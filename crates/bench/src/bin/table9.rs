@@ -1,0 +1,59 @@
+//! Table 9: modeled instructions per allocation and free.
+
+use lifepred_bench::{analyze, build_suite, print_table};
+use lifepred_core::SiteConfig;
+use lifepred_heap::{
+    arena_costs, bsd_costs, firstfit_costs, replay_arena, replay_bsd, replay_firstfit,
+    PredictorKind, ReplayConfig,
+};
+
+fn main() {
+    let suite = build_suite();
+    let cfg = ReplayConfig::default();
+    let rows: Vec<Vec<String>> = suite
+        .iter()
+        .map(|e| {
+            let a = analyze(e, &SiteConfig::default());
+            let bsd = bsd_costs(&replay_bsd(&e.test, &cfg));
+            let ff = firstfit_costs(&replay_firstfit(&e.test, &cfg));
+            let ar = replay_arena(&e.test, &a.true_db, &cfg);
+            let len4 = arena_costs(&ar, PredictorKind::Len4);
+            let cce = arena_costs(&ar, PredictorKind::Cce);
+            let c = |x: f64| format!("{x:.0}");
+            vec![
+                e.name.to_uppercase(),
+                c(bsd.alloc_instr),
+                c(bsd.free_instr),
+                c(bsd.total()),
+                c(ff.alloc_instr),
+                c(ff.free_instr),
+                c(ff.total()),
+                c(len4.alloc_instr),
+                c(len4.free_instr),
+                c(len4.total()),
+                c(cce.alloc_instr),
+                c(cce.free_instr),
+                c(cce.total()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 9: instructions per alloc/free (true prediction for arenas)",
+        &[
+            "Program",
+            "BSD a",
+            "BSD f",
+            "BSD a+f",
+            "FF a",
+            "FF f",
+            "FF a+f",
+            "Len4 a",
+            "Len4 f",
+            "Len4 a+f",
+            "CCE a",
+            "CCE f",
+            "CCE a+f",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,286 @@
+//! Per-site lifetime profiles built from training traces.
+
+use crate::lifetimes::LifetimeDistribution;
+use crate::site::{SiteConfig, SiteExtractor, SiteKey};
+use lifepred_quantile::P2Histogram;
+use lifepred_trace::Trace;
+use std::collections::HashMap;
+
+/// Lifetime statistics accumulated for one allocation site.
+#[derive(Debug, Clone)]
+pub struct SiteStats {
+    /// Objects allocated at this site.
+    pub objects: u64,
+    /// Bytes allocated at this site.
+    pub bytes: u64,
+    /// Largest lifetime observed (exact, so the all-short training
+    /// rule is exact, not approximate).
+    pub max_lifetime: u64,
+    /// Objects that lived less than the profile threshold.
+    pub short_objects: u64,
+    /// Bytes of such objects.
+    pub short_bytes: u64,
+    /// Heap references to objects from this site.
+    pub refs: u64,
+    /// P² quantile histogram of per-object lifetimes at this site —
+    /// the structure the paper keeps per site.
+    pub histogram: P2Histogram,
+}
+
+impl SiteStats {
+    fn new() -> Self {
+        SiteStats {
+            objects: 0,
+            bytes: 0,
+            max_lifetime: 0,
+            short_objects: 0,
+            short_bytes: 0,
+            refs: 0,
+            histogram: P2Histogram::quartiles(),
+        }
+    }
+
+    /// Returns `true` if every object observed at this site was
+    /// short-lived under `threshold` — the paper's admission rule.
+    pub fn all_short(&self, threshold: u64) -> bool {
+        self.objects > 0 && self.max_lifetime < threshold
+    }
+
+    /// Fraction of this site's bytes that were long-lived, in `[0, 1]`.
+    pub fn long_byte_fraction(&self) -> f64 {
+        if self.bytes == 0 {
+            0.0
+        } else {
+            (self.bytes - self.short_bytes) as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// A training profile: the mapping from allocation sites to lifetime
+/// statistics, plus program-wide aggregates.
+///
+/// # Examples
+///
+/// ```
+/// use lifepred_core::{Profile, SiteConfig, DEFAULT_THRESHOLD};
+/// use lifepred_trace::TraceSession;
+///
+/// let s = TraceSession::new("p");
+/// let id = s.alloc(32);
+/// s.free(id);
+/// let trace = s.finish();
+/// let profile = Profile::build(&trace, &SiteConfig::default(), DEFAULT_THRESHOLD);
+/// assert_eq!(profile.total_sites(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Profile {
+    program: String,
+    config: SiteConfig,
+    threshold: u64,
+    sites: HashMap<SiteKey, SiteStats>,
+    lifetimes: LifetimeDistribution,
+    total_bytes: u64,
+    total_objects: u64,
+    short_bytes: u64,
+    short_objects: u64,
+}
+
+impl Profile {
+    /// Scans `trace` and accumulates per-site statistics.
+    ///
+    /// `threshold` is the short-lived cutoff in bytes (the paper uses
+    /// 32 KB); it determines the `short_*` counters and must match the
+    /// threshold later passed to training.
+    pub fn build(trace: &Trace, config: &SiteConfig, threshold: u64) -> Profile {
+        let mut extractor = SiteExtractor::new(trace, *config);
+        let mut sites: HashMap<SiteKey, SiteStats> = HashMap::new();
+        let mut lifetimes = LifetimeDistribution::new();
+        let (mut short_bytes, mut short_objects) = (0u64, 0u64);
+        let end = trace.end_clock();
+        for record in trace.records() {
+            let key = extractor.site_of(record);
+            let lifetime = record.lifetime(end);
+            let stats = sites.entry(key).or_insert_with(SiteStats::new);
+            stats.objects += 1;
+            stats.bytes += u64::from(record.size);
+            stats.max_lifetime = stats.max_lifetime.max(lifetime);
+            stats.refs += record.refs;
+            stats.histogram.observe(lifetime as f64);
+            if lifetime < threshold {
+                stats.short_objects += 1;
+                stats.short_bytes += u64::from(record.size);
+                short_objects += 1;
+                short_bytes += u64::from(record.size);
+            }
+            lifetimes.observe(lifetime, record.size);
+        }
+        Profile {
+            program: trace.name().to_owned(),
+            config: *config,
+            threshold,
+            sites,
+            lifetimes,
+            total_bytes: trace.stats().total_bytes,
+            total_objects: trace.stats().total_objects,
+            short_bytes,
+            short_objects,
+        }
+    }
+
+    /// The profiled program's name.
+    pub fn program(&self) -> &str {
+        &self.program
+    }
+
+    /// The site configuration the profile was built under.
+    pub fn config(&self) -> &SiteConfig {
+        &self.config
+    }
+
+    /// The short-lived threshold in bytes.
+    pub fn threshold(&self) -> u64 {
+        self.threshold
+    }
+
+    /// All sites and their statistics.
+    pub fn sites(&self) -> &HashMap<SiteKey, SiteStats> {
+        &self.sites
+    }
+
+    /// Statistics for one site, if seen.
+    pub fn site(&self, key: &SiteKey) -> Option<&SiteStats> {
+        self.sites.get(key)
+    }
+
+    /// Number of distinct allocation sites (Table 4's "Total Sites").
+    pub fn total_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The program-wide byte-weighted lifetime distribution (Table 3).
+    pub fn lifetimes(&self) -> &LifetimeDistribution {
+        &self.lifetimes
+    }
+
+    /// Total bytes allocated in the profiled run.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total objects allocated in the profiled run.
+    pub fn total_objects(&self) -> u64 {
+        self.total_objects
+    }
+
+    /// Percentage of all bytes that were actually short-lived
+    /// (Table 4's "Actual Short-lived Bytes").
+    pub fn actual_short_bytes_pct(&self) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            100.0 * self.short_bytes as f64 / self.total_bytes as f64
+        }
+    }
+
+    /// Percentage of all objects that were actually short-lived.
+    pub fn actual_short_objects_pct(&self) -> f64 {
+        if self.total_objects == 0 {
+            0.0
+        } else {
+            100.0 * self.short_objects as f64 / self.total_objects as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_THRESHOLD;
+    use lifepred_trace::TraceSession;
+
+    /// Two sites: one allocating only short-lived objects, one keeping
+    /// objects alive past the threshold.
+    fn mixed_trace() -> Trace {
+        let s = TraceSession::new("mixed");
+        let mut long_lived = Vec::new();
+        {
+            let _g = s.enter("long_site");
+            for _ in 0..4 {
+                long_lived.push(s.alloc(100));
+            }
+        }
+        {
+            let _g = s.enter("short_site");
+            for _ in 0..100 {
+                let id = s.alloc(50);
+                s.free(id);
+            }
+        }
+        // Push the clock past the threshold so the long-lived objects
+        // exceed it, then free them.
+        {
+            let _g = s.enter("filler");
+            for _ in 0..40 {
+                let id = s.alloc(1024);
+                s.free(id);
+            }
+        }
+        for id in long_lived {
+            s.free(id);
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn profile_separates_sites() {
+        let trace = mixed_trace();
+        let p = Profile::build(&trace, &SiteConfig::default(), DEFAULT_THRESHOLD);
+        assert_eq!(p.total_sites(), 3);
+        let short_site = p
+            .sites()
+            .iter()
+            .find(|(_, s)| s.objects == 100)
+            .map(|(_, s)| s)
+            .expect("short site present");
+        assert!(short_site.all_short(DEFAULT_THRESHOLD));
+        assert_eq!(short_site.short_objects, 100);
+
+        let long_site = p
+            .sites()
+            .iter()
+            .find(|(_, s)| s.objects == 4)
+            .map(|(_, s)| s)
+            .expect("long site present");
+        assert!(!long_site.all_short(DEFAULT_THRESHOLD));
+        assert!(long_site.max_lifetime >= DEFAULT_THRESHOLD);
+        assert!(long_site.long_byte_fraction() > 0.99);
+    }
+
+    #[test]
+    fn totals_match_trace_stats() {
+        let trace = mixed_trace();
+        let p = Profile::build(&trace, &SiteConfig::default(), DEFAULT_THRESHOLD);
+        assert_eq!(p.total_bytes(), trace.stats().total_bytes);
+        assert_eq!(p.total_objects(), trace.stats().total_objects);
+        let site_bytes: u64 = p.sites().values().map(|s| s.bytes).sum();
+        assert_eq!(site_bytes, p.total_bytes());
+    }
+
+    #[test]
+    fn actual_short_pct_reflects_threshold() {
+        let trace = mixed_trace();
+        let tight = Profile::build(&trace, &SiteConfig::default(), 1);
+        assert_eq!(tight.actual_short_bytes_pct(), 0.0);
+        let loose = Profile::build(&trace, &SiteConfig::default(), u64::MAX);
+        assert!((loose.actual_short_bytes_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_profile() {
+        let s = TraceSession::new("empty");
+        let trace = s.finish();
+        let p = Profile::build(&trace, &SiteConfig::default(), DEFAULT_THRESHOLD);
+        assert_eq!(p.total_sites(), 0);
+        assert_eq!(p.actual_short_bytes_pct(), 0.0);
+    }
+}

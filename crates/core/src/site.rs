@@ -1,0 +1,351 @@
+//! Allocation-site identity: what the predictor keys on.
+
+use lifepred_trace::{AllocationRecord, CallChain, ChainId, FnId, Trace};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How much of the birth context identifies an allocation site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SitePolicy {
+    /// The complete call-chain with recursion cycles eliminated
+    /// (gprof-style), plus the object size. The paper's "∞" case.
+    #[default]
+    Complete,
+    /// The last `N` callers (no cycle elimination — matching the
+    /// paper, whose ∞ row can therefore predict *less* than length-7),
+    /// plus the object size.
+    LastN(usize),
+    /// Carter's call-chain encryption: the XOR of per-function 16-bit
+    /// ids over the whole raw chain, plus the object size. Constant
+    /// per-call cost, but distinct chains may collide.
+    Encrypted,
+    /// Object size alone (the paper's Table 5 baseline).
+    SizeOnly,
+}
+
+impl fmt::Display for SitePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SitePolicy::Complete => write!(f, "complete"),
+            SitePolicy::LastN(n) => write!(f, "len-{n}"),
+            SitePolicy::Encrypted => write!(f, "cce"),
+            SitePolicy::SizeOnly => write!(f, "size-only"),
+        }
+    }
+}
+
+/// Full site-identity configuration.
+///
+/// `size_rounding` rounds object sizes before they become part of the
+/// site key. The paper rounds to 4 bytes so that training sites map
+/// onto test-run sites ("rounding to a larger multiple of two reduced
+/// the mapping effectiveness").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SiteConfig {
+    /// Which part of the call context identifies the site.
+    pub policy: SitePolicy,
+    /// Sizes are rounded up to a multiple of this before keying
+    /// (0 or 1 disables rounding).
+    pub size_rounding: u32,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        SiteConfig {
+            policy: SitePolicy::Complete,
+            size_rounding: 4,
+        }
+    }
+}
+
+impl SiteConfig {
+    /// A length-N sub-chain configuration with the default rounding.
+    pub fn last_n(n: usize) -> Self {
+        SiteConfig {
+            policy: SitePolicy::LastN(n),
+            ..SiteConfig::default()
+        }
+    }
+
+    /// The call-chain-encryption configuration with default rounding.
+    pub fn encrypted() -> Self {
+        SiteConfig {
+            policy: SitePolicy::Encrypted,
+            ..SiteConfig::default()
+        }
+    }
+
+    /// The size-only configuration (Table 5).
+    pub fn size_only() -> Self {
+        SiteConfig {
+            policy: SitePolicy::SizeOnly,
+            ..SiteConfig::default()
+        }
+    }
+
+    /// Applies this configuration's size rounding.
+    pub fn round_size(&self, size: u32) -> u32 {
+        if self.size_rounding <= 1 {
+            return size;
+        }
+        let r = self.size_rounding;
+        size.div_ceil(r) * r
+    }
+}
+
+/// The identity of an allocation site under some [`SiteConfig`].
+///
+/// Keys are self-contained (they own their frame lists) so they can be
+/// compared across traces and serialized into site databases.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SiteKey {
+    /// A call-chain (outermost first) plus rounded size.
+    Chain {
+        /// Frames identifying the site, outermost first.
+        frames: Vec<FnId>,
+        /// Rounded object size.
+        size: u32,
+    },
+    /// An XOR-encrypted chain key plus rounded size.
+    Encrypted {
+        /// The 16-bit XOR key over the raw chain.
+        key: u16,
+        /// Rounded object size.
+        size: u32,
+    },
+    /// Size alone.
+    Size {
+        /// Rounded object size.
+        size: u32,
+    },
+}
+
+impl SiteKey {
+    /// The rounded size component of the key.
+    pub fn size(&self) -> u32 {
+        match self {
+            SiteKey::Chain { size, .. }
+            | SiteKey::Encrypted { size, .. }
+            | SiteKey::Size { size } => *size,
+        }
+    }
+
+    /// Encodes the key as a single text line (see [`SiteKey::decode`]).
+    pub fn encode(&self) -> String {
+        match self {
+            SiteKey::Chain { frames, size } => {
+                let mut s = String::from("C ");
+                if frames.is_empty() {
+                    s.push('-');
+                }
+                for (i, f) in frames.iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push_str(&f.index().to_string());
+                }
+                s.push_str(&format!(" {size}"));
+                s
+            }
+            SiteKey::Encrypted { key, size } => format!("E {key} {size}"),
+            SiteKey::Size { size } => format!("S {size}"),
+        }
+    }
+
+    /// Decodes a key produced by [`SiteKey::encode`].
+    ///
+    /// Returns `None` on malformed input.
+    pub fn decode(line: &str) -> Option<SiteKey> {
+        let mut parts = line.split_whitespace();
+        match parts.next()? {
+            "C" => {
+                let frames_str = parts.next()?;
+                let size: u32 = parts.next()?.parse().ok()?;
+                let frames = if frames_str == "-" {
+                    Vec::new()
+                } else {
+                    frames_str
+                        .split(',')
+                        .map(|t| t.parse::<u32>().ok().map(FnId::from_index))
+                        .collect::<Option<Vec<_>>>()?
+                };
+                Some(SiteKey::Chain { frames, size })
+            }
+            "E" => {
+                let key: u16 = parts.next()?.parse().ok()?;
+                let size: u32 = parts.next()?.parse().ok()?;
+                Some(SiteKey::Encrypted { key, size })
+            }
+            "S" => {
+                let size: u32 = parts.next()?.parse().ok()?;
+                Some(SiteKey::Size { size })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Extracts [`SiteKey`]s from trace records, memoizing per-chain work.
+///
+/// Chain processing (cycle elimination, truncation, encryption) depends
+/// only on the interned [`ChainId`], so the extractor caches it — a
+/// trace has millions of records but few distinct chains.
+#[derive(Debug)]
+pub struct SiteExtractor<'t> {
+    config: SiteConfig,
+    trace: &'t Trace,
+    chain_cache: HashMap<ChainId, ChainPart>,
+}
+
+#[derive(Debug, Clone)]
+enum ChainPart {
+    Frames(Vec<FnId>),
+    Key(u16),
+    Nothing,
+}
+
+impl<'t> SiteExtractor<'t> {
+    /// Creates an extractor for `trace` under `config`.
+    pub fn new(trace: &'t Trace, config: SiteConfig) -> Self {
+        SiteExtractor {
+            config,
+            trace,
+            chain_cache: HashMap::new(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SiteConfig {
+        &self.config
+    }
+
+    /// Computes the site key for one allocation record.
+    pub fn site_of(&mut self, record: &AllocationRecord) -> SiteKey {
+        let size = self.config.round_size(record.size);
+        let part = self
+            .chain_cache
+            .entry(record.chain)
+            .or_insert_with(|| process_chain(self.trace.chain(record.chain), self.config.policy));
+        match part {
+            ChainPart::Frames(frames) => SiteKey::Chain {
+                frames: frames.clone(),
+                size,
+            },
+            ChainPart::Key(key) => SiteKey::Encrypted { key: *key, size },
+            ChainPart::Nothing => SiteKey::Size { size },
+        }
+    }
+}
+
+fn process_chain(chain: &CallChain, policy: SitePolicy) -> ChainPart {
+    match policy {
+        SitePolicy::Complete => ChainPart::Frames(chain.without_cycles().frames().to_vec()),
+        SitePolicy::LastN(n) => ChainPart::Frames(chain.sub_chain(n).frames().to_vec()),
+        SitePolicy::Encrypted => ChainPart::Key(chain.encryption_key()),
+        SitePolicy::SizeOnly => ChainPart::Nothing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifepred_trace::TraceSession;
+
+    fn tiny_trace() -> Trace {
+        let s = TraceSession::new("t");
+        {
+            let _a = s.enter("a");
+            let _b = s.enter("b");
+            s.alloc(7);
+            {
+                let _b2 = s.enter("b"); // recursion
+                s.alloc(7);
+            }
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn size_rounding() {
+        let cfg = SiteConfig::default();
+        assert_eq!(cfg.round_size(7), 8);
+        assert_eq!(cfg.round_size(8), 8);
+        assert_eq!(cfg.round_size(1), 4);
+        assert_eq!(cfg.round_size(0), 0);
+        let none = SiteConfig {
+            size_rounding: 1,
+            ..cfg
+        };
+        assert_eq!(none.round_size(7), 7);
+    }
+
+    #[test]
+    fn complete_policy_eliminates_recursion() {
+        let trace = tiny_trace();
+        let mut ex = SiteExtractor::new(&trace, SiteConfig::default());
+        let k1 = ex.site_of(&trace.records()[0]);
+        let k2 = ex.site_of(&trace.records()[1]);
+        // After cycle elimination both allocations are at chain a>b
+        // with size 8 — the same site.
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn last_n_keeps_recursion() {
+        let trace = tiny_trace();
+        let mut ex = SiteExtractor::new(&trace, SiteConfig::last_n(2));
+        let k1 = ex.site_of(&trace.records()[0]);
+        let k2 = ex.site_of(&trace.records()[1]);
+        // Sub-chains are a>b vs b>b — distinct sites.
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn size_only_collapses_everything() {
+        let trace = tiny_trace();
+        let mut ex = SiteExtractor::new(&trace, SiteConfig::size_only());
+        let k1 = ex.site_of(&trace.records()[0]);
+        let k2 = ex.site_of(&trace.records()[1]);
+        assert_eq!(k1, k2);
+        assert_eq!(k1, SiteKey::Size { size: 8 });
+    }
+
+    #[test]
+    fn encrypted_policy_produces_16_bit_keys() {
+        let trace = tiny_trace();
+        let mut ex = SiteExtractor::new(&trace, SiteConfig::encrypted());
+        let k = ex.site_of(&trace.records()[0]);
+        assert!(matches!(k, SiteKey::Encrypted { .. }));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let keys = vec![
+            SiteKey::Chain {
+                frames: vec![FnId::from_index(1), FnId::from_index(9)],
+                size: 16,
+            },
+            SiteKey::Encrypted { key: 1234, size: 8 },
+            SiteKey::Size { size: 4096 },
+        ];
+        for k in keys {
+            let line = k.encode();
+            assert_eq!(SiteKey::decode(&line), Some(k), "line {line}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(SiteKey::decode(""), None);
+        assert_eq!(SiteKey::decode("X 1 2"), None);
+        assert_eq!(SiteKey::decode("C notanumber 4"), None);
+    }
+
+    #[test]
+    fn policy_display() {
+        assert_eq!(SitePolicy::Complete.to_string(), "complete");
+        assert_eq!(SitePolicy::LastN(4).to_string(), "len-4");
+        assert_eq!(SitePolicy::Encrypted.to_string(), "cce");
+        assert_eq!(SitePolicy::SizeOnly.to_string(), "size-only");
+    }
+}

@@ -1,0 +1,308 @@
+//! Hanson-style short-lived arenas driven by lifetime prediction.
+
+use crate::counts::OpCounts;
+use crate::firstfit::FirstFit;
+use crate::Addr;
+
+/// Base of the arena area in the simulated address space; far above
+/// any first-fit heap so frees route by address, as in the paper
+/// ("arenas are contiguous and not part of the general allocation
+/// heap").
+const ARENA_BASE: u64 = 1 << 40;
+
+/// Alignment of objects inside an arena.
+const ARENA_ALIGN: u32 = 8;
+
+/// Arena-area geometry.
+///
+/// The paper's simulations use a 64 KB arena area — "twice the age of
+/// the objects predicted as short-lived" — divided into sixteen 4 KB
+/// arenas so one erroneously long-lived object pins only 4 KB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaConfig {
+    /// Number of arenas.
+    pub arena_count: usize,
+    /// Bytes per arena.
+    pub arena_size: u32,
+}
+
+impl Default for ArenaConfig {
+    fn default() -> Self {
+        ArenaConfig {
+            arena_count: 16,
+            arena_size: 4096,
+        }
+    }
+}
+
+impl ArenaConfig {
+    /// Total bytes of the arena area.
+    pub fn total_bytes(&self) -> u64 {
+        self.arena_count as u64 * u64::from(self.arena_size)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Arena {
+    /// Bump offset ("alloc pointer").
+    used: u32,
+    /// Live objects in this arena ("count field").
+    live: u32,
+}
+
+/// The lifetime-predicting allocator of §5.1: objects predicted
+/// short-lived are bump-allocated into small fixed arenas with a live
+/// count and **no per-object overhead**; everything else (and any
+/// arena overflow) goes to an embedded [`FirstFit`] general heap.
+///
+/// The caller decides `predicted_short` per allocation — in the full
+/// system that is a [`ShortLivedSet`](lifepred_core::ShortLivedSet)
+/// lookup performed by the replay driver.
+///
+/// # Examples
+///
+/// ```
+/// use lifepred_heap::{ArenaAllocator, ArenaConfig};
+///
+/// let mut heap = ArenaAllocator::new(ArenaConfig::default());
+/// let a = heap.alloc(32, true); // predicted short-lived: arena
+/// let b = heap.alloc(32, false); // general heap
+/// assert!(heap.is_arena_addr(a));
+/// assert!(!heap.is_arena_addr(b));
+/// heap.free(a);
+/// heap.free(b);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ArenaAllocator {
+    config: ArenaConfig,
+    arenas: Vec<Arena>,
+    current: usize,
+    fallback: FirstFit,
+    counts: OpCounts,
+}
+
+impl ArenaAllocator {
+    /// Creates an allocator with `config` arenas and an empty general
+    /// heap.
+    pub fn new(config: ArenaConfig) -> Self {
+        assert!(config.arena_count > 0, "need at least one arena");
+        assert!(config.arena_size > 0, "arenas must have nonzero size");
+        ArenaAllocator {
+            config,
+            arenas: vec![Arena::default(); config.arena_count],
+            current: 0,
+            fallback: FirstFit::new(),
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// The geometry in use.
+    pub fn config(&self) -> &ArenaConfig {
+        &self.config
+    }
+
+    /// Allocates `size` bytes; `predicted_short` is the prediction for
+    /// this allocation's site.
+    pub fn alloc(&mut self, size: u32, predicted_short: bool) -> Addr {
+        let aligned = size.div_ceil(ARENA_ALIGN) * ARENA_ALIGN;
+        if !predicted_short || aligned > self.config.arena_size {
+            if predicted_short {
+                // Predicted short but too large for any arena: the
+                // paper's GHOST 6 KB objects take this path.
+                self.counts.arena_overflows += 1;
+            }
+            return self.fallback.alloc(size);
+        }
+        // Fast path: bump the current arena.
+        if self.arena_fits(self.current, aligned) {
+            return self.bump(self.current, aligned);
+        }
+        // Scan for an arena with no live objects and reset it.
+        if let Some(idx) = self.find_empty() {
+            self.arenas[idx] = Arena::default();
+            self.counts.arena_resets += 1;
+            self.current = idx;
+            return self.bump(idx, aligned);
+        }
+        // All arenas pinned: degenerate to the general allocator.
+        self.counts.arena_overflows += 1;
+        self.fallback.alloc(size)
+    }
+
+    /// Frees `addr`, routing by address range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a general-heap address is not a live allocation.
+    pub fn free(&mut self, addr: Addr) {
+        if self.is_arena_addr(addr) {
+            let idx = ((addr.0 - ARENA_BASE) / u64::from(self.config.arena_size)) as usize;
+            let arena = &mut self.arenas[idx];
+            debug_assert!(arena.live > 0, "arena free with zero live count");
+            arena.live -= 1;
+            self.counts.arena_frees += 1;
+            self.counts.frees += 1;
+        } else {
+            self.fallback.free(addr);
+        }
+    }
+
+    /// Whether `addr` lies in the arena area.
+    pub fn is_arena_addr(&self, addr: Addr) -> bool {
+        addr.0 >= ARENA_BASE && addr.0 < ARENA_BASE + self.config.total_bytes()
+    }
+
+    /// High-water heap size: the general heap's high-water mark plus
+    /// the whole arena area (Table 8 "include the 64-kilobyte arena
+    /// area in the total").
+    pub fn max_heap_bytes(&self) -> u64 {
+        self.fallback.max_heap_bytes() + self.config.total_bytes()
+    }
+
+    /// Merged operation counters (arena side + general heap).
+    pub fn counts(&self) -> OpCounts {
+        self.counts.merged(self.fallback.counts())
+    }
+
+    /// The embedded general heap.
+    pub fn general_heap(&self) -> &FirstFit {
+        &self.fallback
+    }
+
+    /// Total live objects across all arenas.
+    pub fn arena_live_objects(&self) -> u64 {
+        self.arenas.iter().map(|a| u64::from(a.live)).sum()
+    }
+
+    fn arena_fits(&self, idx: usize, aligned: u32) -> bool {
+        self.config.arena_size - self.arenas[idx].used >= aligned
+    }
+
+    fn bump(&mut self, idx: usize, aligned: u32) -> Addr {
+        let arena = &mut self.arenas[idx];
+        let addr =
+            ARENA_BASE + idx as u64 * u64::from(self.config.arena_size) + u64::from(arena.used);
+        arena.used += aligned;
+        arena.live += 1;
+        self.counts.arena_allocs += 1;
+        self.counts.allocs += 1;
+        Addr(addr)
+    }
+
+    fn find_empty(&mut self) -> Option<usize> {
+        for (i, arena) in self.arenas.iter().enumerate() {
+            self.counts.arena_scan_steps += 1;
+            if arena.live == 0 {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ArenaAllocator {
+        ArenaAllocator::new(ArenaConfig {
+            arena_count: 2,
+            arena_size: 64,
+        })
+    }
+
+    #[test]
+    fn bump_allocation_is_contiguous() {
+        let mut h = small();
+        let a = h.alloc(8, true);
+        let b = h.alloc(8, true);
+        assert_eq!(b.0, a.0 + 8);
+        assert_eq!(h.counts().arena_allocs, 2);
+    }
+
+    #[test]
+    fn unpredicted_goes_to_general_heap() {
+        let mut h = small();
+        let a = h.alloc(8, false);
+        assert!(!h.is_arena_addr(a));
+        assert_eq!(h.counts().arena_allocs, 0);
+        h.free(a);
+    }
+
+    #[test]
+    fn oversized_predicted_objects_fall_back() {
+        let mut h = small();
+        let a = h.alloc(100, true); // > 64-byte arena
+        assert!(!h.is_arena_addr(a));
+        assert_eq!(h.counts().arena_overflows, 1);
+    }
+
+    #[test]
+    fn exhausted_arena_resets_an_empty_one() {
+        let mut h = small();
+        // Fill arena 0 with dead objects.
+        for _ in 0..8 {
+            let a = h.alloc(8, true);
+            h.free(a);
+        }
+        // Arena 0 is full but empty of live objects; next alloc that
+        // doesn't fit triggers a scan-and-reset.
+        let before = h.counts().arena_resets;
+        let a = h.alloc(64, true);
+        assert!(h.is_arena_addr(a));
+        assert_eq!(h.counts().arena_resets, before + 1);
+    }
+
+    #[test]
+    fn pinned_arenas_degenerate_to_general_heap() {
+        let mut h = small();
+        // One live object in each arena, both arenas full.
+        let mut pins = Vec::new();
+        for _ in 0..2 {
+            pins.push(h.alloc(8, true));
+            for _ in 0..7 {
+                let a = h.alloc(8, true);
+                h.free(a);
+            }
+        }
+        // Both arenas pinned: this predicted-short alloc overflows.
+        let a = h.alloc(64, true);
+        assert!(!h.is_arena_addr(a));
+        assert!(h.counts().arena_overflows >= 1);
+        for p in pins {
+            h.free(p);
+        }
+    }
+
+    #[test]
+    fn live_count_conservation() {
+        let mut h = small();
+        let mut live = Vec::new();
+        for i in 0..6 {
+            live.push(h.alloc(8, true));
+            if i % 2 == 0 {
+                let a = live.remove(0);
+                h.free(a);
+            }
+        }
+        assert_eq!(h.arena_live_objects(), live.len() as u64);
+        for a in live {
+            h.free(a);
+        }
+        assert_eq!(h.arena_live_objects(), 0);
+    }
+
+    #[test]
+    fn max_heap_includes_arena_area() {
+        let h = ArenaAllocator::new(ArenaConfig::default());
+        assert_eq!(h.max_heap_bytes(), 64 * 1024);
+    }
+
+    #[test]
+    fn default_geometry_matches_paper() {
+        let c = ArenaConfig::default();
+        assert_eq!(c.arena_count, 16);
+        assert_eq!(c.arena_size, 4096);
+        assert_eq!(c.total_bytes(), 64 * 1024);
+    }
+}

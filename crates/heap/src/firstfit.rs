@@ -1,0 +1,386 @@
+//! Knuth's first-fit allocator with boundary tags and a roving pointer.
+
+use crate::counts::OpCounts;
+use crate::Addr;
+use std::collections::BTreeMap;
+
+/// Per-object header bytes (size + status word, boundary tag style).
+pub const HEADER: u64 = 8;
+/// Allocation alignment.
+const ALIGN: u64 = 8;
+/// Smallest splittable remainder (header plus one aligned word).
+const MIN_SPLIT: u64 = 16;
+/// Heap growth quantum — an early-90s `sbrk` page multiple.
+pub const PAGE: u64 = 8192;
+
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    size: u64,
+    free: bool,
+}
+
+/// A simulated first-fit heap (Knuth, TAOCP vol. 1 §2.5), the paper's
+/// baseline allocator and the general heap backing the arena
+/// allocator.
+///
+/// Enhancements per Knuth: boundary tags give O(1) coalescing at free
+/// time, and a *roving pointer* resumes each search where the previous
+/// one ended so small blocks don't accumulate at the front of the free
+/// list. The heap grows in [`PAGE`]-byte increments.
+///
+/// # Examples
+///
+/// ```
+/// use lifepred_heap::FirstFit;
+///
+/// let mut heap = FirstFit::new();
+/// let a = heap.alloc(100);
+/// let b = heap.alloc(200);
+/// heap.free(a);
+/// heap.free(b);
+/// assert_eq!(heap.live_blocks(), 0);
+/// assert!(heap.max_heap_bytes() >= 300);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirstFit {
+    /// Every block (allocated and free), keyed by start address; the
+    /// blocks exactly tile `[base, brk)`.
+    blocks: BTreeMap<u64, Block>,
+    base: u64,
+    brk: u64,
+    max_brk: u64,
+    rover: u64,
+    counts: OpCounts,
+}
+
+impl Default for FirstFit {
+    fn default() -> Self {
+        FirstFit::new()
+    }
+}
+
+impl FirstFit {
+    /// Creates an empty heap based at address 0.
+    pub fn new() -> Self {
+        FirstFit::with_base(0)
+    }
+
+    /// Creates an empty heap based at `base` (used when another
+    /// allocator owns a disjoint part of the address space).
+    pub fn with_base(base: u64) -> Self {
+        FirstFit {
+            blocks: BTreeMap::new(),
+            base,
+            brk: base,
+            max_brk: base,
+            rover: base,
+            counts: OpCounts::default(),
+        }
+    }
+
+    /// Allocates `size` bytes, returning the user address.
+    pub fn alloc(&mut self, size: u32) -> Addr {
+        self.counts.allocs += 1;
+        let need = Self::block_size(size);
+
+        if let Some(addr) = self.search(need) {
+            return self.place(addr, need);
+        }
+        // No fit: grow the heap so the topmost free region fits `need`.
+        let addr = self.grow_for(need);
+        self.place(addr, need)
+    }
+
+    /// Frees the block at `addr` (a value previously returned by
+    /// [`FirstFit::alloc`]), coalescing with free neighbours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a live allocation of this heap.
+    pub fn free(&mut self, addr: Addr) {
+        self.counts.frees += 1;
+        let start = addr.0 - HEADER;
+        {
+            let block = self
+                .blocks
+                .get_mut(&start)
+                .expect("free of unknown address");
+            assert!(!block.free, "double free at {addr}");
+            block.free = true;
+        }
+        let mut start = start;
+        let mut size = self.blocks[&start].size;
+
+        // Coalesce with the next block.
+        let next = start + size;
+        if let Some(&Block { size: nsize, free: true }) = self.blocks.get(&next) {
+            self.blocks.remove(&next);
+            size += nsize;
+            self.blocks.get_mut(&start).expect("block exists").size = size;
+            self.counts.coalesces += 1;
+            if self.rover == next {
+                self.rover = start;
+            }
+        }
+        // Coalesce with the previous block.
+        if let Some((&paddr, &Block { size: psize, free: true })) =
+            self.blocks.range(..start).next_back()
+        {
+            if paddr + psize == start {
+                self.blocks.remove(&start);
+                self.blocks.get_mut(&paddr).expect("block exists").size = psize + size;
+                self.counts.coalesces += 1;
+                if self.rover == start {
+                    self.rover = paddr;
+                }
+                start = paddr;
+            }
+        }
+        let _ = start;
+    }
+
+    /// Current heap extent in bytes.
+    pub fn heap_bytes(&self) -> u64 {
+        self.brk - self.base
+    }
+
+    /// High-water heap extent in bytes (Table 8's measure).
+    pub fn max_heap_bytes(&self) -> u64 {
+        self.max_brk - self.base
+    }
+
+    /// Operation counters.
+    pub fn counts(&self) -> &OpCounts {
+        &self.counts
+    }
+
+    /// Number of currently allocated blocks.
+    pub fn live_blocks(&self) -> usize {
+        self.blocks.values().filter(|b| !b.free).count()
+    }
+
+    /// Bytes in allocated blocks, headers included.
+    pub fn live_bytes(&self) -> u64 {
+        self.blocks
+            .values()
+            .filter(|b| !b.free)
+            .map(|b| b.size)
+            .sum()
+    }
+
+    fn block_size(size: u32) -> u64 {
+        let need = u64::from(size) + HEADER;
+        let rounded = need.div_ceil(ALIGN) * ALIGN;
+        rounded.max(MIN_SPLIT)
+    }
+
+    /// First-fit search from the roving pointer, wrapping once.
+    fn search(&mut self, need: u64) -> Option<u64> {
+        let rover = self.rover;
+        let mut found = None;
+        for (&addr, block) in self.blocks.range(rover..) {
+            if block.free {
+                self.counts.search_steps += 1;
+                if block.size >= need {
+                    found = Some(addr);
+                    break;
+                }
+            }
+        }
+        if found.is_none() {
+            for (&addr, block) in self.blocks.range(..rover) {
+                if block.free {
+                    self.counts.search_steps += 1;
+                    if block.size >= need {
+                        found = Some(addr);
+                        break;
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    /// Allocates `need` bytes from the free block at `addr`, splitting
+    /// if the remainder is usable.
+    fn place(&mut self, addr: u64, need: u64) -> Addr {
+        let block = self.blocks[&addr];
+        debug_assert!(block.free && block.size >= need);
+        if block.size - need >= MIN_SPLIT {
+            self.blocks.insert(
+                addr + need,
+                Block {
+                    size: block.size - need,
+                    free: true,
+                },
+            );
+            self.blocks.insert(addr, Block { size: need, free: false });
+            self.counts.splits += 1;
+        } else {
+            self.blocks.get_mut(&addr).expect("block exists").free = false;
+        }
+        // Resume the next search after this block.
+        self.rover = addr + need;
+        if self.blocks.range(self.rover..).next().is_none() {
+            self.rover = self.base;
+        }
+        Addr(addr + HEADER)
+    }
+
+    /// Extends the heap until its topmost free block holds `need`
+    /// bytes, returning that block's address.
+    fn grow_for(&mut self, need: u64) -> u64 {
+        // Is the topmost block free? Then extend it, else append.
+        let top = self.blocks.iter().next_back().map(|(&a, b)| (a, *b));
+        let (start, existing) = match top {
+            Some((addr, block)) if block.free && addr + block.size == self.brk => {
+                (addr, block.size)
+            }
+            _ => (self.brk, 0),
+        };
+        let missing = need - existing;
+        let grow = missing.div_ceil(PAGE) * PAGE;
+        self.counts.page_grows += grow / PAGE;
+        self.brk += grow;
+        self.max_brk = self.max_brk.max(self.brk);
+        self.blocks.insert(
+            start,
+            Block {
+                size: existing + grow,
+                free: true,
+            },
+        );
+        start
+    }
+
+    /// Verifies the structural invariants of the heap; used by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if blocks do not exactly tile `[base, brk)` or two free
+    /// blocks are adjacent.
+    pub fn check_invariants(&self) {
+        let mut expected = self.base;
+        let mut prev_free = false;
+        for (&addr, block) in &self.blocks {
+            assert_eq!(addr, expected, "gap or overlap at 0x{addr:x}");
+            assert!(block.size > 0, "empty block at 0x{addr:x}");
+            assert!(
+                !(prev_free && block.free),
+                "uncoalesced free blocks at 0x{addr:x}"
+            );
+            prev_free = block.free;
+            expected = addr + block.size;
+        }
+        assert_eq!(expected, self.brk, "blocks do not reach brk");
+        assert!(self.max_brk >= self.brk);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip() {
+        let mut h = FirstFit::new();
+        let a = h.alloc(100);
+        let b = h.alloc(50);
+        assert_ne!(a, b);
+        h.check_invariants();
+        h.free(a);
+        h.free(b);
+        h.check_invariants();
+        assert_eq!(h.live_blocks(), 0);
+        // Everything coalesced back into one block.
+        assert_eq!(h.blocks.len(), 1);
+    }
+
+    #[test]
+    fn reuses_freed_space() {
+        let mut h = FirstFit::new();
+        let a = h.alloc(1000);
+        h.free(a);
+        let before = h.max_heap_bytes();
+        for _ in 0..100 {
+            let x = h.alloc(1000);
+            h.free(x);
+        }
+        assert_eq!(h.max_heap_bytes(), before, "heap should not grow");
+    }
+
+    #[test]
+    fn grows_in_pages() {
+        let mut h = FirstFit::new();
+        let _ = h.alloc(1);
+        assert_eq!(h.heap_bytes(), PAGE);
+        let _ = h.alloc(3 * PAGE as u32);
+        assert_eq!(h.heap_bytes() % PAGE, 0);
+    }
+
+    #[test]
+    fn splits_large_blocks() {
+        let mut h = FirstFit::new();
+        let a = h.alloc(4000);
+        h.free(a);
+        let _b = h.alloc(100);
+        assert!(h.counts().splits >= 1);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn coalesces_both_neighbours() {
+        let mut h = FirstFit::new();
+        let a = h.alloc(100);
+        let b = h.alloc(100);
+        let c = h.alloc(100);
+        h.free(a);
+        h.free(c);
+        h.free(b); // coalesces with both a and c
+        h.check_invariants();
+        assert!(h.counts().coalesces >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut h = FirstFit::new();
+        let a = h.alloc(8);
+        h.free(a);
+        h.free(a);
+    }
+
+    #[test]
+    fn addresses_are_aligned() {
+        let mut h = FirstFit::new();
+        for size in [1u32, 7, 13, 100, 255] {
+            let a = h.alloc(size);
+            assert_eq!(a.0 % ALIGN, 0, "unaligned address for size {size}");
+        }
+    }
+
+    #[test]
+    fn interleaved_stress_preserves_invariants() {
+        let mut h = FirstFit::new();
+        let mut live = Vec::new();
+        let mut x = 12345u64;
+        for i in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let r = (x >> 33) as usize;
+            if live.is_empty() || !r.is_multiple_of(3) {
+                live.push(h.alloc((r % 500 + 1) as u32));
+            } else {
+                let idx = r % live.len();
+                h.free(live.swap_remove(idx));
+            }
+            if i % 256 == 0 {
+                h.check_invariants();
+            }
+        }
+        for a in live {
+            h.free(a);
+        }
+        h.check_invariants();
+        assert_eq!(h.live_blocks(), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Trace-driven simulation: replaying traces through the allocators.
+
+use crate::arena::{ArenaAllocator, ArenaConfig};
+use crate::bsd::BsdMalloc;
+use crate::counts::OpCounts;
+use crate::firstfit::FirstFit;
+use crate::Addr;
+use lifepred_core::{ShortLivedSet, SiteExtractor};
+use lifepred_trace::{EventKind, Trace};
+
+/// Configuration for a replay run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayConfig {
+    /// Arena geometry for [`replay_arena`].
+    pub arena: ArenaConfig,
+}
+
+/// Results of replaying one trace through one allocator — the raw
+/// material for Tables 7, 8 and 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayReport {
+    /// Program name from the trace.
+    pub program: String,
+    /// Which allocator produced this report.
+    pub allocator: String,
+    /// Allocations replayed.
+    pub total_allocs: u64,
+    /// Bytes allocated.
+    pub total_bytes: u64,
+    /// Allocations served from the arena area (zero for the
+    /// non-predicting allocators).
+    pub arena_allocs: u64,
+    /// Bytes served from the arena area.
+    pub arena_bytes: u64,
+    /// High-water heap size, arena area included where applicable.
+    pub max_heap_bytes: u64,
+    /// Operation counters for the cost model.
+    pub counts: OpCounts,
+    /// Function calls in the original execution (amortizes call-chain
+    /// encryption cost in Table 9).
+    pub function_calls: u64,
+}
+
+impl ReplayReport {
+    /// Percentage of allocations that landed in arenas (Table 7).
+    pub fn arena_alloc_pct(&self) -> f64 {
+        pct(self.arena_allocs, self.total_allocs)
+    }
+
+    /// Percentage of bytes that landed in arenas (Table 7).
+    pub fn arena_byte_pct(&self) -> f64 {
+        pct(self.arena_bytes, self.total_bytes)
+    }
+
+    /// Percentage of allocations served by the general heap.
+    pub fn non_arena_alloc_pct(&self) -> f64 {
+        100.0 - self.arena_alloc_pct()
+    }
+
+    /// Percentage of bytes served by the general heap.
+    pub fn non_arena_byte_pct(&self) -> f64 {
+        100.0 - self.arena_byte_pct()
+    }
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// Replays `trace` through the first-fit allocator (the paper's
+/// baseline for Table 8).
+pub fn replay_firstfit(trace: &Trace, _config: &ReplayConfig) -> ReplayReport {
+    let mut heap = FirstFit::new();
+    let mut addrs: Vec<Option<Addr>> = vec![None; trace.records().len()];
+    for event in trace.events() {
+        match event.kind {
+            EventKind::Alloc => {
+                addrs[event.record] = Some(heap.alloc(trace.records()[event.record].size));
+            }
+            EventKind::Free => {
+                let addr = addrs[event.record].take().expect("free before alloc");
+                heap.free(addr);
+            }
+        }
+    }
+    ReplayReport {
+        program: trace.name().to_owned(),
+        allocator: "first-fit".to_owned(),
+        total_allocs: trace.stats().total_objects,
+        total_bytes: trace.stats().total_bytes,
+        arena_allocs: 0,
+        arena_bytes: 0,
+        max_heap_bytes: heap.max_heap_bytes(),
+        counts: *heap.counts(),
+        function_calls: trace.stats().function_calls,
+    }
+}
+
+/// Replays `trace` through the BSD bucket allocator (the Table 9 CPU
+/// baseline).
+pub fn replay_bsd(trace: &Trace, _config: &ReplayConfig) -> ReplayReport {
+    let mut heap = BsdMalloc::new();
+    let mut addrs: Vec<Option<Addr>> = vec![None; trace.records().len()];
+    for event in trace.events() {
+        match event.kind {
+            EventKind::Alloc => {
+                addrs[event.record] = Some(heap.alloc(trace.records()[event.record].size));
+            }
+            EventKind::Free => {
+                let addr = addrs[event.record].take().expect("free before alloc");
+                heap.free(addr);
+            }
+        }
+    }
+    ReplayReport {
+        program: trace.name().to_owned(),
+        allocator: "bsd".to_owned(),
+        total_allocs: trace.stats().total_objects,
+        total_bytes: trace.stats().total_bytes,
+        arena_allocs: 0,
+        arena_bytes: 0,
+        max_heap_bytes: heap.max_heap_bytes(),
+        counts: *heap.counts(),
+        function_calls: trace.stats().function_calls,
+    }
+}
+
+/// Replays `trace` through the lifetime-predicting arena allocator,
+/// consulting the trained database `db` for every allocation — the
+/// simulation behind Tables 7 and 8.
+pub fn replay_arena(trace: &Trace, db: &ShortLivedSet, config: &ReplayConfig) -> ReplayReport {
+    let mut heap = ArenaAllocator::new(config.arena);
+    // Precompute per-record predictions: this is the hash-table lookup
+    // the deployed allocator would perform at each allocation.
+    let mut extractor = SiteExtractor::new(trace, *db.config());
+    let predicted: Vec<bool> = trace
+        .records()
+        .iter()
+        .map(|r| db.predicts(&extractor.site_of(r)))
+        .collect();
+
+    let mut addrs: Vec<Option<Addr>> = vec![None; trace.records().len()];
+    let (mut arena_allocs, mut arena_bytes) = (0u64, 0u64);
+    for event in trace.events() {
+        match event.kind {
+            EventKind::Alloc => {
+                let size = trace.records()[event.record].size;
+                let addr = heap.alloc(size, predicted[event.record]);
+                if heap.is_arena_addr(addr) {
+                    arena_allocs += 1;
+                    arena_bytes += u64::from(size);
+                }
+                addrs[event.record] = Some(addr);
+            }
+            EventKind::Free => {
+                let addr = addrs[event.record].take().expect("free before alloc");
+                heap.free(addr);
+            }
+        }
+    }
+    ReplayReport {
+        program: trace.name().to_owned(),
+        allocator: "arena".to_owned(),
+        total_allocs: trace.stats().total_objects,
+        total_bytes: trace.stats().total_bytes,
+        arena_allocs,
+        arena_bytes,
+        max_heap_bytes: heap.max_heap_bytes(),
+        counts: heap.counts(),
+        function_calls: trace.stats().function_calls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifepred_core::{train, Profile, SiteConfig, TrainConfig, DEFAULT_THRESHOLD};
+    use lifepred_trace::TraceSession;
+
+    /// Mostly short-lived allocations from one site plus a set of
+    /// long-lived allocations from another.
+    fn workload() -> Trace {
+        let s = TraceSession::new("replay-test");
+        let mut kept = Vec::new();
+        {
+            let _g = s.enter("long_site");
+            for _ in 0..20 {
+                kept.push(s.alloc(128));
+            }
+        }
+        {
+            let _g = s.enter("short_site");
+            for _ in 0..2000 {
+                let a = s.alloc(48);
+                let b = s.alloc(16);
+                s.free(a);
+                s.free(b);
+            }
+        }
+        for id in kept {
+            s.free(id);
+        }
+        s.finish()
+    }
+
+    fn trained(trace: &Trace) -> ShortLivedSet {
+        let p = Profile::build(trace, &SiteConfig::default(), DEFAULT_THRESHOLD);
+        train(&p, &TrainConfig::default())
+    }
+
+    #[test]
+    fn firstfit_replay_counts_everything() {
+        let t = workload();
+        let r = replay_firstfit(&t, &ReplayConfig::default());
+        assert_eq!(r.total_allocs, t.stats().total_objects);
+        assert_eq!(r.counts.allocs, r.total_allocs);
+        assert_eq!(r.counts.frees, r.total_allocs); // everything freed
+        assert_eq!(r.arena_allocs, 0);
+        assert!(r.max_heap_bytes > 0);
+    }
+
+    #[test]
+    fn arena_replay_puts_short_objects_in_arenas() {
+        let t = workload();
+        let db = trained(&t);
+        let r = replay_arena(&t, &db, &ReplayConfig::default());
+        // The 4000 short-lived allocations dominate.
+        assert!(
+            r.arena_alloc_pct() > 95.0,
+            "arena alloc pct {}",
+            r.arena_alloc_pct()
+        );
+        assert!(r.arena_byte_pct() > 90.0);
+        assert!(r.counts.arena_resets > 0, "arenas must recycle");
+    }
+
+    #[test]
+    fn empty_database_degenerates_to_firstfit_heap() {
+        let t = workload();
+        let db = ShortLivedSet::empty(SiteConfig::default(), DEFAULT_THRESHOLD);
+        let ra = replay_arena(&t, &db, &ReplayConfig::default());
+        let rf = replay_firstfit(&t, &ReplayConfig::default());
+        assert_eq!(ra.arena_allocs, 0);
+        // Same general-heap demands, plus the 64 KB arena area.
+        assert_eq!(
+            ra.max_heap_bytes,
+            rf.max_heap_bytes + ReplayConfig::default().arena.total_bytes()
+        );
+    }
+
+    #[test]
+    fn arena_heap_can_beat_firstfit_for_large_heaps() {
+        // Interleave short-lived objects with long-lived ones so the
+        // first-fit heap fragments, then compare high-water marks.
+        let s = TraceSession::new("frag");
+        let mut kept = Vec::new();
+        {
+            let _g = s.enter("mix");
+            for i in 0..3000 {
+                let short = s.alloc(256);
+                if i % 10 == 0 {
+                    let _g2 = s.enter("keeper");
+                    kept.push(s.alloc(64));
+                }
+                s.free(short);
+            }
+        }
+        for id in kept {
+            s.free(id);
+        }
+        let t = s.finish();
+        let db = trained(&t);
+        let ra = replay_arena(&t, &db, &ReplayConfig::default());
+        let rf = replay_firstfit(&t, &ReplayConfig::default());
+        // The short-lived objects all fit in the arena area, so the
+        // general heap only holds the long-lived survivors.
+        assert!(ra.counts.arena_allocs > 0);
+        assert!(
+            ra.max_heap_bytes <= rf.max_heap_bytes + ReplayConfig::default().arena.total_bytes()
+        );
+    }
+
+    #[test]
+    fn bsd_replay_reuses_buckets() {
+        let t = workload();
+        let r = replay_bsd(&t, &ReplayConfig::default());
+        assert!(r.counts.bucket_pops > r.counts.page_carves);
+    }
+
+    #[test]
+    fn percentages_are_consistent() {
+        let t = workload();
+        let db = trained(&t);
+        let r = replay_arena(&t, &db, &ReplayConfig::default());
+        assert!((r.arena_alloc_pct() + r.non_arena_alloc_pct() - 100.0).abs() < 1e-9);
+        assert!((r.arena_byte_pct() + r.non_arena_byte_pct() - 100.0).abs() < 1e-9);
+    }
+}

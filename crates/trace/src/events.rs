@@ -1,0 +1,99 @@
+//! Replay event streams: the interleaved alloc/free sequence of a trace.
+
+use crate::record::ObjectId;
+use crate::session::Trace;
+
+/// What happened at one point in the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An object was allocated.
+    Alloc,
+    /// An object was deallocated.
+    Free,
+}
+
+/// One allocation or deallocation event, in trace order.
+///
+/// `record` indexes into [`Trace::records`]; the record carries the
+/// size and call-chain needed by the heap simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number of the event.
+    pub seq: u64,
+    /// Allocation or deallocation.
+    pub kind: EventKind,
+    /// Index of the associated record in [`Trace::records`].
+    pub record: usize,
+    /// The object involved.
+    pub object: ObjectId,
+}
+
+impl Trace {
+    /// The interleaved alloc/free event stream, in program order.
+    ///
+    /// Heap simulators replay this stream to reproduce exactly the
+    /// sequence of demands the traced program placed on its allocator.
+    pub fn events(&self) -> Vec<Event> {
+        let mut events = Vec::with_capacity(self.records().len() * 2);
+        for (idx, r) in self.records().iter().enumerate() {
+            events.push(Event {
+                seq: r.birth_seq,
+                kind: EventKind::Alloc,
+                record: idx,
+                object: r.object,
+            });
+            if let Some(death_seq) = r.death_seq {
+                events.push(Event {
+                    seq: death_seq,
+                    kind: EventKind::Free,
+                    record: idx,
+                    object: r.object,
+                });
+            }
+        }
+        events.sort_unstable_by_key(|e| e.seq);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::TraceSession;
+
+    #[test]
+    fn events_interleave_in_program_order() {
+        let s = TraceSession::new("t");
+        let a = s.alloc(1); // seq 0
+        let b = s.alloc(2); // seq 1
+        s.free(a); // seq 2
+        let c = s.alloc(3); // seq 3
+        s.free(c); // seq 4
+        s.free(b); // seq 5
+        let t = s.finish();
+        let ev = t.events();
+        let kinds: Vec<EventKind> = ev.iter().map(|e| e.kind).collect();
+        use EventKind::*;
+        assert_eq!(kinds, vec![Alloc, Alloc, Free, Alloc, Free, Free]);
+        assert_eq!(ev[2].object, t.records()[0].object);
+        // Sequence numbers are dense and ordered.
+        for (i, e) in ev.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn immortal_objects_emit_no_free() {
+        let s = TraceSession::new("t");
+        s.alloc(8);
+        let b = s.alloc(8);
+        s.free(b);
+        let t = s.finish();
+        let ev = t.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(
+            ev.iter().filter(|e| e.kind == EventKind::Free).count(),
+            1
+        );
+    }
+}

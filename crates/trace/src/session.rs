@@ -1,0 +1,536 @@
+//! The recording session: shadow stack + allocation recorder.
+
+use crate::chain::{CallChain, ChainId, ChainTable};
+use crate::record::{AllocationRecord, ObjectId};
+use crate::registry::{FnId, FunctionRegistry, SharedRegistry};
+use crate::stats::TraceStats;
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+
+/// Instruction cost charged per traced function call (call + return +
+/// frame bookkeeping on a RISC target).
+const CALL_INSTRUCTIONS: u64 = 3;
+
+/// Fraction of `work` instructions that are non-heap memory references
+/// (stack and globals), expressed as a divisor.
+const WORK_REF_DIVISOR: u64 = 4;
+
+#[derive(Debug)]
+struct Inner {
+    name: String,
+    stack: Vec<FnId>,
+    chains: ChainTable,
+    records: Vec<AllocationRecord>,
+    clock: u64,
+    seq: u64,
+    live_bytes: u64,
+    live_objects: u64,
+    stats: TraceStats,
+    finished: bool,
+}
+
+/// A single-threaded tracing session.
+///
+/// The session is a cheaply cloneable handle (the paper's programs are
+/// sequential; so are our workloads). Workloads:
+///
+/// * bracket every function body with [`TraceSession::enter`], which
+///   maintains the shadow call-stack;
+/// * allocate with [`TraceSession::alloc`] (or the RAII
+///   [`TraceSession::traced`] wrapper) and free with
+///   [`TraceSession::free`];
+/// * report heap references with [`TraceSession::touch`] and
+///   computational work with [`TraceSession::work`].
+///
+/// [`TraceSession::finish`] produces the immutable [`Trace`].
+///
+/// # Examples
+///
+/// ```
+/// use lifepred_trace::TraceSession;
+///
+/// let s = TraceSession::new("example");
+/// let _g = s.enter("main");
+/// let id = s.alloc(64);
+/// s.free(id);
+/// let trace = s.finish();
+/// assert_eq!(trace.stats().total_bytes, 64);
+/// ```
+#[derive(Clone)]
+pub struct TraceSession {
+    inner: Rc<RefCell<Inner>>,
+    registry: SharedRegistry,
+}
+
+impl std::fmt::Debug for TraceSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("TraceSession")
+            .field("name", &inner.name)
+            .field("objects", &inner.records.len())
+            .field("clock", &inner.clock)
+            .finish()
+    }
+}
+
+impl TraceSession {
+    /// Starts a session with a private function registry.
+    pub fn new(name: &str) -> Self {
+        TraceSession::with_registry(name, Rc::new(RefCell::new(FunctionRegistry::new())))
+    }
+
+    /// Starts a session sharing `registry` with other runs of the same
+    /// program, so allocation sites map across runs (true prediction).
+    pub fn with_registry(name: &str, registry: SharedRegistry) -> Self {
+        TraceSession {
+            inner: Rc::new(RefCell::new(Inner {
+                name: name.to_owned(),
+                stack: Vec::with_capacity(64),
+                chains: ChainTable::new(),
+                records: Vec::new(),
+                clock: 0,
+                seq: 0,
+                live_bytes: 0,
+                live_objects: 0,
+                stats: TraceStats::default(),
+                finished: false,
+            })),
+            registry,
+        }
+    }
+
+    /// The shared function registry.
+    pub fn registry(&self) -> &SharedRegistry {
+        &self.registry
+    }
+
+    /// Pushes `function` onto the shadow stack, returning a guard that
+    /// pops it when dropped.
+    pub fn enter(&self, function: &str) -> CallGuard {
+        let id = self.registry.borrow_mut().intern(function);
+        let mut inner = self.inner.borrow_mut();
+        inner.stack.push(id);
+        inner.stats.function_calls += 1;
+        inner.stats.instructions += CALL_INSTRUCTIONS;
+        CallGuard {
+            session: self.inner.clone(),
+            expected: id,
+        }
+    }
+
+    /// Records an allocation of `size` bytes at the current call-chain.
+    ///
+    /// Advances the byte clock by `size`, so an object freed with no
+    /// intervening allocations has lifetime `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is already finished.
+    pub fn alloc(&self, size: u32) -> ObjectId {
+        let mut inner = self.inner.borrow_mut();
+        assert!(!inner.finished, "alloc on a finished session");
+        let chain = {
+            let stack = std::mem::take(&mut inner.stack);
+            let id = inner.chains.intern(&stack);
+            inner.stack = stack;
+            id
+        };
+        let object = ObjectId(inner.records.len() as u64);
+        let record = AllocationRecord {
+            object,
+            size,
+            chain,
+            birth_clock: inner.clock,
+            death_clock: None,
+            birth_seq: inner.seq,
+            death_seq: None,
+            refs: 0,
+        };
+        inner.records.push(record);
+        inner.seq += 1;
+        inner.clock += u64::from(size);
+        inner.live_bytes += u64::from(size);
+        inner.live_objects += 1;
+        inner.stats.total_bytes += u64::from(size);
+        inner.stats.total_objects += 1;
+        if inner.live_bytes > inner.stats.max_live_bytes {
+            inner.stats.max_live_bytes = inner.live_bytes;
+        }
+        if inner.live_objects > inner.stats.max_live_objects {
+            inner.stats.max_live_objects = inner.live_objects;
+        }
+        object
+    }
+
+    /// Records the deallocation of `object`.
+    ///
+    /// Frees after [`TraceSession::finish`] are ignored so that RAII
+    /// wrappers may outlive the session.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free.
+    pub fn free(&self, object: ObjectId) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.finished {
+            return;
+        }
+        let (clock, seq) = (inner.clock, inner.seq);
+        let record = &mut inner.records[object.0 as usize];
+        assert!(record.death_clock.is_none(), "double free of {object}");
+        record.death_clock = Some(clock);
+        record.death_seq = Some(seq);
+        let size = u64::from(record.size);
+        inner.seq += 1;
+        inner.live_bytes -= size;
+        inner.live_objects -= 1;
+    }
+
+    /// Records `n` heap references to `object` (counted as `n`
+    /// instructions as well).
+    pub fn touch(&self, object: ObjectId, n: u64) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.finished {
+            return;
+        }
+        inner.records[object.0 as usize].refs += n;
+        inner.stats.heap_refs += n;
+        inner.stats.instructions += n;
+    }
+
+    /// Records `n` virtual instructions of non-allocating work; a
+    /// quarter of them are charged as non-heap memory references.
+    pub fn work(&self, n: u64) {
+        let mut inner = self.inner.borrow_mut();
+        inner.stats.instructions += n;
+        inner.stats.other_refs += n / WORK_REF_DIVISOR;
+    }
+
+    /// Wraps `value` in a [`Traced`] smart pointer that frees its
+    /// record when dropped. `size` is the number of heap bytes the
+    /// corresponding C allocation would have requested.
+    pub fn traced<T>(&self, value: T, size: u32) -> Traced<T> {
+        Traced {
+            id: self.alloc(size),
+            session: self.clone(),
+            value: Some(value),
+        }
+    }
+
+    /// Current byte clock (total bytes allocated so far).
+    pub fn clock(&self) -> u64 {
+        self.inner.borrow().clock
+    }
+
+    /// Number of objects allocated so far.
+    pub fn objects(&self) -> u64 {
+        self.inner.borrow().records.len() as u64
+    }
+
+    /// Current shadow-stack depth.
+    pub fn depth(&self) -> usize {
+        self.inner.borrow().stack.len()
+    }
+
+    /// Finishes the session, producing the immutable [`Trace`].
+    ///
+    /// Objects still live become *immortal* records whose lifetime runs
+    /// to the end of the trace. Outstanding [`Traced`] values and
+    /// clones of the session remain valid; their frees become no-ops.
+    pub fn finish(&self) -> Trace {
+        let mut inner = self.inner.borrow_mut();
+        inner.finished = true;
+        Trace {
+            name: inner.name.clone(),
+            registry: self.registry.borrow().clone(),
+            chains: std::mem::take(&mut inner.chains),
+            records: std::mem::take(&mut inner.records),
+            stats: inner.stats,
+            end_clock: inner.clock,
+            end_seq: inner.seq,
+        }
+    }
+}
+
+/// RAII guard returned by [`TraceSession::enter`]; pops its frame from
+/// the shadow stack on drop.
+#[derive(Debug)]
+pub struct CallGuard {
+    session: Rc<RefCell<Inner>>,
+    expected: FnId,
+}
+
+impl Drop for CallGuard {
+    fn drop(&mut self) {
+        let mut inner = self.session.borrow_mut();
+        let popped = inner.stack.pop();
+        debug_assert_eq!(
+            popped,
+            Some(self.expected),
+            "shadow stack imbalance: popped {popped:?}, expected {:?}",
+            self.expected
+        );
+    }
+}
+
+/// A traced smart pointer: owns `T` and frees its allocation record on
+/// drop.
+///
+/// Follows the smart-pointer convention: all operations are associated
+/// functions so they never shadow methods of `T`.
+///
+/// # Examples
+///
+/// ```
+/// use lifepred_trace::{TraceSession, Traced};
+///
+/// let s = TraceSession::new("demo");
+/// {
+///     let v: Traced<Vec<u8>> = s.traced(vec![0u8; 32], 32);
+///     Traced::touch(&v, 4);
+///     assert_eq!(v.len(), 32); // Deref to the payload
+/// } // dropped here => free event recorded
+/// let trace = s.finish();
+/// assert_eq!(trace.records()[0].refs, 4);
+/// ```
+pub struct Traced<T> {
+    /// `None` only after `into_inner` extracted the payload.
+    value: Option<T>,
+    id: ObjectId,
+    session: TraceSession,
+}
+
+impl<T> Traced<T> {
+    /// The traced object's id.
+    pub fn id(this: &Traced<T>) -> ObjectId {
+        this.id
+    }
+
+    /// Records `n` heap references to the object.
+    pub fn touch(this: &Traced<T>, n: u64) {
+        this.session.touch(this.id, n);
+    }
+
+    /// Consumes the wrapper, freeing the trace record now and
+    /// returning the payload.
+    pub fn into_inner(mut this: Traced<T>) -> T {
+        this.session.free(this.id);
+        this.value.take().expect("payload already extracted")
+    }
+}
+
+impl<T> Deref for Traced<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("payload already extracted")
+    }
+}
+
+impl<T> DerefMut for Traced<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("payload already extracted")
+    }
+}
+
+impl<T> Drop for Traced<T> {
+    fn drop(&mut self) {
+        if self.value.is_some() {
+            self.session.free(self.id);
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Traced<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Traced")
+            .field("id", &self.id)
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+/// A finished, immutable allocation trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    name: String,
+    registry: FunctionRegistry,
+    chains: ChainTable,
+    records: Vec<AllocationRecord>,
+    stats: TraceStats,
+    end_clock: u64,
+    end_seq: u64,
+}
+
+impl Trace {
+    /// The traced program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Snapshot of the function registry at finish time.
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// The interned call-chains referenced by the records.
+    pub fn chains(&self) -> &ChainTable {
+        &self.chains
+    }
+
+    /// Resolves a record's chain id.
+    pub fn chain(&self, id: ChainId) -> &CallChain {
+        self.chains.get(id)
+    }
+
+    /// All allocation records, in birth order.
+    pub fn records(&self) -> &[AllocationRecord] {
+        &self.records
+    }
+
+    /// Aggregate statistics (the paper's Table 2 row).
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// Byte clock at end of trace (== `stats().total_bytes`).
+    pub fn end_clock(&self) -> u64 {
+        self.end_clock
+    }
+
+    /// Event sequence count at end of trace.
+    pub fn end_seq(&self) -> u64 {
+        self.end_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_birth_and_death_clocks() {
+        let s = TraceSession::new("t");
+        let a = s.alloc(10);
+        let b = s.alloc(20);
+        s.free(a); // clock is 30 now
+        s.free(b);
+        let t = s.finish();
+        let (ra, rb) = (&t.records()[0], &t.records()[1]);
+        assert_eq!(ra.birth_clock, 0);
+        assert_eq!(ra.death_clock, Some(30));
+        assert_eq!(ra.lifetime(t.end_clock()), 30);
+        assert_eq!(rb.birth_clock, 10);
+        assert_eq!(rb.lifetime(t.end_clock()), 20);
+    }
+
+    #[test]
+    fn shadow_stack_shapes_chains() {
+        let s = TraceSession::new("t");
+        let obj;
+        {
+            let _a = s.enter("outer");
+            let _b = s.enter("inner");
+            obj = s.alloc(8);
+        }
+        assert_eq!(s.depth(), 0);
+        let t = s.finish();
+        let chain = t.chain(t.records()[0].chain);
+        let reg = t.registry();
+        assert_eq!(chain.display(reg).to_string(), "outer>inner");
+        let _ = obj;
+    }
+
+    #[test]
+    fn max_live_tracking() {
+        let s = TraceSession::new("t");
+        let a = s.alloc(100);
+        let b = s.alloc(50);
+        s.free(a);
+        let _c = s.alloc(10);
+        s.free(b);
+        let t = s.finish();
+        assert_eq!(t.stats().max_live_bytes, 150);
+        assert_eq!(t.stats().max_live_objects, 2);
+        assert_eq!(t.stats().total_bytes, 160);
+        assert_eq!(t.stats().total_objects, 3);
+    }
+
+    #[test]
+    fn immortal_objects_survive_finish() {
+        let s = TraceSession::new("t");
+        let _leaked = s.alloc(64);
+        s.alloc(36); // also leaked
+        let t = s.finish();
+        assert!(t.records().iter().all(AllocationRecord::is_immortal));
+        assert_eq!(t.records()[0].lifetime(t.end_clock()), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let s = TraceSession::new("t");
+        let a = s.alloc(8);
+        s.free(a);
+        s.free(a);
+    }
+
+    #[test]
+    fn traced_wrapper_frees_on_drop() {
+        let s = TraceSession::new("t");
+        {
+            let w = s.traced(String::from("hello"), 6);
+            Traced::touch(&w, 2);
+            assert_eq!(&**w, "hello");
+        }
+        let t = s.finish();
+        assert_eq!(t.records()[0].death_seq, Some(1));
+        assert_eq!(t.records()[0].refs, 2);
+    }
+
+    #[test]
+    fn frees_after_finish_are_ignored() {
+        let s = TraceSession::new("t");
+        let w = s.traced(7u32, 4);
+        let t = s.finish();
+        drop(w); // must not panic
+        assert!(t.records()[0].is_immortal());
+    }
+
+    #[test]
+    fn shared_registry_maps_sites_across_runs() {
+        let reg = Rc::new(RefCell::new(FunctionRegistry::new()));
+        let s1 = TraceSession::with_registry("run1", reg.clone());
+        {
+            let _g = s1.enter("worker");
+            s1.alloc(8);
+        }
+        let t1 = s1.finish();
+        let s2 = TraceSession::with_registry("run2", reg);
+        {
+            let _g = s2.enter("worker");
+            s2.alloc(8);
+        }
+        let t2 = s2.finish();
+        let c1 = t1.chain(t1.records()[0].chain);
+        let c2 = t2.chain(t2.records()[0].chain);
+        assert_eq!(c1.frames(), c2.frames());
+    }
+
+    #[test]
+    fn stats_count_calls_and_refs() {
+        let s = TraceSession::new("t");
+        {
+            let _g = s.enter("f");
+            let a = s.alloc(8);
+            s.touch(a, 10);
+            s.work(40);
+        }
+        let t = s.finish();
+        assert_eq!(t.stats().function_calls, 1);
+        assert_eq!(t.stats().heap_refs, 10);
+        assert_eq!(t.stats().other_refs, 10);
+        assert_eq!(t.stats().heap_ref_pct(), 50.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests over random session scripts: the tracer's clocks,
+//! stats and event streams must stay consistent for any program shape.
+
+use lifepred_trace::{EventKind, ObjectId, TraceSession};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Action {
+    Enter(u8),
+    Leave,
+    Alloc(u32),
+    /// Free the live object at index % len.
+    Free(usize),
+    Touch(usize, u8),
+}
+
+fn actions() -> impl Strategy<Value = Vec<Action>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..8).prop_map(Action::Enter),
+            Just(Action::Leave),
+            (1u32..5000).prop_map(Action::Alloc),
+            (0usize..512).prop_map(Action::Free),
+            ((0usize..512), (1u8..20)).prop_map(|(i, n)| Action::Touch(i, n)),
+        ],
+        0..300,
+    )
+}
+
+/// Interprets a script; guards are managed as a stack of scopes.
+fn run(script: &[Action]) -> (lifepred_trace::Trace, usize) {
+    let session = TraceSession::new("prop");
+    let mut guards = Vec::new();
+    let mut live: Vec<ObjectId> = Vec::new();
+    let mut freed = 0usize;
+    for a in script {
+        match a {
+            Action::Enter(n) => guards.push(session.enter(&format!("f{n}"))),
+            Action::Leave => {
+                guards.pop();
+            }
+            Action::Alloc(size) => live.push(session.alloc(*size)),
+            Action::Free(i) => {
+                if !live.is_empty() {
+                    let id = live.swap_remove(i % live.len());
+                    session.free(id);
+                    freed += 1;
+                }
+            }
+            Action::Touch(i, n) => {
+                if !live.is_empty() {
+                    session.touch(live[i % live.len()], u64::from(*n));
+                }
+            }
+        }
+    }
+    // Unwind remaining scopes innermost-first (Vec's Drop would run
+    // front-to-back, violating the stack discipline).
+    while guards.pop().is_some() {}
+    (session.finish(), freed)
+}
+
+proptest! {
+    /// The byte clock equals the sum of all sizes; totals agree.
+    #[test]
+    fn clock_and_totals_consistent(script in actions()) {
+        let (trace, _) = run(&script);
+        let sum: u64 = trace.records().iter().map(|r| u64::from(r.size)).sum();
+        prop_assert_eq!(trace.end_clock(), sum);
+        prop_assert_eq!(trace.stats().total_bytes, sum);
+        prop_assert_eq!(trace.stats().total_objects, trace.records().len() as u64);
+    }
+
+    /// Deaths never precede births, and lifetimes are consistent with
+    /// the clock bounds.
+    #[test]
+    fn lifetimes_well_ordered(script in actions()) {
+        let (trace, _) = run(&script);
+        let end = trace.end_clock();
+        for r in trace.records() {
+            if let Some(d) = r.death_clock {
+                prop_assert!(d >= r.birth_clock + u64::from(r.size),
+                    "death before own allocation completed");
+                prop_assert!(d <= end);
+            }
+            prop_assert!(r.lifetime(end) <= end);
+            prop_assert!(r.lifetime(end) >= u64::from(r.size) || r.is_immortal());
+        }
+    }
+
+    /// The event stream has one alloc per record, one free per freed
+    /// record, in strictly increasing sequence order, and every free
+    /// follows its alloc.
+    #[test]
+    fn event_stream_well_formed(script in actions()) {
+        let (trace, freed) = run(&script);
+        let events = trace.events();
+        let allocs = events.iter().filter(|e| e.kind == EventKind::Alloc).count();
+        let frees = events.iter().filter(|e| e.kind == EventKind::Free).count();
+        prop_assert_eq!(allocs, trace.records().len());
+        prop_assert_eq!(frees, freed);
+        let mut born = std::collections::HashSet::new();
+        let mut last_seq = None;
+        for e in &events {
+            if let Some(prev) = last_seq {
+                prop_assert!(e.seq > prev, "events out of order");
+            }
+            last_seq = Some(e.seq);
+            match e.kind {
+                EventKind::Alloc => {
+                    prop_assert!(born.insert(e.record), "double alloc");
+                }
+                EventKind::Free => {
+                    prop_assert!(born.contains(&e.record), "free before alloc");
+                }
+            }
+        }
+    }
+
+    /// Max-live statistics dominate every prefix of the trace.
+    #[test]
+    fn max_live_is_a_true_maximum(script in actions()) {
+        let (trace, _) = run(&script);
+        let mut live_bytes = 0u64;
+        let mut live_objects = 0u64;
+        let mut seen_max_bytes = 0u64;
+        let mut seen_max_objects = 0u64;
+        for e in trace.events() {
+            let r = &trace.records()[e.record];
+            match e.kind {
+                EventKind::Alloc => {
+                    live_bytes += u64::from(r.size);
+                    live_objects += 1;
+                }
+                EventKind::Free => {
+                    live_bytes -= u64::from(r.size);
+                    live_objects -= 1;
+                }
+            }
+            seen_max_bytes = seen_max_bytes.max(live_bytes);
+            seen_max_objects = seen_max_objects.max(live_objects);
+        }
+        prop_assert_eq!(trace.stats().max_live_bytes, seen_max_bytes);
+        prop_assert_eq!(trace.stats().max_live_objects, seen_max_objects);
+    }
+
+    /// Heap-reference totals equal the per-record sums.
+    #[test]
+    fn refs_accounted(script in actions()) {
+        let (trace, _) = run(&script);
+        let sum: u64 = trace.records().iter().map(|r| r.refs).sum();
+        prop_assert_eq!(trace.stats().heap_refs, sum);
+    }
+}

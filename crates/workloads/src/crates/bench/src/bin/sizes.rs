@@ -1,0 +1,13 @@
+use lifepred_workloads::{all_workloads, record};
+use lifepred_trace::shared_registry;
+fn main() {
+    for w in all_workloads() {
+        for i in 0..w.inputs().len() {
+            let t0 = std::time::Instant::now();
+            let t = record(w.as_ref(), i, shared_registry());
+            println!("{:10} input{} objs={:8} bytes={:10} maxlive={:8} chains={:5} calls={:8} {:?}",
+                w.name(), i, t.stats().total_objects, t.stats().total_bytes,
+                t.stats().max_live_bytes, t.chains().len(), t.stats().function_calls, t0.elapsed());
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Tokenizer for the AWK subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (quotes stripped, escapes resolved).
+    Str(String),
+    /// Regular-expression literal `/.../`.
+    Regex(String),
+    /// Identifier or keyword.
+    Ident(String),
+    /// `$` field prefix.
+    Dollar,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;` or newline (statement separator).
+    Semi,
+    /// `,`.
+    Comma,
+    /// An operator such as `+`, `==`, `&&`, `=`, `+=`, `~`, `++`.
+    Op(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Regex(r) => write!(f, "/{r}/"),
+            Token::Ident(i) => write!(f, "{i}"),
+            Token::Dollar => write!(f, "$"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Op(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+/// Tokenizes an AWK program.
+///
+/// Newlines become [`Token::Semi`] except after an opening brace or
+/// operator, mirroring AWK's line-oriented statement rules closely
+/// enough for our scripts.
+///
+/// # Errors
+///
+/// Returns a message with the offending character on lexical errors.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '\n' => {
+                // Suppress empty statements and separators after
+                // tokens that clearly continue an expression.
+                match out.last() {
+                    Some(Token::LBrace) | Some(Token::Semi) | Some(Token::Op(_))
+                    | Some(Token::Comma) | None => {}
+                    _ => out.push(Token::Semi),
+                }
+                i += 1;
+            }
+            '#' => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '"' => {
+                i += 1;
+                let mut s = String::new();
+                while i < b.len() && b[i] != '"' {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        i += 1;
+                        s.push(match b[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                    } else {
+                        s.push(b[i]);
+                    }
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err("unterminated string".to_owned());
+                }
+                i += 1;
+                out.push(Token::Str(s));
+            }
+            '/' if regex_position(&out) => {
+                i += 1;
+                let mut s = String::new();
+                while i < b.len() && b[i] != '/' {
+                    s.push(b[i]);
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err("unterminated regex".to_owned());
+                }
+                i += 1;
+                out.push(Token::Regex(s));
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == '.') {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                let n = text
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad number {text}"))?;
+                out.push(Token::Number(n));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(b[start..i].iter().collect()));
+            }
+            '$' => {
+                out.push(Token::Dollar);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Token::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Token::RBrace);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            _ => {
+                // Multi-character operators, longest match first.
+                let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+                let ops2 = [
+                    "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "++", "--",
+                    "!~",
+                ];
+                if ops2.contains(&two.as_str()) {
+                    out.push(Token::Op(two));
+                    i += 2;
+                } else if "+-*/%<>=!~?:".contains(c) {
+                    out.push(Token::Op(c.to_string()));
+                    i += 1;
+                } else {
+                    return Err(format!("unexpected character {c:?}"));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `/` starts a regex except where a division could appear.
+fn regex_position(out: &[Token]) -> bool {
+    !matches!(
+        out.last(),
+        Some(Token::Number(_))
+            | Some(Token::Ident(_))
+            | Some(Token::RParen)
+            | Some(Token::RBracket)
+            | Some(Token::Str(_))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_program() {
+        let toks = tokenize("{ x = x + 1 }").expect("lex");
+        assert_eq!(toks.len(), 7);
+        assert_eq!(toks[0], Token::LBrace);
+        assert_eq!(toks[2], Token::Op("=".into()));
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        let toks = tokenize(r#"{ print "a\tb" }"#).expect("lex");
+        assert!(toks.contains(&Token::Str("a\tb".into())));
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn regex_vs_division() {
+        let toks = tokenize("/ab/ { x = y / 2 }").expect("lex");
+        assert_eq!(toks[0], Token::Regex("ab".into()));
+        assert!(toks.contains(&Token::Op("/".into())));
+    }
+
+    #[test]
+    fn newlines_become_separators() {
+        let toks = tokenize("{ x = 1\ny = 2 }").expect("lex");
+        assert!(toks.contains(&Token::Semi));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = tokenize("{ if (a == b && c >= d) n++ }").expect("lex");
+        assert!(toks.contains(&Token::Op("==".into())));
+        assert!(toks.contains(&Token::Op("&&".into())));
+        assert!(toks.contains(&Token::Op(">=".into())));
+        assert!(toks.contains(&Token::Op("++".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("# hello\n{ x = 1 } # tail").expect("lex");
+        assert_eq!(toks[0], Token::LBrace);
+    }
+}

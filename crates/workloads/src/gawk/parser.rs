@@ -1,0 +1,634 @@
+//! Recursive-descent parser for the AWK subset.
+
+use super::lexer::{tokenize, Token};
+
+/// An lvalue: a thing that can be assigned to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lvalue {
+    /// A scalar variable.
+    Var(String),
+    /// A field reference `$expr`.
+    Field(Box<Expr>),
+    /// An array element `name[subscript]`.
+    Index(String, Box<Expr>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// Regex literal used as an expression: matches against `$0`.
+    Regex(String),
+    /// Variable read.
+    Var(String),
+    /// Field read `$expr`.
+    Field(Box<Expr>),
+    /// Array element read.
+    Index(String, Box<Expr>),
+    /// Assignment with operator (`=`, `+=`, ...).
+    Assign(Lvalue, String, Box<Expr>),
+    /// Binary operation (`+ - * / % < <= > >= == != && ||` or
+    /// `concat`).
+    Binary(String, Box<Expr>, Box<Expr>),
+    /// Unary `!` or `-`.
+    Unary(String, Box<Expr>),
+    /// Pre- or post-increment/decrement.
+    Incr {
+        /// The target.
+        lvalue: Lvalue,
+        /// `+1` or `-1`.
+        delta: f64,
+        /// Whether the original value is the expression's value.
+        postfix: bool,
+    },
+    /// `expr ~ /re/` or `expr !~ /re/`.
+    Match(Box<Expr>, String, bool),
+    /// Builtin call.
+    Call(String, Vec<Expr>),
+    /// `key in array`.
+    In(Box<Expr>, String),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `print expr, expr, ...` (no args prints `$0`).
+    Print(Vec<Expr>),
+    /// `printf fmt, expr, ...` (no trailing newline).
+    Printf(Vec<Expr>),
+    /// A bare expression (usually an assignment).
+    Expr(Expr),
+    /// `if (cond) stmt [else stmt]`.
+    If(Expr, Box<Stmt>, Option<Box<Stmt>>),
+    /// `while (cond) stmt`.
+    While(Expr, Box<Stmt>),
+    /// `for (init; cond; step) stmt`.
+    For(
+        Option<Box<Stmt>>,
+        Option<Expr>,
+        Option<Box<Stmt>>,
+        Box<Stmt>,
+    ),
+    /// `for (var in array) stmt`.
+    ForIn(String, String, Box<Stmt>),
+    /// `{ ... }`.
+    Block(Vec<Stmt>),
+    /// `next`.
+    Next,
+    /// `delete array[subscript]`.
+    Delete(String, Expr),
+}
+
+/// A pattern guarding a rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// `BEGIN`.
+    Begin,
+    /// `END`.
+    End,
+    /// Expression pattern (regexes match `$0`).
+    Expr(Expr),
+    /// No pattern: every record.
+    Always,
+}
+
+/// One pattern-action rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// When the action fires.
+    pub pattern: Pattern,
+    /// The action; `None` means `{ print $0 }`.
+    pub action: Option<Vec<Stmt>>,
+}
+
+/// A parsed AWK program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// The rules in source order.
+    pub rules: Vec<Rule>,
+}
+
+/// Parses an AWK program.
+///
+/// # Errors
+///
+/// Returns a human-readable message on lexical or syntax errors.
+pub fn parse(src: &str) -> Result<Program, String> {
+    let tokens = tokenize(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), String> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(format!("expected {tok}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Op(o)) if o == op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_semis(&mut self) {
+        while self.eat(&Token::Semi) {}
+    }
+
+    fn program(&mut self) -> Result<Program, String> {
+        let mut rules = Vec::new();
+        self.skip_semis();
+        while self.peek().is_some() {
+            rules.push(self.rule()?);
+            self.skip_semis();
+        }
+        Ok(Program { rules })
+    }
+
+    fn rule(&mut self) -> Result<Rule, String> {
+        let pattern = match self.peek() {
+            Some(Token::Ident(id)) if id == "BEGIN" => {
+                self.pos += 1;
+                Pattern::Begin
+            }
+            Some(Token::Ident(id)) if id == "END" => {
+                self.pos += 1;
+                Pattern::End
+            }
+            Some(Token::LBrace) => Pattern::Always,
+            _ => Pattern::Expr(self.expr()?),
+        };
+        let action = if self.peek() == Some(&Token::LBrace) {
+            Some(self.block()?)
+        } else {
+            None
+        };
+        if action.is_none() && matches!(pattern, Pattern::Begin | Pattern::End) {
+            return Err("BEGIN/END require an action".to_owned());
+        }
+        Ok(Rule { pattern, action })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, String> {
+        self.expect(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        self.skip_semis();
+        while self.peek() != Some(&Token::RBrace) {
+            if self.peek().is_none() {
+                return Err("unterminated block".to_owned());
+            }
+            stmts.push(self.stmt()?);
+            self.skip_semis();
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, String> {
+        match self.peek() {
+            Some(Token::LBrace) => Ok(Stmt::Block(self.block()?)),
+            Some(Token::Ident(id)) => match id.as_str() {
+                "print" | "printf" => {
+                    let is_printf = id == "printf";
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    while !matches!(
+                        self.peek(),
+                        None | Some(Token::Semi) | Some(Token::RBrace)
+                    ) {
+                        args.push(self.expr()?);
+                        if !self.eat(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    if is_printf {
+                        if args.is_empty() {
+                            return Err("printf needs a format".to_owned());
+                        }
+                        Ok(Stmt::Printf(args))
+                    } else {
+                        Ok(Stmt::Print(args))
+                    }
+                }
+                "if" => {
+                    self.pos += 1;
+                    self.expect(&Token::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    self.skip_semis();
+                    let then = Box::new(self.stmt()?);
+                    let save = self.pos;
+                    self.skip_semis();
+                    let otherwise = if matches!(self.peek(), Some(Token::Ident(i)) if i == "else")
+                    {
+                        self.pos += 1;
+                        self.skip_semis();
+                        Some(Box::new(self.stmt()?))
+                    } else {
+                        self.pos = save;
+                        None
+                    };
+                    Ok(Stmt::If(cond, then, otherwise))
+                }
+                "while" => {
+                    self.pos += 1;
+                    self.expect(&Token::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    self.skip_semis();
+                    Ok(Stmt::While(cond, Box::new(self.stmt()?)))
+                }
+                "for" => self.for_stmt(),
+                "next" => {
+                    self.pos += 1;
+                    Ok(Stmt::Next)
+                }
+                "delete" => {
+                    self.pos += 1;
+                    let name = match self.next() {
+                        Some(Token::Ident(n)) => n,
+                        other => return Err(format!("delete expects array, got {other:?}")),
+                    };
+                    self.expect(&Token::LBracket)?;
+                    let sub = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    Ok(Stmt::Delete(name, sub))
+                }
+                _ => Ok(Stmt::Expr(self.expr()?)),
+            },
+            _ => Ok(Stmt::Expr(self.expr()?)),
+        }
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, String> {
+        self.pos += 1; // "for"
+        self.expect(&Token::LParen)?;
+        // for (k in arr) ...
+        let lookahead = (
+            self.tokens.get(self.pos).cloned(),
+            self.tokens.get(self.pos + 1).cloned(),
+            self.tokens.get(self.pos + 2).cloned(),
+        );
+        if let (Some(Token::Ident(var)), Some(Token::Ident(kw)), Some(Token::Ident(arr))) =
+            lookahead
+        {
+            if kw == "in" && self.tokens.get(self.pos + 3) == Some(&Token::RParen) {
+                self.pos += 4;
+                self.skip_semis();
+                return Ok(Stmt::ForIn(var, arr, Box::new(self.stmt()?)));
+            }
+        }
+        let init = if self.peek() == Some(&Token::Semi) {
+            None
+        } else {
+            Some(Box::new(Stmt::Expr(self.expr()?)))
+        };
+        self.expect(&Token::Semi)?;
+        let cond = if self.peek() == Some(&Token::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(&Token::Semi)?;
+        let step = if self.peek() == Some(&Token::RParen) {
+            None
+        } else {
+            Some(Box::new(Stmt::Expr(self.expr()?)))
+        };
+        self.expect(&Token::RParen)?;
+        self.skip_semis();
+        Ok(Stmt::For(init, cond, step, Box::new(self.stmt()?)))
+    }
+
+    // ----- expressions, lowest precedence first -----
+
+    fn expr(&mut self) -> Result<Expr, String> {
+        self.assignment()
+    }
+
+    fn assignment(&mut self) -> Result<Expr, String> {
+        let lhs = self.or_expr()?;
+        for op in ["=", "+=", "-=", "*=", "/=", "%="] {
+            if self.eat_op(op) {
+                let lv = to_lvalue(&lhs)
+                    .ok_or_else(|| format!("cannot assign to {lhs:?}"))?;
+                let rhs = self.assignment()?;
+                return Ok(Expr::Assign(lv, op.to_owned(), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_op("||") {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary("||".to_owned(), Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.in_expr()?;
+        while self.eat_op("&&") {
+            let rhs = self.in_expr()?;
+            lhs = Expr::Binary("&&".to_owned(), Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn in_expr(&mut self) -> Result<Expr, String> {
+        let lhs = self.match_expr()?;
+        if matches!(self.peek(), Some(Token::Ident(i)) if i == "in") {
+            self.pos += 1;
+            let arr = match self.next() {
+                Some(Token::Ident(n)) => n,
+                other => return Err(format!("`in` expects array name, got {other:?}")),
+            };
+            return Ok(Expr::In(Box::new(lhs), arr));
+        }
+        Ok(lhs)
+    }
+
+    fn match_expr(&mut self) -> Result<Expr, String> {
+        let lhs = self.relational()?;
+        for (op, negated) in [("~", false), ("!~", true)] {
+            if self.eat_op(op) {
+                return match self.next() {
+                    Some(Token::Regex(re)) => {
+                        Ok(Expr::Match(Box::new(lhs), re, negated))
+                    }
+                    other => Err(format!("~ expects regex, got {other:?}")),
+                };
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, String> {
+        let lhs = self.concat()?;
+        for op in ["<=", ">=", "==", "!=", "<", ">"] {
+            if self.eat_op(op) {
+                let rhs = self.concat()?;
+                return Ok(Expr::Binary(op.to_owned(), Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn concat(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.additive()?;
+        while self.starts_expression() {
+            let rhs = self.additive()?;
+            lhs = Expr::Binary("concat".to_owned(), Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// Whether the next token can begin an operand (for detecting
+    /// string concatenation by juxtaposition).
+    fn starts_expression(&self) -> bool {
+        matches!(
+            self.peek(),
+            Some(Token::Number(_))
+                | Some(Token::Str(_))
+                | Some(Token::Ident(_))
+                | Some(Token::Dollar)
+                | Some(Token::LParen)
+        ) && !matches!(self.peek(), Some(Token::Ident(i)) if i == "in" || i == "else")
+    }
+
+    fn additive(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            if self.eat_op("+") {
+                let rhs = self.multiplicative()?;
+                lhs = Expr::Binary("+".to_owned(), Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("-") {
+                let rhs = self.multiplicative()?;
+                lhs = Expr::Binary("-".to_owned(), Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.unary()?;
+        loop {
+            if self.eat_op("*") {
+                let rhs = self.unary()?;
+                lhs = Expr::Binary("*".to_owned(), Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("/") {
+                let rhs = self.unary()?;
+                lhs = Expr::Binary("/".to_owned(), Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("%") {
+                let rhs = self.unary()?;
+                lhs = Expr::Binary("%".to_owned(), Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, String> {
+        if self.eat_op("!") {
+            return Ok(Expr::Unary("!".to_owned(), Box::new(self.unary()?)));
+        }
+        if self.eat_op("-") {
+            return Ok(Expr::Unary("-".to_owned(), Box::new(self.unary()?)));
+        }
+        if self.eat_op("++") {
+            let target = self.postfix()?;
+            let lv = to_lvalue(&target).ok_or("++ needs an lvalue")?;
+            return Ok(Expr::Incr { lvalue: lv, delta: 1.0, postfix: false });
+        }
+        if self.eat_op("--") {
+            let target = self.postfix()?;
+            let lv = to_lvalue(&target).ok_or("-- needs an lvalue")?;
+            return Ok(Expr::Incr { lvalue: lv, delta: -1.0, postfix: false });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, String> {
+        let e = self.primary()?;
+        if self.eat_op("++") {
+            let lv = to_lvalue(&e).ok_or("++ needs an lvalue")?;
+            return Ok(Expr::Incr { lvalue: lv, delta: 1.0, postfix: true });
+        }
+        if self.eat_op("--") {
+            let lv = to_lvalue(&e).ok_or("-- needs an lvalue")?;
+            return Ok(Expr::Incr { lvalue: lv, delta: -1.0, postfix: true });
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, String> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(Expr::Num(n)),
+            Some(Token::Str(s)) => Ok(Expr::Str(s)),
+            Some(Token::Regex(r)) => Ok(Expr::Regex(r)),
+            Some(Token::Dollar) => {
+                let inner = self.primary()?;
+                Ok(Expr::Field(Box::new(inner)))
+            }
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::Call(name, args))
+                } else if self.eat(&Token::LBracket) {
+                    let sub = self.expr()?;
+                    self.expect(&Token::RBracket)?;
+                    Ok(Expr::Index(name, Box::new(sub)))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+}
+
+fn to_lvalue(e: &Expr) -> Option<Lvalue> {
+    match e {
+        Expr::Var(n) => Some(Lvalue::Var(n.clone())),
+        Expr::Field(i) => Some(Lvalue::Field(i.clone())),
+        Expr::Index(n, s) => Some(Lvalue::Index(n.clone(), s.clone())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pattern_action_rules() {
+        let p = parse("BEGIN { x = 0 }\n{ n++ }\nEND { print n }").expect("parse");
+        assert_eq!(p.rules.len(), 3);
+        assert_eq!(p.rules[0].pattern, Pattern::Begin);
+        assert_eq!(p.rules[1].pattern, Pattern::Always);
+        assert_eq!(p.rules[2].pattern, Pattern::End);
+    }
+
+    #[test]
+    fn parses_expression_patterns() {
+        let p = parse("length(line) > 60 { print line }").expect("parse");
+        assert!(matches!(p.rules[0].pattern, Pattern::Expr(_)));
+    }
+
+    #[test]
+    fn parses_regex_patterns() {
+        let p = parse("/^[a-z]+$/ { count++ }").expect("parse");
+        assert!(matches!(
+            p.rules[0].pattern,
+            Pattern::Expr(Expr::Regex(_))
+        ));
+    }
+
+    #[test]
+    fn concat_by_juxtaposition() {
+        let p = parse(r#"{ line = line " " $1 }"#).expect("parse");
+        let Some(stmts) = &p.rules[0].action else {
+            panic!("action expected")
+        };
+        let Stmt::Expr(Expr::Assign(_, _, rhs)) = &stmts[0] else {
+            panic!("assign expected, got {stmts:?}")
+        };
+        assert!(matches!(&**rhs, Expr::Binary(op, _, _) if op == "concat"));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("{ x = 1 + 2 * 3 }").expect("parse");
+        let Some(stmts) = &p.rules[0].action else {
+            panic!()
+        };
+        let Stmt::Expr(Expr::Assign(_, _, rhs)) = &stmts[0] else {
+            panic!()
+        };
+        let Expr::Binary(op, _, r) = &**rhs else { panic!() };
+        assert_eq!(op, "+");
+        assert!(matches!(&**r, Expr::Binary(o, _, _) if o == "*"));
+    }
+
+    #[test]
+    fn for_in_and_classic_for() {
+        let p = parse("END { for (w in count) s += count[w]; for (i = 0; i < 3; i++) s++ }")
+            .expect("parse");
+        let Some(stmts) = &p.rules[0].action else {
+            panic!()
+        };
+        assert!(matches!(stmts[0], Stmt::ForIn(..)));
+        assert!(matches!(stmts[1], Stmt::For(..)));
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(parse("{ x = }").is_err());
+        assert!(parse("{ if (x }").is_err());
+        assert!(parse("BEGIN").is_err());
+    }
+
+    #[test]
+    fn field_expressions() {
+        let p = parse("{ print $1, $(NF - 1) }").expect("parse");
+        let Some(stmts) = &p.rules[0].action else {
+            panic!()
+        };
+        let Stmt::Print(args) = &stmts[0] else { panic!() };
+        assert_eq!(args.len(), 2);
+        assert!(matches!(args[0], Expr::Field(_)));
+    }
+}

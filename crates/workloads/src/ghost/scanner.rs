@@ -1,0 +1,181 @@
+//! PostScript tokenizer.
+
+/// A scanned PostScript token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PsToken {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// Executable name (`moveto`).
+    Name(String),
+    /// Literal name (`/box`).
+    LitName(String),
+    /// String literal `(...)` (nesting supported).
+    Str(String),
+    /// `{` — begin procedure body.
+    ProcOpen,
+    /// `}` — end procedure body.
+    ProcClose,
+    /// `[` — begin array.
+    ArrayOpen,
+    /// `]` — end array.
+    ArrayClose,
+}
+
+/// Scans PostScript source into tokens.
+///
+/// # Errors
+///
+/// Returns a message on unterminated strings or malformed numbers.
+pub fn scan(src: &str) -> Result<Vec<PsToken>, String> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '%' => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                i += 1;
+                let mut depth = 1;
+                let mut s = String::new();
+                while i < b.len() && depth > 0 {
+                    match b[i] {
+                        '(' => {
+                            depth += 1;
+                            s.push('(');
+                        }
+                        ')' => {
+                            depth -= 1;
+                            if depth > 0 {
+                                s.push(')');
+                            }
+                        }
+                        '\\' if i + 1 < b.len() => {
+                            i += 1;
+                            s.push(match b[i] {
+                                'n' => '\n',
+                                't' => '\t',
+                                other => other,
+                            });
+                        }
+                        other => s.push(other),
+                    }
+                    i += 1;
+                }
+                if depth > 0 {
+                    return Err("unterminated string".to_owned());
+                }
+                out.push(PsToken::Str(s));
+            }
+            '{' => {
+                out.push(PsToken::ProcOpen);
+                i += 1;
+            }
+            '}' => {
+                out.push(PsToken::ProcClose);
+                i += 1;
+            }
+            '[' => {
+                out.push(PsToken::ArrayOpen);
+                i += 1;
+            }
+            ']' => {
+                out.push(PsToken::ArrayClose);
+                i += 1;
+            }
+            '/' => {
+                i += 1;
+                let start = i;
+                while i < b.len() && !is_delim(b[i]) {
+                    i += 1;
+                }
+                out.push(PsToken::LitName(b[start..i].iter().collect()));
+            }
+            _ => {
+                let start = i;
+                while i < b.len() && !is_delim(b[i]) {
+                    i += 1;
+                }
+                let word: String = b[start..i].iter().collect();
+                out.push(classify(&word)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn is_delim(c: char) -> bool {
+    c.is_whitespace() || "(){}[]/%".contains(c)
+}
+
+fn classify(word: &str) -> Result<PsToken, String> {
+    if word.is_empty() {
+        return Err("empty token".to_owned());
+    }
+    let first = word.chars().next().expect("nonempty");
+    if first.is_ascii_digit() || first == '-' || first == '.' {
+        if let Ok(i) = word.parse::<i64>() {
+            return Ok(PsToken::Int(i));
+        }
+        if let Ok(r) = word.parse::<f64>() {
+            return Ok(PsToken::Real(r));
+        }
+        if first == '-' || first == '.' {
+            // A lone `-` style operator name.
+            return Ok(PsToken::Name(word.to_owned()));
+        }
+        return Err(format!("malformed number {word}"));
+    }
+    Ok(PsToken::Name(word.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scans_numbers_names_and_literals() {
+        let toks = scan("12 3.5 -4 moveto /box (hi)").expect("scan");
+        assert_eq!(
+            toks,
+            vec![
+                PsToken::Int(12),
+                PsToken::Real(3.5),
+                PsToken::Int(-4),
+                PsToken::Name("moveto".into()),
+                PsToken::LitName("box".into()),
+                PsToken::Str("hi".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_strings_and_escapes() {
+        let toks = scan(r"(a(b)c) (x\n)").expect("scan");
+        assert_eq!(toks[0], PsToken::Str("a(b)c".into()));
+        assert_eq!(toks[1], PsToken::Str("x\n".into()));
+        assert!(scan("(oops").is_err());
+    }
+
+    #[test]
+    fn procs_and_arrays() {
+        let toks = scan("{ dup mul } [1 2]").expect("scan");
+        assert_eq!(toks[0], PsToken::ProcOpen);
+        assert_eq!(toks[3], PsToken::ProcClose);
+        assert_eq!(toks[4], PsToken::ArrayOpen);
+        assert_eq!(toks[7], PsToken::ArrayClose);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let toks = scan("1 % comment\n2").expect("scan");
+        assert_eq!(toks, vec![PsToken::Int(1), PsToken::Int(2)]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Deterministic synthetic input generators shared by the workloads.
+//!
+//! The paper's inputs (dictionaries, PLA examples, PostScript
+//! documents, semiprimes) are reproduced by seeded generators so every
+//! run of the suite sees byte-identical inputs.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the deterministic RNG used by all generators.
+pub fn rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Generates `count` pronounceable pseudo-words (for dictionaries).
+pub fn words(seed: u64, count: usize) -> Vec<String> {
+    let consonants = b"bcdfghjklmnprstvwz";
+    let vowels = b"aeiou";
+    let mut r = rng(seed);
+    (0..count)
+        .map(|_| {
+            let syllables = r.gen_range(1..=4);
+            let mut w = String::new();
+            for _ in 0..syllables {
+                w.push(consonants[r.gen_range(0..consonants.len())] as char);
+                w.push(vowels[r.gen_range(0..vowels.len())] as char);
+                if r.gen_bool(0.3) {
+                    w.push(consonants[r.gen_range(0..consonants.len())] as char);
+                }
+            }
+            w
+        })
+        .collect()
+}
+
+/// Generates a dictionary file: one word per line.
+pub fn dictionary(seed: u64, count: usize) -> String {
+    let mut out = String::new();
+    for w in words(seed, count) {
+        out.push_str(&w);
+        out.push('\n');
+    }
+    out
+}
+
+/// Generates lines of whitespace-separated fields (a "log file").
+pub fn field_lines(seed: u64, lines: usize, fields: usize) -> String {
+    let vocab = words(seed ^ 0x5eed, 200);
+    let mut r = rng(seed);
+    let mut out = String::new();
+    for _ in 0..lines {
+        for f in 0..fields {
+            if f > 0 {
+                out.push(' ');
+            }
+            if f == 0 {
+                out.push_str(&r.gen_range(0..100_000u32).to_string());
+            } else {
+                out.push_str(&vocab[r.gen_range(0..vocab.len())]);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Generates a semiprime near `digits` decimal digits (product of two
+/// primes of roughly equal size), for the factoring workload.
+pub fn semiprime(seed: u64, digits: u32) -> u128 {
+    let mut r = rng(seed);
+    let half = digits / 2;
+    let lo = 10u128.pow(half.saturating_sub(1).max(1));
+    let hi = 10u128.pow(half.min(18));
+    let p = next_prime(r.gen_range(lo..hi));
+    let q = next_prime(r.gen_range(lo..hi));
+    p * q
+}
+
+/// The smallest prime `>= n` (Miller–Rabin over u128).
+pub fn next_prime(mut n: u128) -> u128 {
+    if n <= 2 {
+        return 2;
+    }
+    if n.is_multiple_of(2) {
+        n += 1;
+    }
+    while !is_prime(n) {
+        n += 2;
+    }
+    n
+}
+
+/// Deterministic Miller–Rabin primality test, exact for `n < 3.3e24`
+/// with this witness set.
+pub fn is_prime(n: u128) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for p in [2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n.is_multiple_of(p) {
+            return n == p;
+        }
+    }
+    let mut d = n - 1;
+    let mut s = 0;
+    while d.is_multiple_of(2) {
+        d /= 2;
+        s += 1;
+    }
+    'witness: for a in [2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod(a, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn mul_mod(a: u128, b: u128, m: u128) -> u128 {
+    // Safe for m < 2^64 (our semiprimes): the product fits in u128.
+    debug_assert!(m < 1 << 64);
+    (a % m) * (b % m) % m
+}
+
+fn pow_mod(mut base: u128, mut exp: u128, m: u128) -> u128 {
+    let mut acc = 1u128;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(words(42, 10), words(42, 10));
+        assert_eq!(dictionary(7, 5), dictionary(7, 5));
+        assert_eq!(semiprime(1, 12), semiprime(1, 12));
+        assert_ne!(words(1, 10), words(2, 10));
+    }
+
+    #[test]
+    fn words_are_nonempty_ascii() {
+        for w in words(3, 100) {
+            assert!(!w.is_empty());
+            assert!(w.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn primality_basics() {
+        assert!(is_prime(2));
+        assert!(is_prime(97));
+        assert!(!is_prime(1));
+        assert!(!is_prime(91)); // 7 * 13
+        assert!(is_prime(1_000_000_007));
+        assert_eq!(next_prime(90), 97);
+        assert_eq!(next_prime(2), 2);
+    }
+
+    #[test]
+    fn semiprimes_are_composite_products() {
+        let n = semiprime(9, 12);
+        assert!(n > 10u128.pow(9), "n = {n}");
+        assert!(!is_prime(n));
+    }
+
+    #[test]
+    fn field_lines_have_shape() {
+        let text = field_lines(5, 10, 4);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 10);
+        for l in lines {
+            assert_eq!(l.split_whitespace().count(), 4);
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Tokenizer for the PERL-subset report language.
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// `$name`.
+    Scalar(String),
+    /// `@name`.
+    Array(String),
+    /// `%name`.
+    Hash(String),
+    /// Numeric literal.
+    Num(f64),
+    /// String literal (no interpolation).
+    Str(String),
+    /// `/pattern/`.
+    Regex(String),
+    /// `s/pattern/replacement/`.
+    Subst(String, String),
+    /// Bare identifier / keyword.
+    Ident(String),
+    /// `<>` — read a line.
+    Diamond,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// Any operator (`.`, `=~`, `==`, `.=`, ...).
+    Op(String),
+}
+
+/// Tokenizes a script.
+///
+/// # Errors
+///
+/// Returns a message on unterminated strings/regexes or stray
+/// characters.
+pub fn lex(src: &str) -> Result<Vec<Tok>, String> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '#' => {
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '$' | '@' | '%' => {
+                i += 1;
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                if start == i {
+                    if c == '$' && b.get(i) == Some(&'_') {
+                        // unreachable: '_' consumed above
+                    }
+                    return Err(format!("dangling sigil {c}"));
+                }
+                let name: String = b[start..i].iter().collect();
+                out.push(match c {
+                    '$' => Tok::Scalar(name),
+                    '@' => Tok::Array(name),
+                    _ => Tok::Hash(name),
+                });
+            }
+            '"' | '\'' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                while i < b.len() && b[i] != quote {
+                    if b[i] == '\\' && i + 1 < b.len() {
+                        i += 1;
+                        s.push(match b[i] {
+                            'n' => '\n',
+                            't' => '\t',
+                            other => other,
+                        });
+                    } else {
+                        s.push(b[i]);
+                    }
+                    i += 1;
+                }
+                if i >= b.len() {
+                    return Err("unterminated string".to_owned());
+                }
+                i += 1;
+                out.push(Tok::Str(s));
+            }
+            '<' if b.get(i + 1) == Some(&'>') => {
+                out.push(Tok::Diamond);
+                i += 2;
+            }
+            '/' if regex_position(&out) => {
+                let (pat, next) = read_until_slash(&b, i + 1)?;
+                i = next;
+                out.push(Tok::Regex(pat));
+            }
+            's' if b.get(i + 1) == Some(&'/') && word_boundary(&b, i) => {
+                let (pat, next) = read_until_slash(&b, i + 2)?;
+                let (rep, next2) = read_until_slash(&b, next)?;
+                i = next2;
+                out.push(Tok::Subst(pat, rep));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == '.') {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                out.push(Tok::Num(
+                    text.parse().map_err(|_| format!("bad number {text}"))?,
+                ));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok::Ident(b[start..i].iter().collect()));
+            }
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '{' => {
+                out.push(Tok::LBrace);
+                i += 1;
+            }
+            '}' => {
+                out.push(Tok::RBrace);
+                i += 1;
+            }
+            '[' => {
+                out.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Tok::RBracket);
+                i += 1;
+            }
+            ';' => {
+                out.push(Tok::Semi);
+                i += 1;
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                i += 1;
+            }
+            _ => {
+                let two: String = b[i..(i + 2).min(b.len())].iter().collect();
+                let ops2 = [
+                    "==", "!=", "<=", ">=", "&&", "||", "=~", "!~", ".=", "+=", "-=", "++", "--",
+                ];
+                if ops2.contains(&two.as_str()) {
+                    out.push(Tok::Op(two));
+                    i += 2;
+                } else if "+-*/%<>=!.".contains(c) {
+                    out.push(Tok::Op(c.to_string()));
+                    i += 1;
+                } else {
+                    return Err(format!("unexpected character {c:?}"));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn word_boundary(b: &[char], i: usize) -> bool {
+    i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == '_' || b[i - 1] == '$')
+}
+
+fn read_until_slash(b: &[char], mut i: usize) -> Result<(String, usize), String> {
+    let mut s = String::new();
+    while i < b.len() && b[i] != '/' {
+        if b[i] == '\\' && b.get(i + 1) == Some(&'/') {
+            s.push('/');
+            i += 2;
+        } else {
+            s.push(b[i]);
+            i += 1;
+        }
+    }
+    if i >= b.len() {
+        return Err("unterminated regex".to_owned());
+    }
+    Ok((s, i + 1))
+}
+
+/// `/` is a regex start unless a value precedes it (then division).
+fn regex_position(out: &[Tok]) -> bool {
+    !matches!(
+        out.last(),
+        Some(Tok::Num(_))
+            | Some(Tok::Scalar(_))
+            | Some(Tok::RParen)
+            | Some(Tok::RBracket)
+            | Some(Tok::Str(_))
+            | Some(Tok::Ident(_))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigils() {
+        let t = lex("$x @list %hash").expect("lex");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Scalar("x".into()),
+                Tok::Array("list".into()),
+                Tok::Hash("hash".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn diamond_and_regex() {
+        let t = lex("while (<>) { $_ =~ /^[a-z]/; }").expect("lex");
+        assert!(t.contains(&Tok::Diamond));
+        assert!(t.contains(&Tok::Regex("^[a-z]".into())));
+        assert!(t.contains(&Tok::Op("=~".into())));
+    }
+
+    #[test]
+    fn substitution() {
+        let t = lex("s/foo/bar/").expect("lex");
+        assert_eq!(t, vec![Tok::Subst("foo".into(), "bar".into())]);
+        // `s` as part of a word is not a substitution.
+        let t2 = lex("words").expect("lex");
+        assert_eq!(t2, vec![Tok::Ident("words".into())]);
+    }
+
+    #[test]
+    fn strings_and_concat() {
+        let t = lex(r#"$x = $x . " " . 'lit';"#).expect("lex");
+        assert!(t.contains(&Tok::Op(".".into())));
+        assert!(t.contains(&Tok::Str(" ".into())));
+        assert!(t.contains(&Tok::Str("lit".into())));
+    }
+
+    #[test]
+    fn division_vs_regex() {
+        let t = lex("$x = $y / 2").expect("lex");
+        assert!(t.contains(&Tok::Op("/".into())));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"oops").is_err());
+        assert!(lex("$").is_err());
+        assert!(lex("/never ending").is_err());
+    }
+}

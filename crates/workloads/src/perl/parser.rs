@@ -1,0 +1,547 @@
+//! Parser for the PERL-subset report language.
+
+use super::lexer::{lex, Tok};
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    /// Numeric literal.
+    Num(f64),
+    /// String literal.
+    Str(String),
+    /// `$x`.
+    Scalar(String),
+    /// `$a[expr]`.
+    ArrayElem(String, Box<PExpr>),
+    /// `$h{expr}`.
+    HashElem(String, Box<PExpr>),
+    /// `@a` in list context.
+    ArrayAll(String),
+    /// `keys %h`.
+    Keys(String),
+    /// `sort LIST`.
+    Sort(Box<PExpr>),
+    /// `reverse LIST`.
+    Reverse(Box<PExpr>),
+    /// `split(/re/, expr)`.
+    Split(String, Box<PExpr>),
+    /// `join(expr, LIST)`.
+    Join(Box<PExpr>, Box<PExpr>),
+    /// `length(expr)`, `chop($x)`, `substr`, `uc`, `lc`, `scalar(@a)`.
+    Call(String, Vec<PExpr>),
+    /// `<>` — next input line or undef.
+    Diamond,
+    /// Assignment `lv op rhs` (`=`, `.=`, `+=`, `-=`).
+    Assign(Box<PExpr>, String, Box<PExpr>),
+    /// Binary operator.
+    Binary(String, Box<PExpr>, Box<PExpr>),
+    /// Unary `!`/`-`.
+    Unary(String, Box<PExpr>),
+    /// `++$x` / `$x++` (and `--`).
+    Incr(Box<PExpr>, f64, bool),
+    /// `expr =~ /re/` (or `!~`).
+    Match(Box<PExpr>, String, bool),
+    /// `$x =~ s/re/rep/`.
+    Substitute(Box<PExpr>, String, String),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PStmt {
+    /// Expression statement.
+    Expr(PExpr),
+    /// `print LIST;`.
+    Print(Vec<PExpr>),
+    /// `push(@a, expr);`.
+    Push(String, PExpr),
+    /// `if (...) {...} elsif ... else {...}`.
+    If(Vec<(PExpr, Vec<PStmt>)>, Option<Vec<PStmt>>),
+    /// `while (cond) {...}`.
+    While(PExpr, Vec<PStmt>),
+    /// `foreach $v (LIST) {...}`.
+    Foreach(String, PExpr, Vec<PStmt>),
+    /// `last;`.
+    Last,
+}
+
+/// Parses a script into statements.
+///
+/// # Errors
+///
+/// Returns a message on lexical or syntax errors.
+pub fn parse(src: &str) -> Result<Vec<PStmt>, String> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut stmts = Vec::new();
+    while p.peek().is_some() {
+        stmts.push(p.stmt()?);
+    }
+    Ok(stmts)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<(), String> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(format!("expected {t:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Op(o)) if o == op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<PStmt>, String> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            if self.peek().is_none() {
+                return Err("unterminated block".to_owned());
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<PStmt, String> {
+        while self.eat(&Tok::Semi) {}
+        match self.peek().cloned() {
+            Some(Tok::Ident(kw)) => match kw.as_str() {
+                "if" => {
+                    self.pos += 1;
+                    let mut arms = Vec::new();
+                    self.expect(&Tok::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    arms.push((cond, self.block()?));
+                    let mut otherwise = None;
+                    loop {
+                        match self.peek() {
+                            Some(Tok::Ident(k)) if k == "elsif" => {
+                                self.pos += 1;
+                                self.expect(&Tok::LParen)?;
+                                let c = self.expr()?;
+                                self.expect(&Tok::RParen)?;
+                                arms.push((c, self.block()?));
+                            }
+                            Some(Tok::Ident(k)) if k == "else" => {
+                                self.pos += 1;
+                                otherwise = Some(self.block()?);
+                                break;
+                            }
+                            _ => break,
+                        }
+                    }
+                    Ok(PStmt::If(arms, otherwise))
+                }
+                "while" => {
+                    self.pos += 1;
+                    self.expect(&Tok::LParen)?;
+                    let cond = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(PStmt::While(cond, self.block()?))
+                }
+                "foreach" | "for" => {
+                    self.pos += 1;
+                    let var = match self.next() {
+                        Some(Tok::Scalar(v)) => v,
+                        other => return Err(format!("foreach expects $var, got {other:?}")),
+                    };
+                    self.expect(&Tok::LParen)?;
+                    let list = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(PStmt::Foreach(var, list, self.block()?))
+                }
+                "print" => {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    while !matches!(self.peek(), Some(Tok::Semi) | None) {
+                        args.push(self.expr()?);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::Semi)?;
+                    Ok(PStmt::Print(args))
+                }
+                "push" => {
+                    self.pos += 1;
+                    self.expect(&Tok::LParen)?;
+                    let arr = match self.next() {
+                        Some(Tok::Array(a)) => a,
+                        other => return Err(format!("push expects @array, got {other:?}")),
+                    };
+                    self.expect(&Tok::Comma)?;
+                    let v = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(PStmt::Push(arr, v))
+                }
+                "last" => {
+                    self.pos += 1;
+                    self.expect(&Tok::Semi)?;
+                    Ok(PStmt::Last)
+                }
+                _ => {
+                    let e = self.expr()?;
+                    self.expect(&Tok::Semi)?;
+                    Ok(PStmt::Expr(e))
+                }
+            },
+            _ => {
+                let e = self.expr()?;
+                self.expect(&Tok::Semi)?;
+                Ok(PStmt::Expr(e))
+            }
+        }
+    }
+
+    // Precedence: assign < || < && < comparison < match < concat(.)
+    // < additive < multiplicative < unary < postfix < primary.
+    fn expr(&mut self) -> Result<PExpr, String> {
+        let lhs = self.or_expr()?;
+        for op in ["=", ".=", "+=", "-="] {
+            if self.eat_op(op) {
+                let rhs = self.expr()?;
+                return Ok(PExpr::Assign(Box::new(lhs), op.to_owned(), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn or_expr(&mut self) -> Result<PExpr, String> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_op("||") {
+            let rhs = self.and_expr()?;
+            lhs = PExpr::Binary("||".into(), Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<PExpr, String> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat_op("&&") {
+            let rhs = self.cmp_expr()?;
+            lhs = PExpr::Binary("&&".into(), Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<PExpr, String> {
+        let lhs = self.match_expr()?;
+        // Numeric comparisons as operators; string ones as idents.
+        for op in ["==", "!=", "<=", ">=", "<", ">"] {
+            if self.eat_op(op) {
+                let rhs = self.match_expr()?;
+                return Ok(PExpr::Binary(op.to_owned(), Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        if let Some(Tok::Ident(id)) = self.peek() {
+            let id = id.clone();
+            if ["eq", "ne", "lt", "gt", "le", "ge"].contains(&id.as_str()) {
+                self.pos += 1;
+                let rhs = self.match_expr()?;
+                return Ok(PExpr::Binary(id, Box::new(lhs), Box::new(rhs)));
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn match_expr(&mut self) -> Result<PExpr, String> {
+        let lhs = self.concat_expr()?;
+        for (op, neg) in [("=~", false), ("!~", true)] {
+            if self.eat_op(op) {
+                return match self.next() {
+                    Some(Tok::Regex(re)) => {
+                        Ok(PExpr::Match(Box::new(lhs), re, neg))
+                    }
+                    Some(Tok::Subst(re, rep)) if !neg => {
+                        Ok(PExpr::Substitute(Box::new(lhs), re, rep))
+                    }
+                    other => Err(format!("=~ expects regex, got {other:?}")),
+                };
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn concat_expr(&mut self) -> Result<PExpr, String> {
+        let mut lhs = self.add_expr()?;
+        while self.eat_op(".") {
+            let rhs = self.add_expr()?;
+            lhs = PExpr::Binary(".".into(), Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<PExpr, String> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            if self.eat_op("+") {
+                let rhs = self.mul_expr()?;
+                lhs = PExpr::Binary("+".into(), Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("-") {
+                let rhs = self.mul_expr()?;
+                lhs = PExpr::Binary("-".into(), Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<PExpr, String> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            if self.eat_op("*") {
+                let rhs = self.unary_expr()?;
+                lhs = PExpr::Binary("*".into(), Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("/") {
+                let rhs = self.unary_expr()?;
+                lhs = PExpr::Binary("/".into(), Box::new(lhs), Box::new(rhs));
+            } else if self.eat_op("%") {
+                let rhs = self.unary_expr()?;
+                lhs = PExpr::Binary("%".into(), Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<PExpr, String> {
+        if self.eat_op("!") {
+            return Ok(PExpr::Unary("!".into(), Box::new(self.unary_expr()?)));
+        }
+        if self.eat_op("-") {
+            return Ok(PExpr::Unary("-".into(), Box::new(self.unary_expr()?)));
+        }
+        if self.eat_op("++") {
+            let t = self.postfix_expr()?;
+            return Ok(PExpr::Incr(Box::new(t), 1.0, false));
+        }
+        if self.eat_op("--") {
+            let t = self.postfix_expr()?;
+            return Ok(PExpr::Incr(Box::new(t), -1.0, false));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<PExpr, String> {
+        let e = self.primary()?;
+        if self.eat_op("++") {
+            return Ok(PExpr::Incr(Box::new(e), 1.0, true));
+        }
+        if self.eat_op("--") {
+            return Ok(PExpr::Incr(Box::new(e), -1.0, true));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<PExpr, String> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(PExpr::Num(n)),
+            Some(Tok::Str(s)) => Ok(PExpr::Str(s)),
+            Some(Tok::Diamond) => Ok(PExpr::Diamond),
+            Some(Tok::Regex(re)) => {
+                // Bare regex matches $_.
+                Ok(PExpr::Match(
+                    Box::new(PExpr::Scalar("_".into())),
+                    re,
+                    false,
+                ))
+            }
+            Some(Tok::Subst(re, rep)) => Ok(PExpr::Substitute(
+                Box::new(PExpr::Scalar("_".into())),
+                re,
+                rep,
+            )),
+            Some(Tok::Scalar(name)) => {
+                if self.eat(&Tok::LBracket) {
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    Ok(PExpr::ArrayElem(name, Box::new(idx)))
+                } else if self.eat(&Tok::LBrace) {
+                    let key = self.hash_key()?;
+                    self.expect(&Tok::RBrace)?;
+                    Ok(PExpr::HashElem(name, Box::new(key)))
+                } else {
+                    Ok(PExpr::Scalar(name))
+                }
+            }
+            Some(Tok::Array(name)) => Ok(PExpr::ArrayAll(name)),
+            Some(Tok::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(id)) => match id.as_str() {
+                "keys" => match self.next() {
+                    Some(Tok::Hash(h)) => Ok(PExpr::Keys(h)),
+                    other => Err(format!("keys expects %hash, got {other:?}")),
+                },
+                "sort" => {
+                    let inner = self.primary()?;
+                    Ok(PExpr::Sort(Box::new(inner)))
+                }
+                "reverse" => {
+                    let inner = self.primary()?;
+                    Ok(PExpr::Reverse(Box::new(inner)))
+                }
+                "split" => {
+                    self.expect(&Tok::LParen)?;
+                    let re = match self.next() {
+                        Some(Tok::Regex(r)) => r,
+                        Some(Tok::Str(s)) => regex_escape(&s),
+                        other => return Err(format!("split expects regex, got {other:?}")),
+                    };
+                    self.expect(&Tok::Comma)?;
+                    let target = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(PExpr::Split(re, Box::new(target)))
+                }
+                "join" => {
+                    self.expect(&Tok::LParen)?;
+                    let sep = self.expr()?;
+                    self.expect(&Tok::Comma)?;
+                    let list = self.expr()?;
+                    self.expect(&Tok::RParen)?;
+                    Ok(PExpr::Join(Box::new(sep), Box::new(list)))
+                }
+                "length" | "chop" | "substr" | "uc" | "lc" | "scalar" | "int" => {
+                    self.expect(&Tok::LParen)?;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(PExpr::Call(id, args))
+                }
+                other => Err(format!("unknown identifier {other}")),
+            },
+            other => Err(format!("unexpected token {other:?}")),
+        }
+    }
+
+    /// Hash keys may be bare words (`$h{word}`) or expressions.
+    fn hash_key(&mut self) -> Result<PExpr, String> {
+        if let Some(Tok::Ident(w)) = self.peek() {
+            // Bare word key only if immediately followed by `}`.
+            if self.toks.get(self.pos + 1) == Some(&Tok::RBrace) {
+                let w = w.clone();
+                self.pos += 1;
+                return Ok(PExpr::Str(w));
+            }
+        }
+        self.expr()
+    }
+}
+
+/// Escapes a literal string for use as a regex (split with a string
+/// separator).
+fn regex_escape(s: &str) -> String {
+    let mut out = String::new();
+    for c in s.chars() {
+        if "[](){}*+?.^$/\\".contains(c) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_while_diamond() {
+        let p = parse("while (<>) { $n = $n + 1; }").expect("parse");
+        assert!(matches!(&p[0], PStmt::While(PExpr::Diamond, _)));
+    }
+
+    #[test]
+    fn parses_hash_and_array_access() {
+        let p = parse("$seen{$k} = $f[0];").expect("parse");
+        let PStmt::Expr(PExpr::Assign(lhs, _, rhs)) = &p[0] else {
+            panic!("want assign, got {p:?}")
+        };
+        assert!(matches!(&**lhs, PExpr::HashElem(h, _) if h == "seen"));
+        assert!(matches!(&**rhs, PExpr::ArrayElem(a, _) if a == "f"));
+    }
+
+    #[test]
+    fn parses_foreach_sort_keys() {
+        let p = parse("foreach $k (sort keys %h) { print $k; }").expect("parse");
+        let PStmt::Foreach(v, list, body) = &p[0] else {
+            panic!()
+        };
+        assert_eq!(v, "k");
+        assert!(matches!(list, PExpr::Sort(_)));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parses_split_and_join() {
+        let p = parse("@f = split(/ /, $_); $s = join(\":\", @f);").expect("parse");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn parses_match_and_substitute() {
+        let p = parse("if ($_ =~ /^[a-z]/) { $_ =~ s/a/b/; }").expect("parse");
+        let PStmt::If(arms, _) = &p[0] else { panic!() };
+        assert!(matches!(&arms[0].0, PExpr::Match(..)));
+        assert!(matches!(&arms[0].1[0], PStmt::Expr(PExpr::Substitute(..))));
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let p = parse("if ($a eq $b) { print 1; }").expect("parse");
+        let PStmt::If(arms, _) = &p[0] else { panic!() };
+        assert!(matches!(&arms[0].0, PExpr::Binary(op, _, _) if op == "eq"));
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse("$x = ;").is_err());
+        assert!(parse("foreach x () {}").is_err());
+        assert!(parse("push($x, 1);").is_err());
+    }
+}

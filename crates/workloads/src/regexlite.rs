@@ -1,0 +1,272 @@
+//! A small backtracking regular-expression engine, shared by the
+//! `gawk` and `perl` workloads.
+//!
+//! Supported syntax: literal characters, `.`, character classes
+//! `[a-z0-9]` (with leading `^` negation), postfix `*`, `+`, `?`,
+//! and anchors `^` / `$`. This covers the field-validation and
+//! word-matching patterns the report scripts use.
+
+/// One compiled regex element.
+#[derive(Debug, Clone, PartialEq)]
+enum Piece {
+    Char(char),
+    Any,
+    Class { negated: bool, ranges: Vec<(char, char)> },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Repeat {
+    One,
+    Star,
+    Plus,
+    Opt,
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regex {
+    anchored_start: bool,
+    anchored_end: bool,
+    items: Vec<(Piece, Repeat)>,
+}
+
+impl Regex {
+    /// Compiles `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed syntax (e.g. unterminated class,
+    /// leading repeat).
+    pub fn compile(pattern: &str) -> Result<Regex, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let anchored_start = chars.first() == Some(&'^');
+        if anchored_start {
+            i = 1;
+        }
+        let mut items: Vec<(Piece, Repeat)> = Vec::new();
+        let mut anchored_end = false;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '$' && i == chars.len() - 1 {
+                anchored_end = true;
+                i += 1;
+                continue;
+            }
+            let piece = match c {
+                '.' => {
+                    i += 1;
+                    Piece::Any
+                }
+                '[' => {
+                    i += 1;
+                    let negated = chars.get(i) == Some(&'^');
+                    if negated {
+                        i += 1;
+                    }
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err("unterminated character class".to_owned());
+                    }
+                    i += 1; // ']'
+                    Piece::Class { negated, ranges }
+                }
+                '\\' => {
+                    i += 1;
+                    let lit = *chars.get(i).ok_or("trailing backslash")?;
+                    i += 1;
+                    Piece::Char(lit)
+                }
+                '*' | '+' | '?' => return Err(format!("repeat {c:?} with nothing to repeat")),
+                other => {
+                    i += 1;
+                    Piece::Char(other)
+                }
+            };
+            let repeat = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    Repeat::Star
+                }
+                Some('+') => {
+                    i += 1;
+                    Repeat::Plus
+                }
+                Some('?') => {
+                    i += 1;
+                    Repeat::Opt
+                }
+                _ => Repeat::One,
+            };
+            items.push((piece, repeat));
+        }
+        Ok(Regex {
+            anchored_start,
+            anchored_end,
+            items,
+        })
+    }
+
+    /// Whether the pattern matches anywhere in `text` (or at the
+    /// anchors, if anchored).
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find(text).is_some()
+    }
+
+    /// The byte range of the leftmost match, if any.
+    pub fn find(&self, text: &str) -> Option<(usize, usize)> {
+        let chars: Vec<char> = text.chars().collect();
+        let starts: Vec<usize> = if self.anchored_start {
+            vec![0]
+        } else {
+            (0..=chars.len()).collect()
+        };
+        for start in starts {
+            if let Some(end) = self.match_items(&chars, start, 0) {
+                return Some((start, end));
+            }
+        }
+        None
+    }
+
+    fn match_items(&self, text: &[char], pos: usize, item: usize) -> Option<usize> {
+        if item == self.items.len() {
+            if self.anchored_end && pos != text.len() {
+                return None;
+            }
+            return Some(pos);
+        }
+        let (piece, repeat) = &self.items[item];
+        match repeat {
+            Repeat::One => {
+                if pos < text.len() && piece_matches(piece, text[pos]) {
+                    self.match_items(text, pos + 1, item + 1)
+                } else {
+                    None
+                }
+            }
+            Repeat::Opt => {
+                if pos < text.len() && piece_matches(piece, text[pos]) {
+                    if let Some(end) = self.match_items(text, pos + 1, item + 1) {
+                        return Some(end);
+                    }
+                }
+                self.match_items(text, pos, item + 1)
+            }
+            Repeat::Star | Repeat::Plus => {
+                let min = usize::from(*repeat == Repeat::Plus);
+                // Greedy: consume as much as possible, then backtrack.
+                let mut max = pos;
+                while max < text.len() && piece_matches(piece, text[max]) {
+                    max += 1;
+                }
+                let taken_min = pos + min;
+                if max < taken_min {
+                    return None;
+                }
+                let mut p = max;
+                loop {
+                    if let Some(end) = self.match_items(text, p, item + 1) {
+                        return Some(end);
+                    }
+                    if p == taken_min {
+                        return None;
+                    }
+                    p -= 1;
+                }
+            }
+        }
+    }
+}
+
+fn piece_matches(piece: &Piece, c: char) -> bool {
+    match piece {
+        Piece::Char(l) => *l == c,
+        Piece::Any => true,
+        Piece::Class { negated, ranges } => {
+            let inside = ranges.iter().any(|&(lo, hi)| c >= lo && c <= hi);
+            inside != *negated
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Regex::compile(pat).expect("compile").is_match(text)
+    }
+
+    #[test]
+    fn literals_match_substrings() {
+        assert!(m("abc", "xxabcxx"));
+        assert!(!m("abc", "ab"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^ab", "abc"));
+        assert!(!m("^bc", "abc"));
+        assert!(m("bc$", "abc"));
+        assert!(!m("ab$", "abc"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        assert!(m("[a-z]+", "HELLO there"));
+        assert!(!m("^[a-z]+$", "HELLO"));
+        assert!(m("[0-9][0-9]*", "x42"));
+        assert!(m("[^0-9]", "a"));
+        assert!(!m("[^0-9]", "7"));
+    }
+
+    #[test]
+    fn repeats() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+    }
+
+    #[test]
+    fn dot_and_backtracking() {
+        assert!(m("a.*z", "a---z"));
+        assert!(m("a.*zz", "azzz"));
+        assert!(m(".*b.*c", "xbyc"));
+    }
+
+    #[test]
+    fn find_returns_leftmost_range() {
+        let r = Regex::compile("b+").expect("compile");
+        assert_eq!(r.find("aabbbc"), Some((2, 5)));
+        assert_eq!(r.find("none"), None);
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::compile("[abc").is_err());
+        assert!(Regex::compile("*x").is_err());
+        assert!(Regex::compile("x\\").is_err());
+    }
+
+    #[test]
+    fn escaped_metacharacters() {
+        assert!(m("a\\.b", "a.b"));
+        assert!(!m("a\\.b", "axb"));
+    }
+}

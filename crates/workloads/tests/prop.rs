@@ -1,0 +1,190 @@
+//! Property tests for the workload substrates: the bignum package, the
+//! cube algebra and the regex engine must be *correct*, not just
+//! allocation-realistic.
+
+use lifepred_trace::TraceSession;
+use lifepred_workloads::cfrac::Big;
+use lifepred_workloads::espresso::{complement, cofactor, tautology, Cube, DC, ONE, ZERO};
+use lifepred_workloads::regexlite::Regex;
+use proptest::prelude::*;
+
+proptest! {
+    // ---- bignum vs u128 oracle ----
+
+    #[test]
+    fn big_add_matches_u128(a in 0u128..1 << 100, b in 0u128..1 << 24) {
+        let s = TraceSession::new("prop");
+        let x = Big::from_u128(&s, a);
+        let y = Big::from_u128(&s, b);
+        prop_assert_eq!(x.add(&s, &y).to_u128(), Some(a + b));
+    }
+
+    #[test]
+    fn big_sub_matches_u128(a in 0u128..1 << 100, b in 0u128..1 << 100) {
+        let s = TraceSession::new("prop");
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        let x = Big::from_u128(&s, hi);
+        let y = Big::from_u128(&s, lo);
+        prop_assert_eq!(x.sub(&s, &y).to_u128(), Some(hi - lo));
+    }
+
+    #[test]
+    fn big_mul_matches_u128(a in 0u128..1 << 60, b in 0u128..1 << 60) {
+        let s = TraceSession::new("prop");
+        let x = Big::from_u128(&s, a);
+        let y = Big::from_u128(&s, b);
+        prop_assert_eq!(x.mul(&s, &y).to_u128(), Some(a * b));
+    }
+
+    #[test]
+    fn big_div_rem_matches_u128(a in 0u128..1 << 110, b in 1u128..1 << 70) {
+        let s = TraceSession::new("prop");
+        let x = Big::from_u128(&s, a);
+        let y = Big::from_u128(&s, b);
+        let (q, r) = x.div_rem(&s, &y);
+        prop_assert_eq!(q.to_u128(), Some(a / b));
+        prop_assert_eq!(r.to_u128(), Some(a % b));
+    }
+
+    #[test]
+    fn big_division_identity(a in 0u128..1 << 90, b in 1u128..1 << 50) {
+        // a == q*b + r, with r < b.
+        let s = TraceSession::new("prop");
+        let x = Big::from_u128(&s, a);
+        let y = Big::from_u128(&s, b);
+        let (q, r) = x.div_rem(&s, &y);
+        let back = q.mul(&s, &y).add(&s, &r);
+        prop_assert_eq!(back.to_u128(), Some(a));
+        prop_assert!(r.to_u128().expect("fits") < b);
+    }
+
+    #[test]
+    fn big_sqrt_bounds(a in 0u128..1 << 100) {
+        let s = TraceSession::new("prop");
+        let x = Big::from_u128(&s, a);
+        let r = x.sqrt(&s).to_u128().expect("fits");
+        prop_assert!(r * r <= a);
+        prop_assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > a));
+    }
+
+    #[test]
+    fn big_gcd_divides_both(a in 1u128..1 << 60, b in 1u128..1 << 60) {
+        let s = TraceSession::new("prop");
+        let x = Big::from_u128(&s, a);
+        let y = Big::from_u128(&s, b);
+        let g = x.gcd(&s, &y).to_u128().expect("fits");
+        prop_assert!(g > 0);
+        prop_assert_eq!(a % g, 0);
+        prop_assert_eq!(b % g, 0);
+    }
+
+    // ---- cube algebra ----
+
+    #[test]
+    fn cube_complement_is_disjoint_and_covering(
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(0u8..3, 4), 1..6)
+    ) {
+        let s = TraceSession::new("prop");
+        let cover: Vec<Cube> = patterns
+            .iter()
+            .map(|p| Cube::from_vars(&s, p.clone()))
+            .collect();
+        let comp = complement(&s, &cover, 4);
+        // Check all 16 minterms: each is in the cover XOR the complement.
+        for m in 0..16u32 {
+            let minterm: Vec<u8> = (0..4)
+                .map(|i| if (m >> i) & 1 == 1 { ONE } else { ZERO })
+                .collect();
+            let mc = Cube::from_vars(&s, minterm);
+            let in_cover = cover.iter().any(|c| c.covers(&mc));
+            let in_comp = comp.iter().any(|c| c.covers(&mc));
+            prop_assert!(in_cover != in_comp, "minterm {m:04b} in both/neither");
+        }
+    }
+
+    #[test]
+    fn cube_tautology_matches_bruteforce(
+        patterns in proptest::collection::vec(
+            proptest::collection::vec(0u8..3, 4), 0..8)
+    ) {
+        let s = TraceSession::new("prop");
+        let cover: Vec<Cube> = patterns
+            .iter()
+            .map(|p| Cube::from_vars(&s, p.clone()))
+            .collect();
+        let brute = (0..16u32).all(|m| {
+            let minterm: Vec<u8> = (0..4)
+                .map(|i| if (m >> i) & 1 == 1 { ONE } else { ZERO })
+                .collect();
+            let mc = Cube::from_vars(&s, minterm);
+            cover.iter().any(|c| c.covers(&mc))
+        });
+        prop_assert_eq!(tautology(&s, &cover, 4), brute);
+    }
+
+    #[test]
+    fn cube_cofactor_preserves_membership(
+        pattern in proptest::collection::vec(0u8..3, 4),
+        var in 0usize..4,
+        phase in 0u8..2,
+    ) {
+        let s = TraceSession::new("prop");
+        let cover = vec![Cube::from_vars(&s, pattern)];
+        let cof = cofactor(&s, &cover, var, phase);
+        // Any minterm with var=phase is in the cover iff its reduced
+        // form is in the cofactor.
+        for m in 0..16u32 {
+            let bits: Vec<u8> = (0..4)
+                .map(|i| if (m >> i) & 1 == 1 { ONE } else { ZERO })
+                .collect();
+            if bits[var] != phase {
+                continue;
+            }
+            let mc = Cube::from_vars(&s, bits.clone());
+            let mut reduced = bits;
+            reduced[var] = DC;
+            let rc = Cube::from_vars(&s, reduced);
+            let in_cover = cover.iter().any(|c| c.covers(&mc));
+            let in_cof = cof.iter().any(|c| c.covers(&rc));
+            prop_assert_eq!(in_cover, in_cof);
+        }
+    }
+
+    // ---- regex engine vs reference semantics ----
+
+    #[test]
+    fn regex_literal_matches_contains(
+        needle in "[a-c]{1,4}",
+        hay in "[a-c]{0,12}",
+    ) {
+        let re = Regex::compile(&needle).expect("literal compiles");
+        prop_assert_eq!(re.is_match(&hay), hay.contains(&needle));
+    }
+
+    #[test]
+    fn regex_anchored_matches_prefix_suffix(
+        needle in "[a-c]{1,3}",
+        hay in "[a-c]{0,10}",
+    ) {
+        let start = Regex::compile(&format!("^{needle}")).expect("compiles");
+        prop_assert_eq!(start.is_match(&hay), hay.starts_with(&needle));
+        let end = Regex::compile(&format!("{needle}$")).expect("compiles");
+        prop_assert_eq!(end.is_match(&hay), hay.ends_with(&needle));
+    }
+
+    #[test]
+    fn regex_star_never_panics_and_finds_in_range(
+        pat in "[a-c]\\*[a-c]",
+        hay in "[a-c]{0,10}",
+    ) {
+        // pat like "a*b" after unescaping the generated backslash.
+        let pat = pat.replace('\\', "");
+        if let Ok(re) = Regex::compile(&pat) {
+            if let Some((a, b)) = re.find(&hay) {
+                prop_assert!(a <= b);
+                prop_assert!(b <= hay.chars().count());
+            }
+        }
+    }
+}
