@@ -103,9 +103,9 @@ mod tests {
     fn rejects_garbage() {
         assert!(RuntimeSiteDb::load_from_str("").is_err());
         assert!(RuntimeSiteDb::load_from_str("nope\n").is_err());
-        assert!(RuntimeSiteDb::load_from_str(
-            "lifepred-runtime-sites v1 threshold=1\nzznothex\n"
-        )
-        .is_err());
+        assert!(
+            RuntimeSiteDb::load_from_str("lifepred-runtime-sites v1 threshold=1\nzznothex\n")
+                .is_err()
+        );
     }
 }

@@ -104,10 +104,7 @@ impl RuntimeProfiler {
             leaky.insert(l.site, true);
         }
         for (&site, agg) in self.sites.lock().iter() {
-            if agg.objects > 0
-                && agg.max_lifetime < self.threshold
-                && !leaky.contains_key(&site)
-            {
+            if agg.objects > 0 && agg.max_lifetime < self.threshold && !leaky.contains_key(&site) {
                 db.insert(site);
             }
         }

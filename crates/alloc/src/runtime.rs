@@ -107,9 +107,12 @@ impl PredictiveAllocator {
     /// Panics if the geometry is empty or the arena area cannot be
     /// allocated.
     pub fn with_config(db: RuntimeSiteDb, config: RuntimeArenaConfig) -> Self {
-        assert!(config.arena_count > 0 && config.arena_size > 0, "empty geometry");
-        let layout = Layout::from_size_align(config.total_bytes(), 4096)
-            .expect("arena area layout");
+        assert!(
+            config.arena_count > 0 && config.arena_size > 0,
+            "empty geometry"
+        );
+        let layout =
+            Layout::from_size_align(config.total_bytes(), 4096).expect("arena area layout");
         // SAFETY: layout has nonzero size.
         let base = unsafe { System.alloc(layout) };
         assert!(!base.is_null(), "arena area allocation failed");
@@ -248,8 +251,8 @@ impl Default for PredictiveAllocator {
 
 impl Drop for PredictiveAllocator {
     fn drop(&mut self) {
-        let layout = Layout::from_size_align(self.config.total_bytes(), 4096)
-            .expect("arena area layout");
+        let layout =
+            Layout::from_size_align(self.config.total_bytes(), 4096).expect("arena area layout");
         // SAFETY: base was allocated with exactly this layout in
         // `with_config` and is not referenced after drop.
         unsafe { System.dealloc(self.base, layout) };

@@ -2,9 +2,7 @@
 //! geometry sweep, relaxed training rule, and CCE collision behaviour.
 
 use lifepred_bench::{build_suite, f1, print_table, SuiteEntry};
-use lifepred_core::{
-    evaluate, train, Profile, SiteConfig, SiteKey, SiteExtractor, TrainConfig,
-};
+use lifepred_core::{evaluate, train, Profile, SiteConfig, SiteExtractor, SiteKey, TrainConfig};
 use lifepred_heap::{replay_arena, ArenaConfig, ReplayConfig};
 use std::collections::{HashMap, HashSet};
 

@@ -287,19 +287,8 @@ fn table9(suite: &[SuiteEntry], analyses: &[Analysis]) {
     print_table(
         "Table 9: instructions per alloc/free (arena uses true prediction)",
         &[
-            "Program",
-            "BSD a",
-            "BSD f",
-            "BSD a+f",
-            "FF a",
-            "FF f",
-            "FF a+f",
-            "Len4 a",
-            "Len4 f",
-            "Len4 a+f",
-            "CCE a",
-            "CCE f",
-            "CCE a+f",
+            "Program", "BSD a", "BSD f", "BSD a+f", "FF a", "FF f", "FF a+f", "Len4 a", "Len4 f",
+            "Len4 a+f", "CCE a", "CCE f", "CCE a+f",
         ],
         &rows,
     );

@@ -1,0 +1,25 @@
+//! Prints per-workload trace sizes and recording times — a quick way
+//! to gauge how each input compares to the paper's Table 2.
+
+use lifepred_trace::shared_registry;
+use lifepred_workloads::{all_workloads, record};
+
+fn main() {
+    for w in all_workloads() {
+        for i in 0..w.inputs().len() {
+            let t0 = std::time::Instant::now();
+            let t = record(w.as_ref(), i, shared_registry());
+            println!(
+                "{:10} input{} objs={:8} bytes={:10} maxlive={:8} chains={:5} calls={:8} {:?}",
+                w.name(),
+                i,
+                t.stats().total_objects,
+                t.stats().total_bytes,
+                t.stats().max_live_bytes,
+                t.chains().len(),
+                t.stats().function_calls,
+                t0.elapsed()
+            );
+        }
+    }
+}

@@ -28,7 +28,14 @@ fn main() {
             qe[4].to_string(),
         ]);
     }
-    let headers = ["Program", "0% (min)", "25%", "50% (median)", "75%", "100% (max)"];
+    let headers = [
+        "Program",
+        "0% (min)",
+        "25%",
+        "50% (median)",
+        "75%",
+        "100% (max)",
+    ];
     print_table(
         "Table 3: object lifetime quantiles, P2 histogram (bytes)",
         &headers,

@@ -1,7 +1,9 @@
 //! Table 6: effect of call-chain length on prediction and locality.
 
 use lifepred_bench::{build_suite, print_table};
-use lifepred_core::{evaluate, train, Profile, SiteConfig, SitePolicy, TrainConfig, DEFAULT_THRESHOLD};
+use lifepred_core::{
+    evaluate, train, Profile, SiteConfig, SitePolicy, TrainConfig, DEFAULT_THRESHOLD,
+};
 
 fn main() {
     let suite = build_suite();

@@ -40,19 +40,8 @@ fn main() {
     print_table(
         "Table 9: instructions per alloc/free (true prediction for arenas)",
         &[
-            "Program",
-            "BSD a",
-            "BSD f",
-            "BSD a+f",
-            "FF a",
-            "FF f",
-            "FF a+f",
-            "Len4 a",
-            "Len4 f",
-            "Len4 a+f",
-            "CCE a",
-            "CCE f",
-            "CCE a+f",
+            "Program", "BSD a", "BSD f", "BSD a+f", "FF a", "FF f", "FF a+f", "Len4 a", "Len4 f",
+            "Len4 a+f", "CCE a", "CCE f", "CCE a+f",
         ],
         &rows,
     );

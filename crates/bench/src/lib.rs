@@ -148,8 +148,7 @@ mod tests {
         assert!(a.self_report.predicted_short_bytes_pct > 0.0);
         // True prediction can't beat the actual short fraction.
         assert!(
-            a.true_report.predicted_short_bytes_pct
-                <= a.true_report.actual_short_bytes_pct + 1e-9
+            a.true_report.predicted_short_bytes_pct <= a.true_report.actual_short_bytes_pct + 1e-9
         );
     }
 }

@@ -1,0 +1,603 @@
+//! Implementation of the `lifepred` command-line tool.
+//!
+//! The binary wires the workspace together end to end:
+//!
+//! * `record` runs an instrumented workload and persists the trace as
+//!   an `.lpt` file ([`lifepred_tracefile`]);
+//! * `inspect` prints an `.lpt` header (and, on request, verifies the
+//!   whole file) in constant memory;
+//! * `train` profiles one or more traces and saves the short-lived
+//!   site database as JSON;
+//! * `simulate` streams a trace through an allocator model, consulting
+//!   a saved predictor;
+//! * `report` reruns the paper's prediction-quality analysis.
+//!
+//! Everything routes through [`run`], which writes to a caller-provided
+//! sink so integration tests can capture output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use lifepred_core::{
+    train, Profile, ShortLivedSet, SiteConfig, SiteExtractor, SitePolicy, TrainConfig,
+    DEFAULT_THRESHOLD,
+};
+use lifepred_heap::{
+    replay_arena_stream, replay_bsd_stream, replay_firstfit_stream, ReplayConfig, ReplayEvent,
+    ReplayMeta, ReplayReport, ReplayStreamError,
+};
+use lifepred_trace::{shared_registry, Trace};
+use lifepred_tracefile::{load_trace, save_trace, TraceEvent, TraceFileError, TraceReader};
+use lifepred_workloads::{all_workloads, by_name, record as record_workload};
+use std::fmt::Display;
+use std::io::Write;
+
+const USAGE: &str = "\
+lifepred — trace, train and simulate lifetime-predicting allocation
+
+USAGE:
+    lifepred record --workload <name> [--input <n>]... -o <file.lpt>
+    lifepred inspect <file.lpt> [--functions] [--chains] [--verify]
+    lifepred train <file.lpt>... -o <pred.json> [--policy <p>] [--rounding <n>] [--threshold <bytes>]
+    lifepred simulate <file.lpt> --predictor <pred.json> [--allocator <a>]
+    lifepred report [--workload <name>]... [--policy <p>]
+
+OPTIONS:
+    --workload <name>     one of: cfrac, espresso, gawk, ghost, perl
+    --input <n>           input index (record; repeatable, default 0);
+                          with several inputs, -o must contain {} which
+                          is replaced by the input index
+    -o, --output <file>   output path
+    --policy <p>          site policy: complete (default), len-N, cce, size-only
+    --rounding <n>        size rounding in bytes (default 4)
+    --threshold <bytes>   short-lived threshold (default 32768)
+    --predictor <file>    trained predictor JSON (from `lifepred train`)
+    --allocator <a>       arena (default), first-fit or bsd
+    --functions           inspect: list the function registry
+    --chains              inspect: list the interned call chains
+    --verify              inspect: stream every section, checking CRCs
+";
+
+/// Entry point shared by the binary and the integration tests.
+///
+/// `args` excludes the program name. All regular output goes to `out`;
+/// errors come back as human-readable strings.
+///
+/// # Errors
+///
+/// Returns a message describing the first bad argument, I/O failure or
+/// malformed input file.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("--help" | "-h" | "help") => {
+            write_out(out, USAGE)?;
+            Ok(())
+        }
+        Some("record") => cmd_record(&args[1..], out),
+        Some("inspect") => cmd_inspect(&args[1..], out),
+        Some("train") => cmd_train(&args[1..], out),
+        Some("simulate") => cmd_simulate(&args[1..], out),
+        Some("report") => cmd_report(&args[1..], out),
+        Some(other) => Err(format!("unknown command {other:?} (try `lifepred --help`)")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Argument scanning
+// ---------------------------------------------------------------------
+
+/// One parsed argument: an option (with the value still pending unless
+/// attached via `=`) or a positional.
+enum Arg<'a> {
+    Opt(&'a str, Option<&'a str>),
+    Positional(&'a str),
+}
+
+struct Scanner<'a> {
+    args: &'a [String],
+    i: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(args: &'a [String]) -> Self {
+        Scanner { args, i: 0 }
+    }
+
+    fn next(&mut self) -> Option<Arg<'a>> {
+        let raw = self.args.get(self.i)?;
+        self.i += 1;
+        if let Some(rest) = raw.strip_prefix("--") {
+            match rest.split_once('=') {
+                Some((name, value)) => Some(Arg::Opt(name, Some(value))),
+                None => Some(Arg::Opt(rest, None)),
+            }
+        } else if raw.len() > 1 && raw.starts_with('-') {
+            Some(Arg::Opt(&raw[1..], None))
+        } else {
+            Some(Arg::Positional(raw))
+        }
+    }
+
+    /// The value of the option just returned: attached (`--x=v`) or the
+    /// following argument.
+    fn value(&mut self, name: &str, attached: Option<&'a str>) -> Result<&'a str, String> {
+        if let Some(v) = attached {
+            return Ok(v);
+        }
+        let v = self
+            .args
+            .get(self.i)
+            .ok_or_else(|| format!("option --{name} needs a value"))?;
+        self.i += 1;
+        Ok(v)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(name: &str, text: &str) -> Result<T, String>
+where
+    T::Err: Display,
+{
+    text.parse()
+        .map_err(|e| format!("bad value for --{name} ({e})"))
+}
+
+fn parse_policy(text: &str) -> Result<SitePolicy, String> {
+    SitePolicy::parse(text).ok_or_else(|| {
+        format!("unknown policy {text:?} (expected complete, len-N, cce or size-only)")
+    })
+}
+
+fn write_out(out: &mut dyn Write, text: impl Display) -> Result<(), String> {
+    write!(out, "{text}").map_err(|e| format!("write failed: {e}"))
+}
+
+fn file_err(path: &str, e: impl Display) -> String {
+    format!("{path}: {e}")
+}
+
+// ---------------------------------------------------------------------
+// record
+// ---------------------------------------------------------------------
+
+fn cmd_record(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut workload = None;
+    let mut inputs: Vec<usize> = Vec::new();
+    let mut output = None;
+    let mut s = Scanner::new(args);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt("workload", v) => workload = Some(s.value("workload", v)?.to_owned()),
+            Arg::Opt("input", v) => inputs.push(parse_num("input", s.value("input", v)?)?),
+            Arg::Opt("o" | "output", v) => output = Some(s.value("output", v)?.to_owned()),
+            Arg::Opt(o, _) => return Err(format!("record: unknown option --{o}")),
+            Arg::Positional(p) => return Err(format!("record: unexpected argument {p:?}")),
+        }
+    }
+    let name = workload.ok_or("record: --workload is required")?;
+    let output = output.ok_or("record: -o is required")?;
+    let w = by_name(&name).ok_or_else(|| {
+        let known: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
+        format!("unknown workload {name:?} (known: {})", known.join(", "))
+    })?;
+    if inputs.is_empty() {
+        inputs.push(0);
+    }
+    let available = w.inputs();
+    for &i in &inputs {
+        if i >= available.len() {
+            return Err(format!(
+                "workload {name} has inputs 0..{} ({})",
+                available.len() - 1,
+                available.join(", ")
+            ));
+        }
+    }
+    if inputs.len() > 1 && !output.contains("{}") {
+        return Err("record: with several inputs, -o must contain {} \
+                    (replaced by the input index)"
+            .to_owned());
+    }
+    // One registry across all inputs so allocation sites map between
+    // the produced traces (train on one, simulate on another).
+    let registry = shared_registry();
+    for &i in &inputs {
+        let trace = record_workload(w.as_ref(), i, registry.clone());
+        let path = output.replace("{}", &i.to_string());
+        save_trace(&path, &trace).map_err(|e| file_err(&path, e))?;
+        let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+        write_out(
+            out,
+            format!(
+                "{path}: {} ({} objects, {} bytes allocated, {} file bytes)\n",
+                trace.name(),
+                trace.stats().total_objects,
+                trace.stats().total_bytes,
+                bytes
+            ),
+        )?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// inspect
+// ---------------------------------------------------------------------
+
+fn cmd_inspect(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut path = None;
+    let mut functions = false;
+    let mut chains = false;
+    let mut verify = false;
+    let mut s = Scanner::new(args);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt("functions", _) => functions = true,
+            Arg::Opt("chains", _) => chains = true,
+            Arg::Opt("verify", _) => verify = true,
+            Arg::Opt(o, _) => return Err(format!("inspect: unknown option --{o}")),
+            Arg::Positional(p) if path.is_none() => path = Some(p.to_owned()),
+            Arg::Positional(p) => return Err(format!("inspect: unexpected argument {p:?}")),
+        }
+    }
+    let path = path.ok_or("inspect: a trace file is required")?;
+    let reader = TraceReader::open(&path).map_err(|e| file_err(&path, e))?;
+    let stats = reader.stats();
+    let mut text = format!(
+        "program:         {}\n\
+         objects:         {}\n\
+         bytes allocated: {}\n\
+         max live:        {} bytes / {} objects\n\
+         instructions:    {}\n\
+         function calls:  {}\n\
+         heap refs:       {} ({:.1}% of all refs)\n\
+         functions:       {}\n\
+         call chains:     {}\n\
+         end clock/seq:   {} / {}\n",
+        reader.name(),
+        stats.total_objects,
+        stats.total_bytes,
+        stats.max_live_bytes,
+        stats.max_live_objects,
+        stats.instructions,
+        stats.function_calls,
+        stats.heap_refs,
+        stats.heap_ref_pct(),
+        reader.registry().len(),
+        reader.chain_table().len(),
+        reader.end_clock(),
+        reader.end_seq(),
+    );
+    if functions {
+        text.push_str("\nfunctions:\n");
+        for name in reader.registry().names() {
+            text.push_str("  ");
+            text.push_str(name);
+            text.push('\n');
+        }
+    }
+    if chains {
+        text.push_str("\ncall chains:\n");
+        for (_, chain) in reader.chain_table().iter() {
+            let rendered: Vec<&str> = chain
+                .frames()
+                .iter()
+                .map(|f| reader.registry().name(*f).unwrap_or("?"))
+                .collect();
+            let line = if rendered.is_empty() {
+                "(empty)".to_owned()
+            } else {
+                rendered.join(">")
+            };
+            text.push_str("  ");
+            text.push_str(&line);
+            text.push('\n');
+        }
+    }
+    write_out(out, &text)?;
+    if verify {
+        let records = TraceReader::open(&path)
+            .map_err(|e| file_err(&path, e))?
+            .into_records()
+            .map_err(|e| file_err(&path, e))?;
+        let mut n_records = 0u64;
+        for r in records {
+            r.map_err(|e| file_err(&path, e))?;
+            n_records += 1;
+        }
+        let events = TraceReader::open(&path)
+            .map_err(|e| file_err(&path, e))?
+            .into_events()
+            .map_err(|e| file_err(&path, e))?;
+        let mut n_events = 0u64;
+        for e in events {
+            e.map_err(|e| file_err(&path, e))?;
+            n_events += 1;
+        }
+        write_out(
+            out,
+            format!("\nverified: {n_records} records, {n_events} events, all checksums good\n"),
+        )?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// train
+// ---------------------------------------------------------------------
+
+fn cmd_train(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut output = None;
+    let mut policy = SitePolicy::Complete;
+    let mut rounding = 4u32;
+    let mut threshold = DEFAULT_THRESHOLD;
+    let mut s = Scanner::new(args);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt("o" | "output", v) => output = Some(s.value("output", v)?.to_owned()),
+            Arg::Opt("policy", v) => policy = parse_policy(s.value("policy", v)?)?,
+            Arg::Opt("rounding", v) => rounding = parse_num("rounding", s.value("rounding", v)?)?,
+            Arg::Opt("threshold", v) => {
+                threshold = parse_num("threshold", s.value("threshold", v)?)?;
+            }
+            Arg::Opt(o, _) => return Err(format!("train: unknown option --{o}")),
+            Arg::Positional(p) => paths.push(p.to_owned()),
+        }
+    }
+    if paths.is_empty() {
+        return Err("train: at least one trace file is required".to_owned());
+    }
+    let output = output.ok_or("train: -o is required")?;
+    let mut traces: Vec<Trace> = Vec::with_capacity(paths.len());
+    for path in &paths {
+        traces.push(load_trace(path).map_err(|e| file_err(path, e))?);
+    }
+    let config = SiteConfig {
+        policy,
+        size_rounding: rounding,
+    };
+    let profile = Profile::build_many(traces.iter(), &config, threshold);
+    let db = train(
+        &profile,
+        &TrainConfig {
+            threshold,
+            ..TrainConfig::default()
+        },
+    );
+    std::fs::write(&output, db.to_json()).map_err(|e| file_err(&output, e))?;
+    write_out(
+        out,
+        format!(
+            "{output}: {} short-lived sites (of {} seen, policy {}, threshold {})\n",
+            db.len(),
+            profile.total_sites(),
+            policy,
+            threshold
+        ),
+    )?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// simulate
+// ---------------------------------------------------------------------
+
+/// Adapts the on-disk event stream to the replay layer's shape.
+fn to_replay_event(e: TraceEvent) -> ReplayEvent {
+    match e {
+        TraceEvent::Alloc { record, size, .. } => ReplayEvent::Alloc {
+            record: record as usize,
+            size,
+        },
+        TraceEvent::Free { record, .. } => ReplayEvent::Free {
+            record: record as usize,
+        },
+    }
+}
+
+fn replay_err(path: &str, e: ReplayStreamError<TraceFileError>) -> String {
+    file_err(path, e)
+}
+
+fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut path = None;
+    let mut predictor = None;
+    let mut allocator = "arena".to_owned();
+    let mut s = Scanner::new(args);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt("predictor", v) => predictor = Some(s.value("predictor", v)?.to_owned()),
+            Arg::Opt("allocator", v) => allocator = s.value("allocator", v)?.to_owned(),
+            Arg::Opt(o, _) => return Err(format!("simulate: unknown option --{o}")),
+            Arg::Positional(p) if path.is_none() => path = Some(p.to_owned()),
+            Arg::Positional(p) => return Err(format!("simulate: unexpected argument {p:?}")),
+        }
+    }
+    let path = path.ok_or("simulate: a trace file is required")?;
+    let config = ReplayConfig::default();
+
+    let open = |path: &str| TraceReader::open(path).map_err(|e| file_err(path, e));
+    let report = match allocator.as_str() {
+        "arena" => {
+            let pred_path = predictor.ok_or("simulate: --predictor is required for arena")?;
+            let json = std::fs::read_to_string(&pred_path).map_err(|e| file_err(&pred_path, e))?;
+            let db = ShortLivedSet::from_json(&json).map_err(|e| file_err(&pred_path, e))?;
+            // Pass 1: stream the records, predicting each object from
+            // its allocation site. Only the (small) chain table is held
+            // in memory, plus one bit per object.
+            let reader = open(&path)?;
+            let chains = reader.chain_table().clone();
+            let mut extractor = SiteExtractor::from_chains(&chains, *db.config());
+            let mut predicted = Vec::new();
+            for record in reader.into_records().map_err(|e| file_err(&path, e))? {
+                let record = record.map_err(|e| file_err(&path, e))?;
+                predicted.push(db.predicts(&extractor.site_of(&record)));
+            }
+            // Pass 2: stream the events through the allocator.
+            let reader = open(&path)?;
+            let meta = ReplayMeta {
+                program: reader.name().to_owned(),
+                function_calls: reader.stats().function_calls,
+            };
+            let events = reader
+                .into_events()
+                .map_err(|e| file_err(&path, e))?
+                .map(|e| e.map(to_replay_event));
+            replay_arena_stream(&meta, events, &predicted, &config)
+                .map_err(|e| replay_err(&path, e))?
+        }
+        "first-fit" | "firstfit" => {
+            let reader = open(&path)?;
+            let meta = ReplayMeta {
+                program: reader.name().to_owned(),
+                function_calls: reader.stats().function_calls,
+            };
+            let events = reader
+                .into_events()
+                .map_err(|e| file_err(&path, e))?
+                .map(|e| e.map(to_replay_event));
+            replay_firstfit_stream(&meta, events, &config).map_err(|e| replay_err(&path, e))?
+        }
+        "bsd" => {
+            let reader = open(&path)?;
+            let meta = ReplayMeta {
+                program: reader.name().to_owned(),
+                function_calls: reader.stats().function_calls,
+            };
+            let events = reader
+                .into_events()
+                .map_err(|e| file_err(&path, e))?
+                .map(|e| e.map(to_replay_event));
+            replay_bsd_stream(&meta, events, &config).map_err(|e| replay_err(&path, e))?
+        }
+        other => {
+            return Err(format!(
+                "unknown allocator {other:?} (expected arena, first-fit or bsd)"
+            ))
+        }
+    };
+    write_report(out, &report)
+}
+
+fn write_report(out: &mut dyn Write, r: &ReplayReport) -> Result<(), String> {
+    write_out(
+        out,
+        format!(
+            "program:        {}\n\
+             allocator:      {}\n\
+             allocations:    {}\n\
+             bytes:          {}\n\
+             arena allocs:   {} ({:.1}%)\n\
+             arena bytes:    {} ({:.1}%)\n\
+             max heap bytes: {}\n",
+            r.program,
+            r.allocator,
+            r.total_allocs,
+            r.total_bytes,
+            r.arena_allocs,
+            r.arena_alloc_pct(),
+            r.arena_bytes,
+            r.arena_byte_pct(),
+            r.max_heap_bytes,
+        ),
+    )
+}
+
+// ---------------------------------------------------------------------
+// report
+// ---------------------------------------------------------------------
+
+fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut policy = SitePolicy::Complete;
+    let mut s = Scanner::new(args);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt("workload", v) => names.push(s.value("workload", v)?.to_owned()),
+            Arg::Opt("policy", v) => policy = parse_policy(s.value("policy", v)?)?,
+            Arg::Opt(o, _) => return Err(format!("report: unknown option --{o}")),
+            Arg::Positional(p) => return Err(format!("report: unexpected argument {p:?}")),
+        }
+    }
+    if names.is_empty() {
+        names = all_workloads()
+            .iter()
+            .map(|w| w.name().to_owned())
+            .collect();
+    }
+    let config = SiteConfig {
+        policy,
+        ..SiteConfig::default()
+    };
+    let headers = [
+        "program", "sites", "used", "actual%", "self%", "selferr%", "true%", "trueerr%",
+    ];
+    let mut rows = Vec::new();
+    for name in &names {
+        let w = by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+        let registry = shared_registry();
+        let n = w.inputs().len();
+        let train_trace = record_workload(w.as_ref(), 0, registry.clone());
+        let test_trace = record_workload(w.as_ref(), n - 1, registry);
+        let entry = lifepred_bench::SuiteEntry {
+            name: name.clone(),
+            description: String::new(),
+            train: train_trace,
+            test: test_trace,
+        };
+        let a = lifepred_bench::analyze(&entry, &config);
+        rows.push(vec![
+            name.clone(),
+            a.self_report.total_sites.to_string(),
+            a.true_report.sites_used.to_string(),
+            format!("{:.1}", a.self_report.actual_short_bytes_pct),
+            format!("{:.1}", a.self_report.predicted_short_bytes_pct),
+            format!("{:.2}", a.self_report.error_bytes_pct),
+            format!("{:.1}", a.true_report.predicted_short_bytes_pct),
+            format!("{:.2}", a.true_report.error_bytes_pct),
+        ]);
+    }
+    write_table(
+        out,
+        &format!("prediction quality (policy {policy})"),
+        &headers,
+        &rows,
+    )
+}
+
+fn write_table(
+    out: &mut dyn Write,
+    title: &str,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> Result<(), String> {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut text = format!("== {title} ==\n");
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
+    let header_line = header_line.join("  ");
+    text.push_str(&header_line);
+    text.push('\n');
+    text.push_str(&"-".repeat(header_line.len()));
+    text.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
+        text.push_str(&line.join("  "));
+        text.push('\n');
+    }
+    write_out(out, &text)
+}

@@ -1,0 +1,14 @@
+//! The `lifepred` binary: a thin shell around [`lifepred_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match lifepred_cli::run(&args, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("lifepred: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end tests for the `lifepred` CLI: the record → train →
+//! simulate pipeline, cross-checks between the streaming and in-memory
+//! replay paths, and error handling on damaged inputs.
+
+use lifepred_heap::{replay_arena, replay_bsd, replay_firstfit, ReplayConfig};
+use lifepred_trace::shared_registry;
+use lifepred_tracefile::load_trace;
+use lifepred_workloads::{by_name, record};
+use std::path::PathBuf;
+
+/// A fresh scratch directory per test, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let dir = std::env::temp_dir().join(format!("lifepred-cli-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        Scratch(dir)
+    }
+
+    fn path(&self, file: &str) -> String {
+        self.0.join(file).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run(args: &[&str]) -> Result<String, String> {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    lifepred_cli::run(&args, &mut out).map(|()| String::from_utf8(out).expect("utf8 output"))
+}
+
+#[test]
+fn record_train_simulate_pipeline() {
+    let dir = Scratch::new("pipeline");
+    let trace = dir.path("cfrac.lpt");
+    let pred = dir.path("pred.json");
+
+    let out = run(&[
+        "record",
+        "--workload",
+        "cfrac",
+        "--input",
+        "0",
+        "-o",
+        &trace,
+    ])
+    .expect("record succeeds");
+    assert!(out.contains("cfrac"), "record output: {out}");
+
+    let out = run(&["train", &trace, "-o", &pred]).expect("train succeeds");
+    assert!(out.contains("short-lived sites"), "train output: {out}");
+    assert!(std::fs::read_to_string(&pred)
+        .expect("predictor written")
+        .contains("lifepred-predictor"));
+
+    let out = run(&["simulate", &trace, "--predictor", &pred]).expect("simulate succeeds");
+    assert!(
+        out.contains("allocator:      arena"),
+        "simulate output: {out}"
+    );
+    assert!(out.contains("arena allocs"), "simulate output: {out}");
+
+    let out = run(&["inspect", &trace, "--verify"]).expect("inspect succeeds");
+    assert!(
+        out.contains("program:         cfrac:"),
+        "inspect output: {out}"
+    );
+    assert!(out.contains("all checksums good"), "inspect output: {out}");
+}
+
+#[test]
+fn streamed_simulation_matches_in_memory_replay() {
+    let dir = Scratch::new("stream-vs-memory");
+    let trace_path = dir.path("espresso.lpt");
+
+    run(&["record", "--workload", "espresso", "-o", &trace_path]).expect("record");
+
+    // The reloaded trace must replay to byte-identical reports.
+    let w = by_name("espresso").expect("workload");
+    let in_memory = record(w.as_ref(), 0, shared_registry());
+    let reloaded = load_trace(&trace_path).expect("reload");
+    let cfg = ReplayConfig::default();
+    assert_eq!(
+        replay_firstfit(&in_memory, &cfg),
+        replay_firstfit(&reloaded, &cfg)
+    );
+    assert_eq!(replay_bsd(&in_memory, &cfg), replay_bsd(&reloaded, &cfg));
+
+    // And the streaming simulate path must agree with both: simulate
+    // under an empty-equivalent and a real predictor.
+    let pred = dir.path("pred.json");
+    run(&["train", &trace_path, "-o", &pred]).expect("train");
+    let json = std::fs::read_to_string(&pred).expect("read predictor");
+    let db = lifepred_core::ShortLivedSet::from_json(&json).expect("parse predictor");
+    let expected = replay_arena(&in_memory, &db, &cfg);
+    let out = run(&["simulate", &trace_path, "--predictor", &pred]).expect("simulate");
+    assert!(
+        out.contains(&format!("max heap bytes: {}", expected.max_heap_bytes)),
+        "streamed vs in-memory divergence:\n{out}\nexpected {expected:?}"
+    );
+    assert!(out.contains(&format!(
+        "arena allocs:   {} ({:.1}%)",
+        expected.arena_allocs,
+        expected.arena_alloc_pct()
+    )));
+
+    // The non-predicting allocators are streamable too.
+    let out = run(&["simulate", &trace_path, "--allocator", "first-fit"]).expect("first-fit");
+    let expected = replay_firstfit(&in_memory, &cfg);
+    assert!(out.contains(&format!("max heap bytes: {}", expected.max_heap_bytes)));
+    let out = run(&["simulate", &trace_path, "--allocator", "bsd"]).expect("bsd");
+    let expected = replay_bsd(&in_memory, &cfg);
+    assert!(out.contains(&format!("max heap bytes: {}", expected.max_heap_bytes)));
+}
+
+#[test]
+fn multi_input_record_trains_across_traces() {
+    let dir = Scratch::new("multi-input");
+    let pattern = dir.path("espresso-{}.lpt");
+    run(&[
+        "record",
+        "--workload",
+        "espresso",
+        "--input",
+        "0",
+        "--input",
+        "1",
+        "-o",
+        &pattern,
+    ])
+    .expect("record two inputs");
+    let t0 = dir.path("espresso-0.lpt");
+    let t1 = dir.path("espresso-1.lpt");
+    let pred = dir.path("pred.json");
+    let out = run(&["train", &t0, &t1, "-o", &pred]).expect("train on both");
+    assert!(out.contains("short-lived sites"));
+    // The cross-trace predictor drives a simulation of the test input.
+    run(&["simulate", &t1, "--predictor", &pred]).expect("simulate test input");
+}
+
+#[test]
+fn corrupted_and_missing_files_error_cleanly() {
+    let dir = Scratch::new("corrupt");
+    let trace = dir.path("t.lpt");
+    run(&["record", "--workload", "espresso", "-o", &trace]).expect("record");
+
+    // Flip one payload byte: every subcommand must report an error.
+    let mut bytes = std::fs::read(&trace).expect("read");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    let bad = dir.path("bad.lpt");
+    std::fs::write(&bad, &bytes).expect("write");
+    assert!(run(&["inspect", &bad, "--verify"]).is_err());
+    assert!(run(&["train", &bad, "-o", &dir.path("p.json")]).is_err());
+    assert!(run(&["simulate", &bad, "--allocator", "first-fit"]).is_err());
+
+    // Missing files and malformed predictors error, never panic.
+    assert!(run(&["inspect", &dir.path("nope.lpt")]).is_err());
+    let junk = dir.path("junk.json");
+    std::fs::write(&junk, "{not json").expect("write");
+    assert!(run(&["simulate", &trace, "--predictor", &junk]).is_err());
+}
+
+#[test]
+fn argument_errors_are_reported() {
+    assert!(run(&["frobnicate"]).is_err());
+    assert!(run(&["record"]).is_err(), "missing --workload");
+    assert!(run(&["record", "--workload", "nosuch", "-o", "x.lpt"]).is_err());
+    assert!(run(&[
+        "record",
+        "--workload",
+        "cfrac",
+        "--input",
+        "99",
+        "-o",
+        "x.lpt"
+    ])
+    .is_err());
+    assert!(run(&["train", "-o", "x.json"]).is_err(), "no traces");
+    assert!(run(&["simulate"]).is_err(), "no file");
+    assert!(run(&["train", "a.lpt", "-o", "x.json", "--policy", "bogus"]).is_err());
+    let usage = run(&["--help"]).expect("help");
+    assert!(usage.contains("USAGE"));
+    let usage = run(&[]).expect("no args prints usage");
+    assert!(usage.contains("lifepred"));
+}

@@ -48,6 +48,7 @@
 
 mod evaluate;
 mod lifetimes;
+mod persist;
 mod profile;
 mod site;
 mod train;

@@ -58,8 +58,7 @@ impl LifetimeDistribution {
 
     /// Records an object of `size` bytes that lived `lifetime` bytes.
     pub fn observe(&mut self, lifetime: u64, size: u32) {
-        let weight = (u64::from(size) / WEIGHT_GRANULE)
-            .clamp(1, MAX_OBS_PER_OBJECT);
+        let weight = (u64::from(size) / WEIGHT_GRANULE).clamp(1, MAX_OBS_PER_OBJECT);
         for _ in 0..weight {
             self.p2.observe(lifetime as f64);
         }
@@ -91,7 +90,10 @@ impl LifetimeDistribution {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn quantile_exact(&self, p: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&p), "quantile must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile must be in [0, 1], got {p}"
+        );
         if self.pairs.is_empty() {
             return 0;
         }

@@ -92,39 +92,76 @@ impl Profile {
     /// 32 KB); it determines the `short_*` counters and must match the
     /// threshold later passed to training.
     pub fn build(trace: &Trace, config: &SiteConfig, threshold: u64) -> Profile {
-        let mut extractor = SiteExtractor::new(trace, *config);
-        let mut sites: HashMap<SiteKey, SiteStats> = HashMap::new();
-        let mut lifetimes = LifetimeDistribution::new();
-        let (mut short_bytes, mut short_objects) = (0u64, 0u64);
+        let mut profile = Profile::blank(config, threshold);
+        profile.absorb(trace);
+        profile
+    }
+
+    /// Builds one merged profile over several training traces — the
+    /// paper's cross-input experiments train on multiple runs of the
+    /// same program so that per-input sites generalize.
+    ///
+    /// Site keys are only comparable across traces recorded against a
+    /// shared function registry (e.g. the inputs of one `lifepred
+    /// record` invocation); the caller is responsible for that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `traces` is empty.
+    pub fn build_many<'a>(
+        traces: impl IntoIterator<Item = &'a Trace>,
+        config: &SiteConfig,
+        threshold: u64,
+    ) -> Profile {
+        let mut profile = Profile::blank(config, threshold);
+        let mut names = Vec::new();
+        for trace in traces {
+            profile.absorb(trace);
+            names.push(trace.name().to_owned());
+        }
+        assert!(!names.is_empty(), "build_many needs at least one trace");
+        profile.program = names.join("+");
+        profile
+    }
+
+    fn blank(config: &SiteConfig, threshold: u64) -> Profile {
+        Profile {
+            program: String::new(),
+            config: *config,
+            threshold,
+            sites: HashMap::new(),
+            lifetimes: LifetimeDistribution::new(),
+            total_bytes: 0,
+            total_objects: 0,
+            short_bytes: 0,
+            short_objects: 0,
+        }
+    }
+
+    /// Accumulates one trace's records into this profile.
+    fn absorb(&mut self, trace: &Trace) {
+        let mut extractor = SiteExtractor::new(trace, self.config);
         let end = trace.end_clock();
         for record in trace.records() {
             let key = extractor.site_of(record);
             let lifetime = record.lifetime(end);
-            let stats = sites.entry(key).or_insert_with(SiteStats::new);
+            let stats = self.sites.entry(key).or_insert_with(SiteStats::new);
             stats.objects += 1;
             stats.bytes += u64::from(record.size);
             stats.max_lifetime = stats.max_lifetime.max(lifetime);
             stats.refs += record.refs;
             stats.histogram.observe(lifetime as f64);
-            if lifetime < threshold {
+            if lifetime < self.threshold {
                 stats.short_objects += 1;
                 stats.short_bytes += u64::from(record.size);
-                short_objects += 1;
-                short_bytes += u64::from(record.size);
+                self.short_objects += 1;
+                self.short_bytes += u64::from(record.size);
             }
-            lifetimes.observe(lifetime, record.size);
+            self.lifetimes.observe(lifetime, record.size);
         }
-        Profile {
-            program: trace.name().to_owned(),
-            config: *config,
-            threshold,
-            sites,
-            lifetimes,
-            total_bytes: trace.stats().total_bytes,
-            total_objects: trace.stats().total_objects,
-            short_bytes,
-            short_objects,
-        }
+        self.program = trace.name().to_owned();
+        self.total_bytes += trace.stats().total_bytes;
+        self.total_objects += trace.stats().total_objects;
     }
 
     /// The profiled program's name.
@@ -273,6 +310,37 @@ mod tests {
         assert_eq!(tight.actual_short_bytes_pct(), 0.0);
         let loose = Profile::build(&trace, &SiteConfig::default(), u64::MAX);
         assert!((loose.actual_short_bytes_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn build_many_merges_site_stats() {
+        let t1 = mixed_trace();
+        let t2 = mixed_trace();
+        let single = Profile::build(&t1, &SiteConfig::default(), DEFAULT_THRESHOLD);
+        let merged = Profile::build_many([&t1, &t2], &SiteConfig::default(), DEFAULT_THRESHOLD);
+        // Identical runs recorded against identical registries share
+        // sites, so the merged profile has the same sites with doubled
+        // counters.
+        assert_eq!(merged.total_sites(), single.total_sites());
+        assert_eq!(merged.total_objects(), 2 * single.total_objects());
+        assert_eq!(merged.total_bytes(), 2 * single.total_bytes());
+        assert_eq!(merged.program(), "mixed+mixed");
+        for (key, stats) in single.sites() {
+            assert_eq!(
+                merged.site(key).expect("shared site").objects,
+                2 * stats.objects
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trace")]
+    fn build_many_rejects_empty_input() {
+        let _ = Profile::build_many(
+            std::iter::empty::<&Trace>(),
+            &SiteConfig::default(),
+            DEFAULT_THRESHOLD,
+        );
     }
 
     #[test]

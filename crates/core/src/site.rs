@@ -1,6 +1,6 @@
 //! Allocation-site identity: what the predictor keys on.
 
-use lifepred_trace::{AllocationRecord, CallChain, ChainId, FnId, Trace};
+use lifepred_trace::{AllocationRecord, CallChain, ChainId, ChainTable, FnId, Trace};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -30,6 +30,24 @@ impl fmt::Display for SitePolicy {
             SitePolicy::LastN(n) => write!(f, "len-{n}"),
             SitePolicy::Encrypted => write!(f, "cce"),
             SitePolicy::SizeOnly => write!(f, "size-only"),
+        }
+    }
+}
+
+impl SitePolicy {
+    /// Parses the textual form produced by [`Display`](fmt::Display):
+    /// `complete`, `len-N`, `cce` or `size-only`.
+    ///
+    /// Returns `None` on anything else.
+    pub fn parse(text: &str) -> Option<SitePolicy> {
+        match text {
+            "complete" => Some(SitePolicy::Complete),
+            "cce" => Some(SitePolicy::Encrypted),
+            "size-only" => Some(SitePolicy::SizeOnly),
+            _ => {
+                let n = text.strip_prefix("len-")?.parse().ok()?;
+                Some(SitePolicy::LastN(n))
+            }
         }
     }
 }
@@ -193,7 +211,7 @@ impl SiteKey {
 #[derive(Debug)]
 pub struct SiteExtractor<'t> {
     config: SiteConfig,
-    trace: &'t Trace,
+    chains: &'t ChainTable,
     chain_cache: HashMap<ChainId, ChainPart>,
 }
 
@@ -207,9 +225,16 @@ enum ChainPart {
 impl<'t> SiteExtractor<'t> {
     /// Creates an extractor for `trace` under `config`.
     pub fn new(trace: &'t Trace, config: SiteConfig) -> Self {
+        SiteExtractor::from_chains(trace.chains(), config)
+    }
+
+    /// Creates an extractor directly over a chain table, for callers
+    /// that stream records without materializing a whole [`Trace`]
+    /// (e.g. trace-file readers, which parse the chain table up front).
+    pub fn from_chains(chains: &'t ChainTable, config: SiteConfig) -> Self {
         SiteExtractor {
             config,
-            trace,
+            chains,
             chain_cache: HashMap::new(),
         }
     }
@@ -225,7 +250,7 @@ impl<'t> SiteExtractor<'t> {
         let part = self
             .chain_cache
             .entry(record.chain)
-            .or_insert_with(|| process_chain(self.trace.chain(record.chain), self.config.policy));
+            .or_insert_with(|| process_chain(self.chains.get(record.chain), self.config.policy));
         match part {
             ChainPart::Frames(frames) => SiteKey::Chain {
                 frames: frames.clone(),
@@ -347,5 +372,30 @@ mod tests {
         assert_eq!(SitePolicy::LastN(4).to_string(), "len-4");
         assert_eq!(SitePolicy::Encrypted.to_string(), "cce");
         assert_eq!(SitePolicy::SizeOnly.to_string(), "size-only");
+    }
+
+    #[test]
+    fn policy_parse_roundtrip() {
+        for p in [
+            SitePolicy::Complete,
+            SitePolicy::LastN(7),
+            SitePolicy::Encrypted,
+            SitePolicy::SizeOnly,
+        ] {
+            assert_eq!(SitePolicy::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(SitePolicy::parse("len-abc"), None);
+        assert_eq!(SitePolicy::parse("bogus"), None);
+        assert_eq!(SitePolicy::parse(""), None);
+    }
+
+    #[test]
+    fn from_chains_matches_trace_extractor() {
+        let trace = tiny_trace();
+        let mut by_trace = SiteExtractor::new(&trace, SiteConfig::default());
+        let mut by_chains = SiteExtractor::from_chains(trace.chains(), SiteConfig::default());
+        for r in trace.records() {
+            assert_eq!(by_trace.site_of(r), by_chains.site_of(r));
+        }
     }
 }

@@ -63,6 +63,16 @@ impl ShortLivedSet {
         }
     }
 
+    /// Assembles a database from already-validated parts (used by the
+    /// persistence layer).
+    pub(crate) fn from_parts(config: SiteConfig, threshold: u64, sites: HashSet<SiteKey>) -> Self {
+        ShortLivedSet {
+            config,
+            threshold,
+            sites,
+        }
+    }
+
     /// The site configuration keys must be extracted under.
     pub fn config(&self) -> &SiteConfig {
         &self.config

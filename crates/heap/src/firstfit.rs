@@ -113,7 +113,11 @@ impl FirstFit {
 
         // Coalesce with the next block.
         let next = start + size;
-        if let Some(&Block { size: nsize, free: true }) = self.blocks.get(&next) {
+        if let Some(&Block {
+            size: nsize,
+            free: true,
+        }) = self.blocks.get(&next)
+        {
             self.blocks.remove(&next);
             size += nsize;
             self.blocks.get_mut(&start).expect("block exists").size = size;
@@ -123,8 +127,13 @@ impl FirstFit {
             }
         }
         // Coalesce with the previous block.
-        if let Some((&paddr, &Block { size: psize, free: true })) =
-            self.blocks.range(..start).next_back()
+        if let Some((
+            &paddr,
+            &Block {
+                size: psize,
+                free: true,
+            },
+        )) = self.blocks.range(..start).next_back()
         {
             if paddr + psize == start {
                 self.blocks.remove(&start);
@@ -214,7 +223,13 @@ impl FirstFit {
                     free: true,
                 },
             );
-            self.blocks.insert(addr, Block { size: need, free: false });
+            self.blocks.insert(
+                addr,
+                Block {
+                    size: need,
+                    free: false,
+                },
+            );
             self.counts.splits += 1;
         } else {
             self.blocks.get_mut(&addr).expect("block exists").free = false;

@@ -50,7 +50,11 @@ pub use bsd::BsdMalloc;
 pub use costmodel::{arena_costs, bsd_costs, firstfit_costs, CostReport, PredictorKind};
 pub use counts::OpCounts;
 pub use firstfit::FirstFit;
-pub use replay::{replay_arena, replay_bsd, replay_firstfit, ReplayConfig, ReplayReport};
+pub use replay::{
+    prediction_bitmap, replay_arena, replay_arena_stream, replay_bsd, replay_bsd_stream,
+    replay_firstfit, replay_firstfit_stream, ReplayConfig, ReplayEvent, ReplayMeta, ReplayReport,
+    ReplayStreamError,
+};
 
 /// A simulated heap address (bytes from the bottom of the simulated
 /// address space).

@@ -1,4 +1,16 @@
 //! Trace-driven simulation: replaying traces through the allocators.
+//!
+//! Two entry points per allocator:
+//!
+//! * the [`Trace`]-based functions ([`replay_firstfit`] & co.) take a
+//!   fully materialized trace, and
+//! * the `_stream` variants take any fallible iterator of
+//!   [`ReplayEvent`]s — e.g. the constant-memory event stream of an
+//!   `.lpt` trace file — plus a [`ReplayMeta`] describing the run.
+//!
+//! The `Trace` functions delegate to the stream functions, so both
+//! paths produce bit-identical [`ReplayReport`]s for the same event
+//! sequence.
 
 use crate::arena::{ArenaAllocator, ArenaConfig};
 use crate::bsd::BsdMalloc;
@@ -7,6 +19,8 @@ use crate::firstfit::FirstFit;
 use crate::Addr;
 use lifepred_core::{ShortLivedSet, SiteExtractor};
 use lifepred_trace::{EventKind, Trace};
+use std::convert::Infallible;
+use std::fmt;
 
 /// Configuration for a replay run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -14,6 +28,68 @@ pub struct ReplayConfig {
     /// Arena geometry for [`replay_arena`].
     pub arena: ArenaConfig,
 }
+
+/// One allocator demand in a replayable event stream.
+///
+/// `record` is the object's birth-order index — the index its
+/// [`AllocationRecord`](lifepred_trace::AllocationRecord) has in
+/// [`Trace::records`] — which keys all per-object replay state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayEvent {
+    /// Object `record` is allocated with `size` bytes.
+    Alloc {
+        /// Birth-order record index.
+        record: usize,
+        /// Requested size in bytes.
+        size: u32,
+    },
+    /// Object `record` is freed.
+    Free {
+        /// Birth-order record index.
+        record: usize,
+    },
+}
+
+/// Identity of the traced run, carried into the [`ReplayReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayMeta {
+    /// Program name from the trace.
+    pub program: String,
+    /// Function calls in the original execution (amortizes call-chain
+    /// encryption cost in Table 9).
+    pub function_calls: u64,
+}
+
+impl ReplayMeta {
+    /// The metadata of a materialized trace.
+    pub fn of(trace: &Trace) -> ReplayMeta {
+        ReplayMeta {
+            program: trace.name().to_owned(),
+            function_calls: trace.stats().function_calls,
+        }
+    }
+}
+
+/// Why a streaming replay stopped early.
+#[derive(Debug)]
+pub enum ReplayStreamError<E> {
+    /// The event source itself failed (e.g. a corrupt trace file).
+    Source(E),
+    /// The events decoded fine but do not form a valid alloc/free
+    /// sequence.
+    Corrupt(String),
+}
+
+impl<E: fmt::Display> fmt::Display for ReplayStreamError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayStreamError::Source(e) => write!(f, "event source failed: {e}"),
+            ReplayStreamError::Corrupt(detail) => write!(f, "invalid event stream: {detail}"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for ReplayStreamError<E> {}
 
 /// Results of replaying one trace through one allocator — the raw
 /// material for Tables 7, 8 and 9.
@@ -71,108 +147,253 @@ fn pct(num: u64, den: u64) -> f64 {
     }
 }
 
-/// Replays `trace` through the first-fit allocator (the paper's
-/// baseline for Table 8).
-pub fn replay_firstfit(trace: &Trace, _config: &ReplayConfig) -> ReplayReport {
-    let mut heap = FirstFit::new();
-    let mut addrs: Vec<Option<Addr>> = vec![None; trace.records().len()];
-    for event in trace.events() {
-        match event.kind {
-            EventKind::Alloc => {
-                addrs[event.record] = Some(heap.alloc(trace.records()[event.record].size));
+/// Per-object address slots, grown as allocations stream in.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Unborn,
+    Live(Addr),
+    Dead,
+}
+
+#[derive(Debug, Default)]
+struct SlotTable {
+    slots: Vec<Slot>,
+}
+
+impl SlotTable {
+    fn born<E>(&mut self, record: usize, addr: Addr) -> Result<(), ReplayStreamError<E>> {
+        if record >= self.slots.len() {
+            self.slots.resize(record + 1, Slot::Unborn);
+        }
+        match self.slots[record] {
+            Slot::Unborn => {
+                self.slots[record] = Slot::Live(addr);
+                Ok(())
             }
-            EventKind::Free => {
-                let addr = addrs[event.record].take().expect("free before alloc");
+            _ => Err(ReplayStreamError::Corrupt(format!(
+                "object {record} allocated twice"
+            ))),
+        }
+    }
+
+    fn died<E>(&mut self, record: usize) -> Result<Addr, ReplayStreamError<E>> {
+        match self.slots.get(record) {
+            Some(&Slot::Live(addr)) => {
+                self.slots[record] = Slot::Dead;
+                Ok(addr)
+            }
+            _ => Err(ReplayStreamError::Corrupt(format!(
+                "free before alloc of object {record}"
+            ))),
+        }
+    }
+}
+
+/// Replays an event stream through the first-fit allocator (the
+/// paper's baseline for Table 8).
+///
+/// # Errors
+///
+/// [`ReplayStreamError::Source`] if the iterator yields an error;
+/// [`ReplayStreamError::Corrupt`] on a double alloc/free or a free of
+/// a never-allocated object.
+pub fn replay_firstfit_stream<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    _config: &ReplayConfig,
+) -> Result<ReplayReport, ReplayStreamError<E>> {
+    let mut heap = FirstFit::new();
+    let mut slots = SlotTable::default();
+    let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
+    for event in events {
+        match event.map_err(ReplayStreamError::Source)? {
+            ReplayEvent::Alloc { record, size } => {
+                total_allocs += 1;
+                total_bytes += u64::from(size);
+                slots.born(record, heap.alloc(size))?;
+            }
+            ReplayEvent::Free { record } => {
+                let addr = slots.died(record)?;
                 heap.free(addr);
             }
         }
     }
-    ReplayReport {
-        program: trace.name().to_owned(),
+    Ok(ReplayReport {
+        program: meta.program.clone(),
         allocator: "first-fit".to_owned(),
-        total_allocs: trace.stats().total_objects,
-        total_bytes: trace.stats().total_bytes,
+        total_allocs,
+        total_bytes,
         arena_allocs: 0,
         arena_bytes: 0,
         max_heap_bytes: heap.max_heap_bytes(),
         counts: *heap.counts(),
-        function_calls: trace.stats().function_calls,
+        function_calls: meta.function_calls,
+    })
+}
+
+/// Replays an event stream through the BSD bucket allocator (the
+/// Table 9 CPU baseline).
+///
+/// # Errors
+///
+/// See [`replay_firstfit_stream`].
+pub fn replay_bsd_stream<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    _config: &ReplayConfig,
+) -> Result<ReplayReport, ReplayStreamError<E>> {
+    let mut heap = BsdMalloc::new();
+    let mut slots = SlotTable::default();
+    let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
+    for event in events {
+        match event.map_err(ReplayStreamError::Source)? {
+            ReplayEvent::Alloc { record, size } => {
+                total_allocs += 1;
+                total_bytes += u64::from(size);
+                slots.born(record, heap.alloc(size))?;
+            }
+            ReplayEvent::Free { record } => {
+                let addr = slots.died(record)?;
+                heap.free(addr);
+            }
+        }
     }
+    Ok(ReplayReport {
+        program: meta.program.clone(),
+        allocator: "bsd".to_owned(),
+        total_allocs,
+        total_bytes,
+        arena_allocs: 0,
+        arena_bytes: 0,
+        max_heap_bytes: heap.max_heap_bytes(),
+        counts: *heap.counts(),
+        function_calls: meta.function_calls,
+    })
+}
+
+/// Replays an event stream through the lifetime-predicting arena
+/// allocator — the simulation behind Tables 7 and 8.
+///
+/// `predicted[record]` says whether the predictor marked that object
+/// short-lived (the hash-table lookup the deployed allocator would
+/// perform at each allocation).
+///
+/// # Errors
+///
+/// See [`replay_firstfit_stream`]; additionally, an allocation whose
+/// record index has no entry in `predicted` is reported as corrupt.
+pub fn replay_arena_stream<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    predicted: &[bool],
+    config: &ReplayConfig,
+) -> Result<ReplayReport, ReplayStreamError<E>> {
+    let mut heap = ArenaAllocator::new(config.arena);
+    let mut slots = SlotTable::default();
+    let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
+    let (mut arena_allocs, mut arena_bytes) = (0u64, 0u64);
+    for event in events {
+        match event.map_err(ReplayStreamError::Source)? {
+            ReplayEvent::Alloc { record, size } => {
+                total_allocs += 1;
+                total_bytes += u64::from(size);
+                let short = *predicted.get(record).ok_or_else(|| {
+                    ReplayStreamError::Corrupt(format!(
+                        "object {record} has no prediction ({} known)",
+                        predicted.len()
+                    ))
+                })?;
+                let addr = heap.alloc(size, short);
+                if heap.is_arena_addr(addr) {
+                    arena_allocs += 1;
+                    arena_bytes += u64::from(size);
+                }
+                slots.born(record, addr)?;
+            }
+            ReplayEvent::Free { record } => {
+                let addr = slots.died(record)?;
+                heap.free(addr);
+            }
+        }
+    }
+    Ok(ReplayReport {
+        program: meta.program.clone(),
+        allocator: "arena".to_owned(),
+        total_allocs,
+        total_bytes,
+        arena_allocs,
+        arena_bytes,
+        max_heap_bytes: heap.max_heap_bytes(),
+        counts: heap.counts(),
+        function_calls: meta.function_calls,
+    })
+}
+
+/// Adapts a materialized trace into the stream-event shape.
+fn trace_events(trace: &Trace) -> impl Iterator<Item = Result<ReplayEvent, Infallible>> + '_ {
+    trace.events().into_iter().map(|e| {
+        Ok(match e.kind {
+            EventKind::Alloc => ReplayEvent::Alloc {
+                record: e.record,
+                size: trace.records()[e.record].size,
+            },
+            EventKind::Free => ReplayEvent::Free { record: e.record },
+        })
+    })
+}
+
+/// Unwraps a stream-replay result for the in-memory path, where the
+/// source is infallible and a malformed sequence is a caller bug.
+fn expect_valid(result: Result<ReplayReport, ReplayStreamError<Infallible>>) -> ReplayReport {
+    match result {
+        Ok(report) => report,
+        Err(ReplayStreamError::Source(e)) => match e {},
+        Err(ReplayStreamError::Corrupt(detail)) => panic!("{detail}"),
+    }
+}
+
+/// Replays `trace` through the first-fit allocator (the paper's
+/// baseline for Table 8).
+pub fn replay_firstfit(trace: &Trace, config: &ReplayConfig) -> ReplayReport {
+    expect_valid(replay_firstfit_stream(
+        &ReplayMeta::of(trace),
+        trace_events(trace),
+        config,
+    ))
 }
 
 /// Replays `trace` through the BSD bucket allocator (the Table 9 CPU
 /// baseline).
-pub fn replay_bsd(trace: &Trace, _config: &ReplayConfig) -> ReplayReport {
-    let mut heap = BsdMalloc::new();
-    let mut addrs: Vec<Option<Addr>> = vec![None; trace.records().len()];
-    for event in trace.events() {
-        match event.kind {
-            EventKind::Alloc => {
-                addrs[event.record] = Some(heap.alloc(trace.records()[event.record].size));
-            }
-            EventKind::Free => {
-                let addr = addrs[event.record].take().expect("free before alloc");
-                heap.free(addr);
-            }
-        }
-    }
-    ReplayReport {
-        program: trace.name().to_owned(),
-        allocator: "bsd".to_owned(),
-        total_allocs: trace.stats().total_objects,
-        total_bytes: trace.stats().total_bytes,
-        arena_allocs: 0,
-        arena_bytes: 0,
-        max_heap_bytes: heap.max_heap_bytes(),
-        counts: *heap.counts(),
-        function_calls: trace.stats().function_calls,
-    }
+pub fn replay_bsd(trace: &Trace, config: &ReplayConfig) -> ReplayReport {
+    expect_valid(replay_bsd_stream(
+        &ReplayMeta::of(trace),
+        trace_events(trace),
+        config,
+    ))
+}
+
+/// Computes the per-record prediction bitmap `replay_arena*` consults:
+/// `result[i]` is the database's verdict for `trace.records()[i]`.
+pub fn prediction_bitmap(trace: &Trace, db: &ShortLivedSet) -> Vec<bool> {
+    let mut extractor = SiteExtractor::new(trace, *db.config());
+    trace
+        .records()
+        .iter()
+        .map(|r| db.predicts(&extractor.site_of(r)))
+        .collect()
 }
 
 /// Replays `trace` through the lifetime-predicting arena allocator,
 /// consulting the trained database `db` for every allocation — the
 /// simulation behind Tables 7 and 8.
 pub fn replay_arena(trace: &Trace, db: &ShortLivedSet, config: &ReplayConfig) -> ReplayReport {
-    let mut heap = ArenaAllocator::new(config.arena);
-    // Precompute per-record predictions: this is the hash-table lookup
-    // the deployed allocator would perform at each allocation.
-    let mut extractor = SiteExtractor::new(trace, *db.config());
-    let predicted: Vec<bool> = trace
-        .records()
-        .iter()
-        .map(|r| db.predicts(&extractor.site_of(r)))
-        .collect();
-
-    let mut addrs: Vec<Option<Addr>> = vec![None; trace.records().len()];
-    let (mut arena_allocs, mut arena_bytes) = (0u64, 0u64);
-    for event in trace.events() {
-        match event.kind {
-            EventKind::Alloc => {
-                let size = trace.records()[event.record].size;
-                let addr = heap.alloc(size, predicted[event.record]);
-                if heap.is_arena_addr(addr) {
-                    arena_allocs += 1;
-                    arena_bytes += u64::from(size);
-                }
-                addrs[event.record] = Some(addr);
-            }
-            EventKind::Free => {
-                let addr = addrs[event.record].take().expect("free before alloc");
-                heap.free(addr);
-            }
-        }
-    }
-    ReplayReport {
-        program: trace.name().to_owned(),
-        allocator: "arena".to_owned(),
-        total_allocs: trace.stats().total_objects,
-        total_bytes: trace.stats().total_bytes,
-        arena_allocs,
-        arena_bytes,
-        max_heap_bytes: heap.max_heap_bytes(),
-        counts: heap.counts(),
-        function_calls: trace.stats().function_calls,
-    }
+    let predicted = prediction_bitmap(trace, db);
+    expect_valid(replay_arena_stream(
+        &ReplayMeta::of(trace),
+        trace_events(trace),
+        &predicted,
+        config,
+    ))
 }
 
 #[cfg(test)]
@@ -298,5 +519,59 @@ mod tests {
         let r = replay_arena(&t, &db, &ReplayConfig::default());
         assert!((r.arena_alloc_pct() + r.non_arena_alloc_pct() - 100.0).abs() < 1e-9);
         assert!((r.arena_byte_pct() + r.non_arena_byte_pct() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_replay_matches_trace_replay() {
+        let t = workload();
+        let meta = ReplayMeta::of(&t);
+        let cfg = ReplayConfig::default();
+        let stream = replay_firstfit_stream(&meta, trace_events(&t), &cfg).expect("valid");
+        assert_eq!(stream, replay_firstfit(&t, &cfg));
+        let stream = replay_bsd_stream(&meta, trace_events(&t), &cfg).expect("valid");
+        assert_eq!(stream, replay_bsd(&t, &cfg));
+        let db = trained(&t);
+        let predicted = prediction_bitmap(&t, &db);
+        let stream = replay_arena_stream(&meta, trace_events(&t), &predicted, &cfg).expect("valid");
+        assert_eq!(stream, replay_arena(&t, &db, &cfg));
+    }
+
+    #[test]
+    fn stream_replay_rejects_bad_sequences() {
+        let meta = ReplayMeta::default();
+        let cfg = ReplayConfig::default();
+        let double_alloc: Vec<Result<ReplayEvent, Infallible>> = vec![
+            Ok(ReplayEvent::Alloc { record: 0, size: 8 }),
+            Ok(ReplayEvent::Alloc { record: 0, size: 8 }),
+        ];
+        assert!(matches!(
+            replay_firstfit_stream(&meta, double_alloc, &cfg),
+            Err(ReplayStreamError::Corrupt(_))
+        ));
+        let free_first: Vec<Result<ReplayEvent, Infallible>> =
+            vec![Ok(ReplayEvent::Free { record: 3 })];
+        assert!(matches!(
+            replay_bsd_stream(&meta, free_first, &cfg),
+            Err(ReplayStreamError::Corrupt(_))
+        ));
+        let unpredicted: Vec<Result<ReplayEvent, Infallible>> =
+            vec![Ok(ReplayEvent::Alloc { record: 0, size: 8 })];
+        assert!(matches!(
+            replay_arena_stream(&meta, unpredicted, &[], &cfg),
+            Err(ReplayStreamError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn stream_replay_propagates_source_errors() {
+        let meta = ReplayMeta::default();
+        let events: Vec<Result<ReplayEvent, &str>> = vec![
+            Ok(ReplayEvent::Alloc { record: 0, size: 8 }),
+            Err("disk on fire"),
+        ];
+        match replay_firstfit_stream(&meta, events, &ReplayConfig::default()) {
+            Err(ReplayStreamError::Source(e)) => assert_eq!(e, "disk on fire"),
+            other => panic!("expected source error, got {other:?}"),
+        }
     }
 }

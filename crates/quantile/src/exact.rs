@@ -53,7 +53,10 @@ impl ExactQuantiles {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn quantile(&mut self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile must be in [0, 1], got {p}"
+        );
         if self.data.is_empty() {
             return 0.0;
         }

@@ -151,7 +151,10 @@ impl P2Histogram {
     ///
     /// Panics if `p` is outside `[0, 1]`.
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "quantile must be in [0, 1], got {p}"
+        );
         if self.count == 0 {
             return 0.0;
         }
@@ -234,7 +237,11 @@ mod tests {
         let mut h = P2Histogram::new(8);
         for i in 0..50_000 {
             // Lifetime-like skew.
-            let x = if i % 50 == 0 { 100_000.0 } else { (i % 64) as f64 };
+            let x = if i % 50 == 0 {
+                100_000.0
+            } else {
+                (i % 64) as f64
+            };
             h.observe(x);
         }
         let m = h.markers();

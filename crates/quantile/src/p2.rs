@@ -70,7 +70,8 @@ impl P2Quantile {
             self.init[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.init.sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN observation"));
                 self.q = self.init;
             }
             return;
@@ -260,6 +261,10 @@ mod tests {
             let x = if i % 100 == 0 { 1_000_000.0 } else { 16.0 };
             q.observe(x);
         }
-        assert!(q.estimate() < 1000.0, "median should stay small: {}", q.estimate());
+        assert!(
+            q.estimate() < 1000.0,
+            "median should stay small: {}",
+            q.estimate()
+        );
     }
 }

@@ -13,6 +13,12 @@ impl ChainId {
     pub fn index(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds an id from [`ChainId::index`], e.g. when deserializing
+    /// a trace. Only meaningful against the same chain table.
+    pub fn from_index(index: u32) -> ChainId {
+        ChainId(index)
+    }
 }
 
 /// An ordered list of functions, outermost first, innermost last.
@@ -88,7 +94,10 @@ impl CallChain {
 
     /// Renders the chain as `a>b>c` using `registry` for names.
     pub fn display<'a>(&'a self, registry: &'a FunctionRegistry) -> ChainDisplay<'a> {
-        ChainDisplay { chain: self, registry }
+        ChainDisplay {
+            chain: self,
+            registry,
+        }
     }
 }
 
@@ -172,9 +181,8 @@ impl ChainTable {
             return id;
         }
         let chain = CallChain::new(frames.to_vec());
-        let id = ChainId(
-            u32::try_from(self.chains.len()).expect("more than u32::MAX chains interned"),
-        );
+        let id =
+            ChainId(u32::try_from(self.chains.len()).expect("more than u32::MAX chains interned"));
         self.chains.push(chain.clone());
         self.index.insert(chain, id);
         id

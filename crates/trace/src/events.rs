@@ -91,9 +91,6 @@ mod tests {
         let t = s.finish();
         let ev = t.events();
         assert_eq!(ev.len(), 3);
-        assert_eq!(
-            ev.iter().filter(|e| e.kind == EventKind::Free).count(),
-            1
-        );
+        assert_eq!(ev.iter().filter(|e| e.kind == EventKind::Free).count(), 1);
     }
 }

@@ -12,6 +12,12 @@ impl ObjectId {
     pub fn index(self) -> u64 {
         self.0
     }
+
+    /// Rebuilds an id from [`ObjectId::index`], e.g. when
+    /// deserializing a trace. Only meaningful against the same trace.
+    pub fn from_index(index: u64) -> ObjectId {
+        ObjectId(index)
+    }
 }
 
 impl fmt::Display for ObjectId {

@@ -66,9 +66,8 @@ impl FunctionRegistry {
         if let Some(&id) = self.index.get(name) {
             return id;
         }
-        let id = FnId(
-            u32::try_from(self.names.len()).expect("more than u32::MAX functions interned"),
-        );
+        let id =
+            FnId(u32::try_from(self.names.len()).expect("more than u32::MAX functions interned"));
         self.names.push(name.to_owned());
         self.index.insert(name.to_owned(), id);
         id
@@ -92,6 +91,12 @@ impl FunctionRegistry {
     /// Returns `true` if nothing has been interned.
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+
+    /// Iterates over interned names in id order (`FnId` 0, 1, 2, ...),
+    /// the order needed to serialize and rebuild a registry.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
     }
 }
 
@@ -131,7 +136,11 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         // 100 keys into 65536 slots should essentially never collide.
-        assert!(uniq.len() >= 99, "too many collisions: {}", 100 - uniq.len());
+        assert!(
+            uniq.len() >= 99,
+            "too many collisions: {}",
+            100 - uniq.len()
+        );
     }
 
     #[test]

@@ -364,6 +364,34 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Reassembles a trace from its parts, e.g. when loading one from
+    /// disk. The inverse of reading a trace's accessors.
+    ///
+    /// Callers must uphold the session invariants: records are in
+    /// birth order, `records[i].object.index() == i`, every chain id
+    /// resolves in `chains`, and every frame id resolves in
+    /// `registry`. Deserializers validate these before calling.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        name: String,
+        registry: FunctionRegistry,
+        chains: ChainTable,
+        records: Vec<AllocationRecord>,
+        stats: TraceStats,
+        end_clock: u64,
+        end_seq: u64,
+    ) -> Trace {
+        Trace {
+            name,
+            registry,
+            chains,
+            records,
+            stats,
+            end_clock,
+            end_seq,
+        }
+    }
+
     /// The traced program's name.
     pub fn name(&self) -> &str {
         &self.name

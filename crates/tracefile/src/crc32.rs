@@ -1,0 +1,100 @@
+//! CRC-32 (IEEE 802.3 polynomial), the per-section checksum of `.lpt`.
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xedb8_8320;
+
+/// Byte-at-a-time lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// Incremental CRC-32 state.
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32 { state: 0xffff_ffff }
+    }
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ u32::from(b)) & 0xff) as usize];
+        }
+    }
+
+    /// The checksum of everything fed so far.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xffff_ffff
+    }
+}
+
+/// One-shot CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"incremental checksumming";
+        let mut c = Crc32::new();
+        for chunk in data.chunks(3) {
+            c.update(chunk);
+        }
+        assert_eq!(c.finish(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_byte_flips() {
+        let data: Vec<u8> = (0u8..=255).collect();
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            let mut copy = data.clone();
+            copy[i] ^= 0x40;
+            assert_ne!(crc32(&copy), base, "flip at {i} undetected");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! On-disk constants of the `.lpt` container.
+//!
+//! Layout (all multi-byte header integers little-endian):
+//!
+//! ```text
+//! magic      [0x89, b'L', b'P', b'T']
+//! version    u16
+//! sections   u16 (always 5 in version 1)
+//! 5 x section:
+//!   id          u8
+//!   payload_len varint
+//!   payload     payload_len bytes
+//!   crc32       u32 over the payload
+//! ```
+//!
+//! Sections appear in id order: meta, functions, chains, records,
+//! events. Payload encodings are documented in `writer.rs` next to the
+//! code that produces them.
+
+/// File magic: a non-ASCII lead byte (like PNG's) so text tools do not
+/// mistake a trace for text, then the format name.
+pub(crate) const MAGIC: [u8; 4] = [0x89, b'L', b'P', b'T'];
+
+/// Current (and only) format version.
+pub(crate) const VERSION: u16 = 1;
+
+/// Number of sections a version-1 file carries.
+pub(crate) const SECTION_COUNT: u16 = 5;
+
+/// Program name, end clock/seq and aggregate statistics.
+pub(crate) const SECTION_META: u8 = 1;
+
+/// The function-name registry, in `FnId` order.
+pub(crate) const SECTION_FUNCTIONS: u8 = 2;
+
+/// The call-chain table, in `ChainId` order.
+pub(crate) const SECTION_CHAINS: u8 = 3;
+
+/// Per-object allocation records, in birth order, delta-encoded.
+pub(crate) const SECTION_RECORDS: u8 = 4;
+
+/// The interleaved alloc/free event stream, delta-encoded.
+pub(crate) const SECTION_EVENTS: u8 = 5;

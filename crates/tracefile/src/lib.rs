@@ -1,0 +1,275 @@
+//! `.lpt` — the on-disk allocation trace format.
+//!
+//! The paper's methodology is *record once, simulate many times*: a
+//! workload runs under the tracer once, and the resulting trace is
+//! then profiled, used to train predictors, and replayed through
+//! allocator simulations over and over. This crate gives the
+//! [`Trace`](lifepred_trace::Trace) a compact binary persistent form
+//! so those phases can run in separate processes (see the `lifepred`
+//! CLI).
+//!
+//! # Format
+//!
+//! An `.lpt` file is a magic + version header followed by five
+//! CRC32-protected sections: meta, functions, chains, records and
+//! events (see [`format`](crate) internals and `DESIGN.md`). Scalars
+//! are LEB128 varints; records and events are delta-encoded against
+//! their predecessors, so the steady-state cost of an allocation is a
+//! few bytes.
+//!
+//! # Reading
+//!
+//! * [`TraceReader::read_trace`] / [`load_trace`] rebuild a full
+//!   in-memory [`Trace`](lifepred_trace::Trace), validating every
+//!   section checksum and cross-checking the event stream against the
+//!   records.
+//! * [`TraceReader::into_events`] streams the event stream in constant
+//!   memory — enough to drive the heap simulators without ever
+//!   materializing the trace.
+//! * [`TraceReader::into_records`] streams allocation records one at a
+//!   time — enough to train a predictor.
+//!
+//! Corrupted or truncated input is always reported as a
+//! [`TraceFileError`]; no input sequence panics the readers.
+//!
+//! # Examples
+//!
+//! ```
+//! use lifepred_trace::TraceSession;
+//! use lifepred_tracefile::{trace_from_bytes, trace_to_vec};
+//!
+//! let s = TraceSession::new("roundtrip");
+//! let id = s.alloc(64);
+//! s.free(id);
+//! let trace = s.finish();
+//!
+//! let bytes = trace_to_vec(&trace).unwrap();
+//! let loaded = trace_from_bytes(&bytes).unwrap();
+//! assert_eq!(loaded.name(), trace.name());
+//! assert_eq!(loaded.records(), trace.records());
+//! assert_eq!(loaded.stats(), trace.stats());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc32;
+mod error;
+mod format;
+mod reader;
+mod varint;
+mod writer;
+
+pub use error::TraceFileError;
+pub use reader::{EventsIter, RecordsIter, TraceEvent, TraceReader};
+pub use writer::TraceWriter;
+
+use lifepred_trace::Trace;
+use std::path::Path;
+
+/// Conventional file extension for trace files (no leading dot).
+pub const FILE_EXTENSION: &str = "lpt";
+
+/// Writes `trace` to a new file at `path`.
+pub fn save_trace(path: impl AsRef<Path>, trace: &Trace) -> Result<(), TraceFileError> {
+    TraceWriter::create(path)?.write(trace).map(drop)
+}
+
+/// Loads, validates and rebuilds the trace stored at `path`.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<Trace, TraceFileError> {
+    TraceReader::open(path)?.read_trace()
+}
+
+/// Encodes `trace` into an in-memory `.lpt` image.
+pub fn trace_to_vec(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
+    TraceWriter::new(Vec::new()).write(trace)
+}
+
+/// Decodes a trace from an in-memory `.lpt` image.
+pub fn trace_from_bytes(bytes: &[u8]) -> Result<Trace, TraceFileError> {
+    TraceReader::new(bytes)?.read_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifepred_trace::{EventKind, TraceSession};
+
+    /// A trace exercising every feature: nested chains, recursion,
+    /// interleaved frees, immortal objects, refs and work.
+    fn sample_trace() -> Trace {
+        let s = TraceSession::new("sample");
+        let long_lived = {
+            let _m = s.enter("main");
+            let a = {
+                let _f = s.enter("factory");
+                s.alloc(100)
+            };
+            s.touch(a, 7);
+            let mut kept = Vec::new();
+            {
+                let _w = s.enter("worker");
+                for i in 0..50u32 {
+                    let x = s.alloc(8 + i);
+                    if i % 3 == 0 {
+                        kept.push(x);
+                    } else {
+                        s.free(x);
+                    }
+                }
+                {
+                    let _r = s.enter("worker"); // recursion
+                    kept.push(s.alloc(4096));
+                }
+            }
+            s.work(1000);
+            s.free(a);
+            kept
+        };
+        for id in long_lived {
+            s.free(id);
+        }
+        s.alloc(12); // immortal
+        s.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = sample_trace();
+        let bytes = trace_to_vec(&trace).expect("encode");
+        let loaded = trace_from_bytes(&bytes).expect("decode");
+        assert_eq!(loaded.name(), trace.name());
+        assert_eq!(loaded.stats(), trace.stats());
+        assert_eq!(loaded.end_clock(), trace.end_clock());
+        assert_eq!(loaded.end_seq(), trace.end_seq());
+        assert_eq!(loaded.records(), trace.records());
+        assert_eq!(loaded.registry().len(), trace.registry().len());
+        for (id, chain) in trace.chains().iter() {
+            assert_eq!(loaded.chains().get(id), chain);
+        }
+        for name in trace.registry().names() {
+            assert_eq!(
+                loaded.registry().get(name).map(|f| f.index()),
+                trace.registry().get(name).map(|f| f.index())
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let trace = TraceSession::new("empty").finish();
+        let bytes = trace_to_vec(&trace).expect("encode");
+        let loaded = trace_from_bytes(&bytes).expect("decode");
+        assert_eq!(loaded.records().len(), 0);
+        assert_eq!(loaded.name(), "empty");
+    }
+
+    #[test]
+    fn streaming_records_match_eager_load() {
+        let trace = sample_trace();
+        let bytes = trace_to_vec(&trace).expect("encode");
+        let streamed: Result<Vec<_>, _> = TraceReader::new(&bytes[..])
+            .expect("open")
+            .into_records()
+            .expect("records section")
+            .collect();
+        assert_eq!(streamed.expect("stream"), trace.records());
+    }
+
+    #[test]
+    fn streaming_events_match_trace_events() {
+        let trace = sample_trace();
+        let bytes = trace_to_vec(&trace).expect("encode");
+        let streamed: Vec<TraceEvent> = TraceReader::new(&bytes[..])
+            .expect("open")
+            .into_events()
+            .expect("events section")
+            .collect::<Result<_, _>>()
+            .expect("stream");
+        let expected: Vec<TraceEvent> = trace
+            .events()
+            .into_iter()
+            .map(|e| match e.kind {
+                EventKind::Alloc => TraceEvent::Alloc {
+                    seq: e.seq,
+                    record: e.record as u64,
+                    size: trace.records()[e.record].size,
+                },
+                EventKind::Free => TraceEvent::Free {
+                    seq: e.seq,
+                    record: e.record as u64,
+                },
+            })
+            .collect();
+        assert_eq!(streamed, expected);
+    }
+
+    #[test]
+    fn reader_exposes_header_without_touching_bodies() {
+        let trace = sample_trace();
+        let bytes = trace_to_vec(&trace).expect("encode");
+        let reader = TraceReader::new(&bytes[..]).expect("open");
+        assert_eq!(reader.name(), "sample");
+        assert_eq!(reader.stats(), trace.stats());
+        assert_eq!(reader.registry().len(), trace.registry().len());
+        assert_eq!(reader.chain_table().len(), trace.chains().len());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let trace = sample_trace();
+        let dir = std::env::temp_dir().join(format!("lpt-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("sample.lpt");
+        save_trace(&path, &trace).expect("save");
+        let loaded = load_trace(&path).expect("load");
+        assert_eq!(loaded.records(), trace.records());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_magic_is_reported() {
+        let err = trace_from_bytes(b"not a trace file").unwrap_err();
+        assert!(matches!(err, TraceFileError::BadMagic(_)), "{err}");
+    }
+
+    #[test]
+    fn unsupported_version_is_reported() {
+        let trace = TraceSession::new("v").finish();
+        let mut bytes = trace_to_vec(&trace).expect("encode");
+        bytes[4] = 0xff;
+        let err = trace_from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(err, TraceFileError::UnsupportedVersion(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_checksum_mismatch() {
+        let trace = sample_trace();
+        let mut bytes = trace_to_vec(&trace).expect("encode");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        assert!(trace_from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_is_reported_everywhere() {
+        let trace = sample_trace();
+        let bytes = trace_to_vec(&trace).expect("encode");
+        for len in 0..bytes.len() {
+            let err = trace_from_bytes(&bytes[..len]);
+            assert!(err.is_err(), "prefix of {len} bytes decoded successfully");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let trace = sample_trace();
+        let mut bytes = trace_to_vec(&trace).expect("encode");
+        bytes.push(0);
+        let err = trace_from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, TraceFileError::Malformed { .. }), "{err}");
+    }
+}

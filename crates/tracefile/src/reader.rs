@@ -1,0 +1,693 @@
+//! Reading `.lpt` files: eager header load, streaming bodies.
+//!
+//! [`TraceReader::new`] parses the header and the three small sections
+//! (meta, functions, chains) eagerly — they are bounded by the number
+//! of *distinct* functions and chains, not by trace length. The two
+//! large sections stream: [`TraceReader::into_records`] and
+//! [`TraceReader::into_events`] return iterators that decode one entry
+//! at a time in constant memory, verifying each section's CRC once its
+//! payload has been fully consumed. [`TraceReader::read_trace`] loads
+//! everything, cross-validates the event stream against the records,
+//! and rebuilds a full [`Trace`].
+//!
+//! Untrusted input never panics: every decode path returns
+//! [`TraceFileError`], and allocation sizes are bounded by bytes
+//! actually read, not by counts claimed in the file.
+
+use crate::crc32::Crc32;
+use crate::error::TraceFileError;
+use crate::format::{
+    MAGIC, SECTION_CHAINS, SECTION_COUNT, SECTION_EVENTS, SECTION_FUNCTIONS, SECTION_META,
+    SECTION_RECORDS, VERSION,
+};
+use crate::varint;
+use lifepred_trace::{
+    AllocationRecord, ChainId, ChainTable, FnId, FunctionRegistry, ObjectId, Trace, TraceStats,
+};
+use std::fs::File;
+use std::io::{BufReader, ErrorKind, Read};
+use std::path::Path;
+
+/// One entry of the on-disk event stream.
+///
+/// `record` is the index of the object's record in birth order — the
+/// same index [`Trace::records`] uses — so replay state can be keyed
+/// by it without loading the records section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Object `record` is born with `size` bytes.
+    Alloc {
+        /// Global event sequence number.
+        seq: u64,
+        /// Birth-order record index.
+        record: u64,
+        /// Requested size in bytes.
+        size: u32,
+    },
+    /// Object `record` dies.
+    Free {
+        /// Global event sequence number.
+        seq: u64,
+        /// Birth-order record index.
+        record: u64,
+    },
+}
+
+fn read_exact<R: Read>(
+    src: &mut R,
+    buf: &mut [u8],
+    section: &'static str,
+) -> Result<(), TraceFileError> {
+    src.read_exact(buf).map_err(|e| {
+        if e.kind() == ErrorKind::UnexpectedEof {
+            TraceFileError::Truncated { section }
+        } else {
+            TraceFileError::Io(e)
+        }
+    })
+}
+
+/// Errors if `src` still has bytes after the final section.
+fn expect_eof<R: Read>(src: &mut R) -> Result<(), TraceFileError> {
+    let mut byte = [0u8; 1];
+    match src.read(&mut byte) {
+        Ok(0) => Ok(()),
+        Ok(_) => Err(TraceFileError::malformed(
+            "trailer",
+            "trailing data after the final section",
+        )),
+        Err(e) => Err(TraceFileError::Io(e)),
+    }
+}
+
+/// Cursor state for one section body: bytes left per the declared
+/// payload length, plus the running checksum over bytes consumed.
+#[derive(Debug)]
+struct SectionState {
+    section: &'static str,
+    remaining: u64,
+    crc: Crc32,
+}
+
+impl SectionState {
+    /// Reads a section header, insisting on `expected_id`.
+    fn open<R: Read>(
+        src: &mut R,
+        expected_id: u8,
+        section: &'static str,
+    ) -> Result<Self, TraceFileError> {
+        let mut id = [0u8; 1];
+        read_exact(src, &mut id, section)?;
+        if id[0] != expected_id {
+            return Err(TraceFileError::malformed(
+                section,
+                format!("expected section id {expected_id}, found {}", id[0]),
+            ));
+        }
+        // The payload length lives outside the payload, so it bypasses
+        // the CRC state.
+        let remaining = match varint::read_varint(|| {
+            let mut b = [0u8; 1];
+            read_exact(src, &mut b, section).map(|()| b[0])
+        }) {
+            Ok(Some(v)) => v,
+            Ok(None) => {
+                return Err(TraceFileError::malformed(
+                    section,
+                    "invalid section length varint",
+                ))
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(SectionState {
+            section,
+            remaining,
+            crc: Crc32::new(),
+        })
+    }
+
+    fn read_u8<R: Read>(&mut self, src: &mut R) -> Result<u8, TraceFileError> {
+        if self.remaining == 0 {
+            return Err(TraceFileError::malformed(
+                self.section,
+                "value runs past the section payload",
+            ));
+        }
+        let mut b = [0u8; 1];
+        read_exact(src, &mut b, self.section)?;
+        self.remaining -= 1;
+        self.crc.update(&b);
+        Ok(b[0])
+    }
+
+    fn read_varint<R: Read>(&mut self, src: &mut R) -> Result<u64, TraceFileError> {
+        match varint::read_varint(|| self.read_u8(src)) {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(TraceFileError::malformed(self.section, "invalid varint")),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Reads `len` payload bytes. Memory use is bounded by bytes
+    /// actually present in `src`, not by `len`.
+    fn read_bytes<R: Read>(&mut self, src: &mut R, len: u64) -> Result<Vec<u8>, TraceFileError> {
+        if len > self.remaining {
+            return Err(TraceFileError::malformed(
+                self.section,
+                "value runs past the section payload",
+            ));
+        }
+        let mut buf = Vec::new();
+        src.by_ref().take(len).read_to_end(&mut buf)?;
+        if buf.len() as u64 != len {
+            return Err(TraceFileError::Truncated {
+                section: self.section,
+            });
+        }
+        self.remaining -= len;
+        self.crc.update(&buf);
+        Ok(buf)
+    }
+
+    /// Consumes the rest of the payload without interpreting it (the
+    /// CRC is still fed, so [`SectionState::finish`] stays meaningful).
+    fn skip<R: Read>(&mut self, src: &mut R) -> Result<(), TraceFileError> {
+        let mut buf = [0u8; 8192];
+        while self.remaining > 0 {
+            let n = self.remaining.min(buf.len() as u64) as usize;
+            read_exact(src, &mut buf[..n], self.section)?;
+            self.crc.update(&buf[..n]);
+            self.remaining -= n as u64;
+        }
+        Ok(())
+    }
+
+    /// Verifies the payload was fully consumed and matches its CRC.
+    fn finish<R: Read>(self, src: &mut R) -> Result<(), TraceFileError> {
+        if self.remaining != 0 {
+            return Err(TraceFileError::malformed(
+                self.section,
+                format!("{} unread bytes at end of section", self.remaining),
+            ));
+        }
+        let mut stored = [0u8; 4];
+        read_exact(src, &mut stored, self.section)?;
+        let stored = u32::from_le_bytes(stored);
+        let computed = self.crc.finish();
+        if stored != computed {
+            return Err(TraceFileError::ChecksumMismatch {
+                section: self.section,
+                stored,
+                computed,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Streaming reader for a `.lpt` image.
+///
+/// # Examples
+///
+/// ```
+/// use lifepred_trace::TraceSession;
+/// use lifepred_tracefile::{TraceReader, TraceWriter};
+///
+/// let s = TraceSession::new("demo");
+/// let id = s.alloc(16);
+/// s.free(id);
+/// let trace = s.finish();
+/// let bytes = TraceWriter::new(Vec::new()).write(&trace).unwrap();
+///
+/// let reader = TraceReader::new(&bytes[..]).unwrap();
+/// assert_eq!(reader.name(), "demo");
+/// let loaded = reader.read_trace().unwrap();
+/// assert_eq!(loaded.records(), trace.records());
+/// ```
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    src: R,
+    name: String,
+    stats: TraceStats,
+    end_clock: u64,
+    end_seq: u64,
+    registry: FunctionRegistry,
+    chains: ChainTable,
+}
+
+impl TraceReader<BufReader<File>> {
+    /// Opens the `.lpt` file at `path` behind a buffered reader.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        TraceReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parses the header, meta, functions and chains sections from
+    /// `src`, leaving the cursor at the records section.
+    pub fn new(mut src: R) -> Result<Self, TraceFileError> {
+        let mut magic = [0u8; 4];
+        read_exact(&mut src, &mut magic, "header")?;
+        if magic != MAGIC {
+            return Err(TraceFileError::BadMagic(magic));
+        }
+        let mut half = [0u8; 2];
+        read_exact(&mut src, &mut half, "header")?;
+        let version = u16::from_le_bytes(half);
+        if version != VERSION {
+            return Err(TraceFileError::UnsupportedVersion(version));
+        }
+        read_exact(&mut src, &mut half, "header")?;
+        let sections = u16::from_le_bytes(half);
+        if sections != SECTION_COUNT {
+            return Err(TraceFileError::malformed(
+                "header",
+                format!("version 1 carries {SECTION_COUNT} sections, header says {sections}"),
+            ));
+        }
+
+        let mut s = SectionState::open(&mut src, SECTION_META, "meta")?;
+        let name_len = s.read_varint(&mut src)?;
+        let name = String::from_utf8(s.read_bytes(&mut src, name_len)?)
+            .map_err(|_| TraceFileError::malformed("meta", "program name is not UTF-8"))?;
+        let end_clock = s.read_varint(&mut src)?;
+        let end_seq = s.read_varint(&mut src)?;
+        let mut counters = [0u64; 8];
+        for slot in &mut counters {
+            *slot = s.read_varint(&mut src)?;
+        }
+        s.finish(&mut src)?;
+        let stats = TraceStats {
+            total_bytes: counters[0],
+            total_objects: counters[1],
+            max_live_bytes: counters[2],
+            max_live_objects: counters[3],
+            instructions: counters[4],
+            function_calls: counters[5],
+            heap_refs: counters[6],
+            other_refs: counters[7],
+        };
+
+        let mut s = SectionState::open(&mut src, SECTION_FUNCTIONS, "functions")?;
+        let fn_count = s.read_varint(&mut src)?;
+        if fn_count > u64::from(u32::MAX) {
+            return Err(TraceFileError::malformed(
+                "functions",
+                "function count exceeds u32",
+            ));
+        }
+        let mut registry = FunctionRegistry::new();
+        for i in 0..fn_count {
+            let len = s.read_varint(&mut src)?;
+            let fname = String::from_utf8(s.read_bytes(&mut src, len)?).map_err(|_| {
+                TraceFileError::malformed("functions", format!("function {i} name is not UTF-8"))
+            })?;
+            // Interning dedups, which would silently renumber every
+            // later id — reject instead.
+            if u64::from(registry.intern(&fname).index()) != i {
+                return Err(TraceFileError::malformed(
+                    "functions",
+                    format!("duplicate function name {fname:?}"),
+                ));
+            }
+        }
+        s.finish(&mut src)?;
+
+        let mut s = SectionState::open(&mut src, SECTION_CHAINS, "chains")?;
+        let chain_count = s.read_varint(&mut src)?;
+        if chain_count > u64::from(u32::MAX) {
+            return Err(TraceFileError::malformed(
+                "chains",
+                "chain count exceeds u32",
+            ));
+        }
+        let mut chains = ChainTable::new();
+        let mut frames: Vec<FnId> = Vec::new();
+        for i in 0..chain_count {
+            let depth = s.read_varint(&mut src)?;
+            frames.clear();
+            for _ in 0..depth {
+                let f = s.read_varint(&mut src)?;
+                if f >= fn_count {
+                    return Err(TraceFileError::malformed(
+                        "chains",
+                        format!("chain {i} references function id {f}, registry has {fn_count}"),
+                    ));
+                }
+                frames.push(FnId::from_index(f as u32));
+            }
+            if u64::from(chains.intern(&frames).index()) != i {
+                return Err(TraceFileError::malformed(
+                    "chains",
+                    format!("chain {i} duplicates an earlier chain"),
+                ));
+            }
+        }
+        s.finish(&mut src)?;
+
+        Ok(TraceReader {
+            src,
+            name,
+            stats,
+            end_clock,
+            end_seq,
+            registry,
+            chains,
+        })
+    }
+
+    /// The traced program's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Aggregate statistics from the meta section.
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// Byte clock at end of trace.
+    pub fn end_clock(&self) -> u64 {
+        self.end_clock
+    }
+
+    /// Event sequence count at end of trace.
+    pub fn end_seq(&self) -> u64 {
+        self.end_seq
+    }
+
+    /// The function registry, rebuilt from the functions section.
+    pub fn registry(&self) -> &FunctionRegistry {
+        &self.registry
+    }
+
+    /// The chain table, rebuilt from the chains section.
+    pub fn chain_table(&self) -> &ChainTable {
+        &self.chains
+    }
+
+    /// Streams the records section, one [`AllocationRecord`] at a time.
+    ///
+    /// The iterator verifies the section CRC after the last record; a
+    /// corrupt file yields an `Err` item and then fuses.
+    pub fn into_records(mut self) -> Result<RecordsIter<R>, TraceFileError> {
+        let mut state = SectionState::open(&mut self.src, SECTION_RECORDS, "records")?;
+        let count = state.read_varint(&mut self.src)?;
+        Ok(RecordsIter {
+            src: self.src,
+            state: Some(state),
+            remaining: count,
+            decoder: RecordDecoder::new(self.chains.len() as u64),
+        })
+    }
+
+    /// Streams the events section in constant memory, skipping (but
+    /// still checksumming) the records section.
+    ///
+    /// The iterator verifies the events CRC and that nothing trails the
+    /// final section; a corrupt file yields an `Err` item and fuses.
+    pub fn into_events(mut self) -> Result<EventsIter<R>, TraceFileError> {
+        let mut st = SectionState::open(&mut self.src, SECTION_RECORDS, "records")?;
+        st.skip(&mut self.src)?;
+        st.finish(&mut self.src)?;
+        let mut state = SectionState::open(&mut self.src, SECTION_EVENTS, "events")?;
+        let count = state.read_varint(&mut self.src)?;
+        Ok(EventsIter {
+            src: self.src,
+            state: Some(state),
+            remaining: count,
+            decoder: EventDecoder::new(),
+        })
+    }
+
+    /// Loads the whole file into a [`Trace`], cross-validating the
+    /// event stream against the records and insisting on end-of-file
+    /// after the last section.
+    pub fn read_trace(mut self) -> Result<Trace, TraceFileError> {
+        let mut state = SectionState::open(&mut self.src, SECTION_RECORDS, "records")?;
+        let count = state.read_varint(&mut self.src)?;
+        let mut decoder = RecordDecoder::new(self.chains.len() as u64);
+        // Preallocation is capped: a lying count cannot force a huge
+        // up-front allocation.
+        let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
+        for _ in 0..count {
+            records.push(decoder.decode(&mut state, &mut self.src)?);
+        }
+        state.finish(&mut self.src)?;
+
+        let mut state = SectionState::open(&mut self.src, SECTION_EVENTS, "events")?;
+        let event_count = state.read_varint(&mut self.src)?;
+        let deaths = records.iter().filter(|r| r.death_seq.is_some()).count() as u64;
+        if event_count != records.len() as u64 + deaths {
+            return Err(TraceFileError::malformed(
+                "events",
+                format!(
+                    "{event_count} events for {} records with {deaths} deaths",
+                    records.len()
+                ),
+            ));
+        }
+        let mut decoder = EventDecoder::new();
+        for _ in 0..event_count {
+            let mismatch =
+                || TraceFileError::malformed("events", "event stream disagrees with records");
+            match decoder.decode(&mut state, &mut self.src)? {
+                TraceEvent::Alloc { seq, record, size } => {
+                    let r = records.get(record as usize).ok_or_else(|| {
+                        TraceFileError::malformed("events", "too many allocations")
+                    })?;
+                    if r.birth_seq != seq || r.size != size {
+                        return Err(mismatch());
+                    }
+                }
+                TraceEvent::Free { seq, record } => {
+                    // The decoder guarantees `record` was allocated.
+                    if records[record as usize].death_seq != Some(seq) {
+                        return Err(mismatch());
+                    }
+                }
+            }
+        }
+        state.finish(&mut self.src)?;
+        expect_eof(&mut self.src)?;
+
+        Ok(Trace::from_parts(
+            self.name,
+            self.registry,
+            self.chains,
+            records,
+            self.stats,
+            self.end_clock,
+            self.end_seq,
+        ))
+    }
+}
+
+/// Delta-decoding state for the records section.
+#[derive(Debug)]
+struct RecordDecoder {
+    chain_count: u64,
+    next_index: u64,
+    prev_clock: u64,
+    prev_seq: Option<u64>,
+}
+
+impl RecordDecoder {
+    fn new(chain_count: u64) -> Self {
+        RecordDecoder {
+            chain_count,
+            next_index: 0,
+            prev_clock: 0,
+            prev_seq: None,
+        }
+    }
+
+    fn decode<R: Read>(
+        &mut self,
+        state: &mut SectionState,
+        src: &mut R,
+    ) -> Result<AllocationRecord, TraceFileError> {
+        let i = self.next_index;
+        let bad = |detail: String| TraceFileError::Malformed {
+            section: "records",
+            detail,
+        };
+        let size = state.read_varint(src)?;
+        let size = u32::try_from(size).map_err(|_| bad(format!("record {i} size exceeds u32")))?;
+        let chain = state.read_varint(src)?;
+        if chain >= self.chain_count {
+            return Err(bad(format!(
+                "record {i} references chain {chain}, table has {}",
+                self.chain_count
+            )));
+        }
+        let clock_delta = state.read_varint(src)?;
+        let birth_clock = self
+            .prev_clock
+            .checked_add(clock_delta)
+            .ok_or_else(|| bad(format!("record {i} birth clock overflows")))?;
+        let seq_field = state.read_varint(src)?;
+        let birth_seq = match self.prev_seq {
+            None => seq_field,
+            Some(p) => p
+                .checked_add(1)
+                .and_then(|q| q.checked_add(seq_field))
+                .ok_or_else(|| bad(format!("record {i} birth seq overflows")))?,
+        };
+        let death_code = state.read_varint(src)?;
+        let (death_clock, death_seq) = if death_code == 0 {
+            (None, None)
+        } else {
+            let ds = birth_seq
+                .checked_add(death_code)
+                .ok_or_else(|| bad(format!("record {i} death seq overflows")))?;
+            let delta = state.read_varint(src)?;
+            let dc = birth_clock
+                .checked_add(delta)
+                .ok_or_else(|| bad(format!("record {i} death clock overflows")))?;
+            (Some(dc), Some(ds))
+        };
+        let refs = state.read_varint(src)?;
+        self.prev_clock = birth_clock;
+        self.prev_seq = Some(birth_seq);
+        self.next_index += 1;
+        Ok(AllocationRecord {
+            object: ObjectId::from_index(i),
+            size,
+            chain: ChainId::from_index(chain as u32),
+            birth_clock,
+            death_clock,
+            birth_seq,
+            death_seq,
+            refs,
+        })
+    }
+}
+
+/// Delta-decoding state for the events section.
+#[derive(Debug)]
+struct EventDecoder {
+    prev_seq: Option<u64>,
+    allocs: u64,
+}
+
+impl EventDecoder {
+    fn new() -> Self {
+        EventDecoder {
+            prev_seq: None,
+            allocs: 0,
+        }
+    }
+
+    fn decode<R: Read>(
+        &mut self,
+        state: &mut SectionState,
+        src: &mut R,
+    ) -> Result<TraceEvent, TraceFileError> {
+        let bad = |detail: &str| TraceFileError::malformed("events", detail);
+        let seq_field = state.read_varint(src)?;
+        let seq = match self.prev_seq {
+            None => seq_field,
+            Some(p) => p
+                .checked_add(1)
+                .and_then(|q| q.checked_add(seq_field))
+                .ok_or_else(|| bad("event seq overflows"))?,
+        };
+        let key = state.read_varint(src)?;
+        let event = if key & 1 == 0 {
+            let size = u32::try_from(key >> 1).map_err(|_| bad("event size exceeds u32"))?;
+            let record = self.allocs;
+            self.allocs = self
+                .allocs
+                .checked_add(1)
+                .ok_or_else(|| bad("allocation count overflows"))?;
+            TraceEvent::Alloc { seq, record, size }
+        } else {
+            let back = key >> 1;
+            let record = self
+                .allocs
+                .checked_sub(1)
+                .and_then(|last| last.checked_sub(back))
+                .ok_or_else(|| bad("free references an object never allocated"))?;
+            TraceEvent::Free { seq, record }
+        };
+        self.prev_seq = Some(seq);
+        Ok(event)
+    }
+}
+
+/// Streaming iterator over the records section.
+///
+/// Yields `Err` at most once (decode failure, truncation, or CRC
+/// mismatch at the end) and fuses afterwards.
+#[derive(Debug)]
+pub struct RecordsIter<R: Read> {
+    src: R,
+    state: Option<SectionState>,
+    remaining: u64,
+    decoder: RecordDecoder,
+}
+
+impl<R: Read> Iterator for RecordsIter<R> {
+    type Item = Result<AllocationRecord, TraceFileError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.state.as_ref()?;
+        if self.remaining == 0 {
+            let state = self.state.take().expect("checked above");
+            return match state.finish(&mut self.src) {
+                Ok(()) => None,
+                Err(e) => Some(Err(e)),
+            };
+        }
+        self.remaining -= 1;
+        let state = self.state.as_mut().expect("checked above");
+        match self.decoder.decode(state, &mut self.src) {
+            Ok(r) => Some(Ok(r)),
+            Err(e) => {
+                self.state = None;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Streaming iterator over the events section.
+///
+/// Decodes in constant memory. After the last event it verifies the
+/// section CRC and that the file ends; failures surface as a final
+/// `Err` item, after which the iterator fuses.
+#[derive(Debug)]
+pub struct EventsIter<R: Read> {
+    src: R,
+    state: Option<SectionState>,
+    remaining: u64,
+    decoder: EventDecoder,
+}
+
+impl<R: Read> Iterator for EventsIter<R> {
+    type Item = Result<TraceEvent, TraceFileError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.state.as_ref()?;
+        if self.remaining == 0 {
+            let state = self.state.take().expect("checked above");
+            return match state
+                .finish(&mut self.src)
+                .and_then(|()| expect_eof(&mut self.src))
+            {
+                Ok(()) => None,
+                Err(e) => Some(Err(e)),
+            };
+        }
+        self.remaining -= 1;
+        let state = self.state.as_mut().expect("checked above");
+        match self.decoder.decode(state, &mut self.src) {
+            Ok(e) => Some(Ok(e)),
+            Err(e) => {
+                self.state = None;
+                Some(Err(e))
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Serializing traces into `.lpt` files.
+//!
+//! Payload encodings (every integer a LEB128 varint unless noted):
+//!
+//! * **meta** — name length + UTF-8 name bytes, end clock, end seq,
+//!   then the eight [`TraceStats`](lifepred_trace::TraceStats) counters
+//!   in declaration order.
+//! * **functions** — count, then per function: name length + bytes, in
+//!   `FnId` order.
+//! * **chains** — count, then per chain: frame count + frame ids
+//!   (outermost first), in `ChainId` order.
+//! * **records** — count, then per record in birth order: size, chain
+//!   id, birth-clock delta from the previous record (clocks are
+//!   non-decreasing), birth-seq delta (the first record stores its seq
+//!   verbatim; later ones store `seq - prev - 1`, as seqs strictly
+//!   increase), a death code (`0` = immortal, else
+//!   `death_seq - birth_seq`), the death-clock delta
+//!   (`death_clock - birth_clock`, present only when dead), and the
+//!   reference count.
+//! * **events** — count, then per event: the seq delta (same scheme as
+//!   birth seqs) and a key varint. An even key is an allocation of
+//!   `key >> 1` bytes for the next record in birth order; an odd key
+//!   frees the object allocated `key >> 1` allocations ago (a
+//!   back-reference, so recently-born objects — the common case —
+//!   encode in one byte).
+
+use crate::crc32::crc32;
+use crate::error::TraceFileError;
+use crate::format::{
+    MAGIC, SECTION_CHAINS, SECTION_COUNT, SECTION_EVENTS, SECTION_FUNCTIONS, SECTION_META,
+    SECTION_RECORDS, VERSION,
+};
+use crate::varint::write_varint;
+use lifepred_trace::{EventKind, Trace};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Writes one [`Trace`] as a `.lpt` image into any byte sink.
+///
+/// # Examples
+///
+/// ```
+/// use lifepred_trace::TraceSession;
+/// use lifepred_tracefile::TraceWriter;
+///
+/// let s = TraceSession::new("demo");
+/// let id = s.alloc(16);
+/// s.free(id);
+/// let bytes = TraceWriter::new(Vec::new()).write(&s.finish()).unwrap();
+/// assert_eq!(&bytes[1..4], b"LPT");
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    sink: W,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates (or truncates) the file at `path` behind a buffered
+    /// writer.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, TraceFileError> {
+        Ok(TraceWriter::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps an arbitrary sink.
+    pub fn new(sink: W) -> Self {
+        TraceWriter { sink }
+    }
+
+    /// Writes the complete `.lpt` image of `trace`, flushes, and
+    /// returns the sink. Consumes the writer: a `.lpt` file holds
+    /// exactly one trace.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`TraceFileError::Malformed`] if `trace`
+    /// violates the invariants documented on
+    /// [`Trace::from_parts`](lifepred_trace::Trace::from_parts).
+    pub fn write(mut self, trace: &Trace) -> Result<W, TraceFileError> {
+        self.sink.write_all(&MAGIC)?;
+        self.sink.write_all(&VERSION.to_le_bytes())?;
+        self.sink.write_all(&SECTION_COUNT.to_le_bytes())?;
+        self.section(SECTION_META, &encode_meta(trace))?;
+        self.section(SECTION_FUNCTIONS, &encode_functions(trace))?;
+        self.section(SECTION_CHAINS, &encode_chains(trace)?)?;
+        self.section(SECTION_RECORDS, &encode_records(trace)?)?;
+        self.section(SECTION_EVENTS, &encode_events(trace)?)?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    fn section(&mut self, id: u8, payload: &[u8]) -> Result<(), io::Error> {
+        self.sink.write_all(&[id])?;
+        let mut len = Vec::with_capacity(crate::varint::MAX_VARINT_LEN);
+        write_varint(&mut len, payload.len() as u64);
+        self.sink.write_all(&len)?;
+        self.sink.write_all(payload)?;
+        self.sink.write_all(&crc32(payload).to_le_bytes())
+    }
+}
+
+fn encode_meta(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::new();
+    let name = trace.name().as_bytes();
+    write_varint(&mut out, name.len() as u64);
+    out.extend_from_slice(name);
+    write_varint(&mut out, trace.end_clock());
+    write_varint(&mut out, trace.end_seq());
+    let s = trace.stats();
+    for v in [
+        s.total_bytes,
+        s.total_objects,
+        s.max_live_bytes,
+        s.max_live_objects,
+        s.instructions,
+        s.function_calls,
+        s.heap_refs,
+        s.other_refs,
+    ] {
+        write_varint(&mut out, v);
+    }
+    out
+}
+
+fn encode_functions(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_varint(&mut out, trace.registry().len() as u64);
+    for name in trace.registry().names() {
+        write_varint(&mut out, name.len() as u64);
+        out.extend_from_slice(name.as_bytes());
+    }
+    out
+}
+
+fn encode_chains(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
+    let mut out = Vec::new();
+    let fn_count = trace.registry().len() as u64;
+    write_varint(&mut out, trace.chains().len() as u64);
+    for (id, chain) in trace.chains().iter() {
+        write_varint(&mut out, chain.len() as u64);
+        for frame in chain.frames() {
+            if u64::from(frame.index()) >= fn_count {
+                return Err(TraceFileError::malformed(
+                    "chains",
+                    format!("chain {} references unknown function {frame}", id.index()),
+                ));
+            }
+            write_varint(&mut out, u64::from(frame.index()));
+        }
+    }
+    Ok(out)
+}
+
+fn encode_records(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
+    let mut out = Vec::new();
+    let chain_count = trace.chains().len() as u64;
+    write_varint(&mut out, trace.records().len() as u64);
+    let mut prev_clock = 0u64;
+    let mut prev_seq: Option<u64> = None;
+    for (i, r) in trace.records().iter().enumerate() {
+        let bad = |detail: String| TraceFileError::Malformed {
+            section: "records",
+            detail,
+        };
+        if r.object.index() != i as u64 {
+            return Err(bad(format!("record {i} carries object id {}", r.object)));
+        }
+        if u64::from(r.chain.index()) >= chain_count {
+            return Err(bad(format!("record {i} references unknown chain")));
+        }
+        let clock_delta = r
+            .birth_clock
+            .checked_sub(prev_clock)
+            .ok_or_else(|| bad(format!("record {i} birth clock decreases")))?;
+        let seq_delta = match prev_seq {
+            None => r.birth_seq,
+            Some(p) => p
+                .checked_add(1)
+                .and_then(|q| r.birth_seq.checked_sub(q))
+                .ok_or_else(|| bad(format!("record {i} birth seq does not increase")))?,
+        };
+        write_varint(&mut out, u64::from(r.size));
+        write_varint(&mut out, u64::from(r.chain.index()));
+        write_varint(&mut out, clock_delta);
+        write_varint(&mut out, seq_delta);
+        match (r.death_seq, r.death_clock) {
+            (None, None) => write_varint(&mut out, 0),
+            (Some(ds), Some(dc)) => {
+                let code = ds
+                    .checked_sub(r.birth_seq)
+                    .filter(|&c| c > 0)
+                    .ok_or_else(|| bad(format!("record {i} dies before it is born")))?;
+                let dclock = dc
+                    .checked_sub(r.birth_clock)
+                    .ok_or_else(|| bad(format!("record {i} death clock precedes birth")))?;
+                write_varint(&mut out, code);
+                write_varint(&mut out, dclock);
+            }
+            _ => {
+                return Err(bad(format!(
+                    "record {i} has mismatched death clock and seq"
+                )))
+            }
+        }
+        write_varint(&mut out, r.refs);
+        prev_clock = r.birth_clock;
+        prev_seq = Some(r.birth_seq);
+    }
+    Ok(out)
+}
+
+fn encode_events(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
+    let mut out = Vec::new();
+    let events = trace.events();
+    write_varint(&mut out, events.len() as u64);
+    let mut prev_seq: Option<u64> = None;
+    let mut allocs = 0u64;
+    for e in events {
+        let bad = |detail: String| TraceFileError::Malformed {
+            section: "events",
+            detail,
+        };
+        let seq_delta = match prev_seq {
+            None => e.seq,
+            Some(p) => p
+                .checked_add(1)
+                .and_then(|q| e.seq.checked_sub(q))
+                .ok_or_else(|| bad(format!("event seq {} does not increase", e.seq)))?,
+        };
+        write_varint(&mut out, seq_delta);
+        let key = match e.kind {
+            EventKind::Alloc => {
+                if e.record as u64 != allocs {
+                    return Err(bad(format!(
+                        "allocation events out of birth order at seq {}",
+                        e.seq
+                    )));
+                }
+                allocs += 1;
+                let size = u64::from(trace.records()[e.record].size);
+                size << 1
+            }
+            EventKind::Free => {
+                let back = allocs
+                    .checked_sub(1 + e.record as u64)
+                    .ok_or_else(|| bad(format!("free before alloc at seq {}", e.seq)))?;
+                (back << 1) | 1
+            }
+        };
+        write_varint(&mut out, key);
+        prev_seq = Some(e.seq);
+    }
+    Ok(out)
+}

@@ -124,8 +124,7 @@ impl Big {
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0i64;
         for (i, &ai) in a.iter().enumerate() {
-            let mut x =
-                i64::from(ai) - i64::from(b.get(i).copied().unwrap_or(0)) - borrow;
+            let mut x = i64::from(ai) - i64::from(b.get(i).copied().unwrap_or(0)) - borrow;
             if x < 0 {
                 x += 1 << 32;
                 borrow = 1;
@@ -190,16 +189,10 @@ impl Big {
         assert!(!other.is_zero(), "big_div by zero");
         match self.cmp_big(other) {
             Ordering::Less => {
-                return (
-                    big_alloc(session, Vec::new()),
-                    self.clone_in(session),
-                );
+                return (big_alloc(session, Vec::new()), self.clone_in(session));
             }
             Ordering::Equal => {
-                return (
-                    big_alloc(session, vec![1]),
-                    big_alloc(session, Vec::new()),
-                );
+                return (big_alloc(session, vec![1]), big_alloc(session, Vec::new()));
             }
             Ordering::Greater => {}
         }
@@ -212,10 +205,7 @@ impl Big {
                 q[i] = (cur / d) as u32;
                 rem = cur % d;
             }
-            return (
-                big_alloc(session, q),
-                big_alloc(session, vec![rem as u32]),
-            );
+            return (big_alloc(session, q), big_alloc(session, vec![rem as u32]));
         }
         self.div_rem_knuth(session, other)
     }
@@ -240,9 +230,7 @@ impl Big {
             let top = (u64::from(u[j + n]) << 32) | u64::from(u[j + n - 1]);
             let mut qhat = top / vtop;
             let mut rhat = top % vtop;
-            while qhat >= 1 << 32
-                || qhat * vnext > ((rhat << 32) | u64::from(u[j + n - 2]))
-            {
+            while qhat >= 1 << 32 || qhat * vnext > ((rhat << 32) | u64::from(u[j + n - 2])) {
                 qhat -= 1;
                 rhat += vtop;
                 if rhat >= 1 << 32 {
@@ -392,7 +380,14 @@ mod tests {
     #[test]
     fn roundtrip_u128() {
         let s = s();
-        for v in [0u128, 1, 0xffff_ffff, 1 << 32, u128::from(u64::MAX), 1 << 100] {
+        for v in [
+            0u128,
+            1,
+            0xffff_ffff,
+            1 << 32,
+            u128::from(u64::MAX),
+            1 << 100,
+        ] {
             let b = Big::from_u128(&s, v);
             assert_eq!(b.to_u128(), Some(v));
         }
@@ -411,7 +406,11 @@ mod tests {
     #[test]
     fn mul_matches_u128() {
         let s = s();
-        let cases = [(3u128, 5u128), (1 << 40, 1 << 50), (123_456_789, 987_654_321)];
+        let cases = [
+            (3u128, 5u128),
+            (1 << 40, 1 << 50),
+            (123_456_789, 987_654_321),
+        ];
         for (x, y) in cases {
             let a = Big::from_u128(&s, x);
             let b = Big::from_u128(&s, y);

@@ -221,10 +221,10 @@ impl<'s> Interp<'s> {
                 Ok(())
             }
             Stmt::ForIn(var, arr, body) => {
-                let mut keys: Vec<String> =
-                    self.arrays.get(arr).map_or_else(Vec::new, |m| {
-                        m.keys().cloned().collect()
-                    });
+                let mut keys: Vec<String> = self
+                    .arrays
+                    .get(arr)
+                    .map_or_else(Vec::new, |m| m.keys().cloned().collect());
                 keys.sort(); // deterministic iteration
                 for k in keys {
                     let kv = Value::Str(self.mkstr(k));
@@ -500,9 +500,7 @@ impl<'s> Interp<'s> {
             Some(Expr::Var(n)) => Lvalue::Var(n.clone()),
             Some(Expr::Field(i)) => Lvalue::Field(i.clone()),
             Some(Expr::Index(n, i)) => Lvalue::Index(n.clone(), i.clone()),
-            Some(other) => {
-                return Err(format!("sub/gsub target must be an lvalue, got {other:?}"))
-            }
+            Some(other) => return Err(format!("sub/gsub target must be an lvalue, got {other:?}")),
             None => Lvalue::Field(Box::new(Expr::Num(0.0))),
         };
         if !self.regex_cache.contains_key(re) {
@@ -659,9 +657,7 @@ impl<'s> Interp<'s> {
                 let end = t
                     .char_indices()
                     .take_while(|(i, c)| {
-                        c.is_ascii_digit()
-                            || *c == '.'
-                            || (*i == 0 && (*c == '-' || *c == '+'))
+                        c.is_ascii_digit() || *c == '.' || (*i == 0 && (*c == '-' || *c == '+'))
                     })
                     .map(|(i, c)| i + c.len_utf8())
                     .last()
@@ -770,10 +766,7 @@ END { if (length(line) > 0) print line }
             run("{ n = split($0, parts); print n, parts[2] }", "a b c\n"),
             "3 b\n"
         );
-        assert_eq!(
-            run("{ print sprintf(\"%s=%d\", $1, 42) }", "x\n"),
-            "x=42\n"
-        );
+        assert_eq!(run("{ print sprintf(\"%s=%d\", $1, 42) }", "x\n"), "x=42\n");
     }
 
     #[test]

@@ -227,10 +227,7 @@ impl Parser {
                     let is_printf = id == "printf";
                     self.pos += 1;
                     let mut args = Vec::new();
-                    while !matches!(
-                        self.peek(),
-                        None | Some(Token::Semi) | Some(Token::RBrace)
-                    ) {
+                    while !matches!(self.peek(), None | Some(Token::Semi) | Some(Token::RBrace)) {
                         args.push(self.expr()?);
                         if !self.eat(&Token::Comma) {
                             break;
@@ -254,8 +251,7 @@ impl Parser {
                     let then = Box::new(self.stmt()?);
                     let save = self.pos;
                     self.skip_semis();
-                    let otherwise = if matches!(self.peek(), Some(Token::Ident(i)) if i == "else")
-                    {
+                    let otherwise = if matches!(self.peek(), Some(Token::Ident(i)) if i == "else") {
                         self.pos += 1;
                         self.skip_semis();
                         Some(Box::new(self.stmt()?))
@@ -345,8 +341,7 @@ impl Parser {
         let lhs = self.or_expr()?;
         for op in ["=", "+=", "-=", "*=", "/=", "%="] {
             if self.eat_op(op) {
-                let lv = to_lvalue(&lhs)
-                    .ok_or_else(|| format!("cannot assign to {lhs:?}"))?;
+                let lv = to_lvalue(&lhs).ok_or_else(|| format!("cannot assign to {lhs:?}"))?;
                 let rhs = self.assignment()?;
                 return Ok(Expr::Assign(lv, op.to_owned(), Box::new(rhs)));
             }
@@ -390,9 +385,7 @@ impl Parser {
         for (op, negated) in [("~", false), ("!~", true)] {
             if self.eat_op(op) {
                 return match self.next() {
-                    Some(Token::Regex(re)) => {
-                        Ok(Expr::Match(Box::new(lhs), re, negated))
-                    }
+                    Some(Token::Regex(re)) => Ok(Expr::Match(Box::new(lhs), re, negated)),
                     other => Err(format!("~ expects regex, got {other:?}")),
                 };
             }
@@ -476,12 +469,20 @@ impl Parser {
         if self.eat_op("++") {
             let target = self.postfix()?;
             let lv = to_lvalue(&target).ok_or("++ needs an lvalue")?;
-            return Ok(Expr::Incr { lvalue: lv, delta: 1.0, postfix: false });
+            return Ok(Expr::Incr {
+                lvalue: lv,
+                delta: 1.0,
+                postfix: false,
+            });
         }
         if self.eat_op("--") {
             let target = self.postfix()?;
             let lv = to_lvalue(&target).ok_or("-- needs an lvalue")?;
-            return Ok(Expr::Incr { lvalue: lv, delta: -1.0, postfix: false });
+            return Ok(Expr::Incr {
+                lvalue: lv,
+                delta: -1.0,
+                postfix: false,
+            });
         }
         self.postfix()
     }
@@ -490,11 +491,19 @@ impl Parser {
         let e = self.primary()?;
         if self.eat_op("++") {
             let lv = to_lvalue(&e).ok_or("++ needs an lvalue")?;
-            return Ok(Expr::Incr { lvalue: lv, delta: 1.0, postfix: true });
+            return Ok(Expr::Incr {
+                lvalue: lv,
+                delta: 1.0,
+                postfix: true,
+            });
         }
         if self.eat_op("--") {
             let lv = to_lvalue(&e).ok_or("-- needs an lvalue")?;
-            return Ok(Expr::Incr { lvalue: lv, delta: -1.0, postfix: true });
+            return Ok(Expr::Incr {
+                lvalue: lv,
+                delta: -1.0,
+                postfix: true,
+            });
         }
         Ok(e)
     }
@@ -571,10 +580,7 @@ mod tests {
     #[test]
     fn parses_regex_patterns() {
         let p = parse("/^[a-z]+$/ { count++ }").expect("parse");
-        assert!(matches!(
-            p.rules[0].pattern,
-            Pattern::Expr(Expr::Regex(_))
-        ));
+        assert!(matches!(p.rules[0].pattern, Pattern::Expr(Expr::Regex(_))));
     }
 
     #[test]
@@ -598,7 +604,9 @@ mod tests {
         let Stmt::Expr(Expr::Assign(_, _, rhs)) = &stmts[0] else {
             panic!()
         };
-        let Expr::Binary(op, _, r) = &**rhs else { panic!() };
+        let Expr::Binary(op, _, r) = &**rhs else {
+            panic!()
+        };
         assert_eq!(op, "+");
         assert!(matches!(&**r, Expr::Binary(o, _, _) if o == "*"));
     }
@@ -627,7 +635,9 @@ mod tests {
         let Some(stmts) = &p.rules[0].action else {
             panic!()
         };
-        let Stmt::Print(args) = &stmts[0] else { panic!() };
+        let Stmt::Print(args) = &stmts[0] else {
+            panic!()
+        };
         assert_eq!(args.len(), 2);
         assert!(matches!(args[0], Expr::Field(_)));
     }

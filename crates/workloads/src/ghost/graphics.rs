@@ -234,7 +234,12 @@ pub fn rasterize(
     width: f64,
 ) -> RasterOutput {
     let _g = session.enter("rasterize");
-    let mut bbox = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    let mut bbox = (
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+    );
     for c in chords {
         let (x, y) = **c;
         Traced::touch(c, 1);

@@ -144,7 +144,8 @@ impl<'s> PsInterp<'s> {
                 Ok(i + 1)
             }
             PsToken::Str(s) => {
-                self.stack.push(Obj::Str(alloc_str(self.session, s.clone())));
+                self.stack
+                    .push(Obj::Str(alloc_str(self.session, s.clone())));
                 Ok(i + 1)
             }
             PsToken::LitName(n) => {
@@ -507,10 +508,8 @@ impl<'s> PsInterp<'s> {
             // --- arrays / strings ---
             "array" => {
                 let n = self.pop_int()? as usize;
-                self.stack.push(Obj::Array(alloc_array(
-                    self.session,
-                    vec![Obj::Int(0); n],
-                )));
+                self.stack
+                    .push(Obj::Array(alloc_array(self.session, vec![Obj::Int(0); n])));
             }
             "length" => match self.pop()? {
                 Obj::Array(a) => {
@@ -775,10 +774,7 @@ fn alloc_array(session: &TraceSession, items: Vec<Obj>) -> Rc<Composite<Vec<Obj>
     })
 }
 
-fn alloc_dict(
-    session: &TraceSession,
-    capacity: usize,
-) -> Rc<Composite<HashMap<String, Obj>>> {
+fn alloc_dict(session: &TraceSession, capacity: usize) -> Rc<Composite<HashMap<String, Obj>>> {
     let _g = session.enter("dict_alloc");
     let _m = session.enter("gs_alloc");
     let node = session.traced((), (capacity.max(4) * 16) as u32);

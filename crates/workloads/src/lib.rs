@@ -45,8 +45,8 @@ pub mod espresso;
 pub mod gawk;
 pub mod ghost;
 pub mod input;
-pub mod regexlite;
 pub mod perl;
+pub mod regexlite;
 
 use lifepred_trace::{SharedRegistry, Trace, TraceSession};
 
@@ -122,11 +122,7 @@ mod tests {
     #[test]
     fn every_workload_has_two_inputs() {
         for w in all_workloads() {
-            assert!(
-                w.inputs().len() >= 2,
-                "{} must have >= 2 inputs",
-                w.name()
-            );
+            assert!(w.inputs().len() >= 2, "{} must have >= 2 inputs", w.name());
             assert!(!w.description().is_empty());
         }
     }

@@ -179,13 +179,15 @@ impl<'s> PerlInterp<'s> {
                     .get(h)
                     .map_or_else(Vec::new, |m| m.keys().cloned().collect());
                 keys.sort();
-                Ok(keys.into_iter().map(|k| Scalar::Str(self.sv_new(k))).collect())
+                Ok(keys
+                    .into_iter()
+                    .map(|k| Scalar::Str(self.sv_new(k)))
+                    .collect())
             }
             PExpr::Sort(inner) => {
                 let _g = self.session.enter("do_sort");
                 let mut items = self.eval_list(inner)?;
-                let mut strs: Vec<String> =
-                    items.drain(..).map(|v| self.stringify(&v)).collect();
+                let mut strs: Vec<String> = items.drain(..).map(|v| self.stringify(&v)).collect();
                 self.session.work(strs.len() as u64 * 4);
                 strs.sort();
                 Ok(strs
@@ -255,9 +257,7 @@ impl<'s> PerlInterp<'s> {
             }
             PExpr::ArrayAll(name) => {
                 // Scalar context: element count.
-                Ok(Scalar::Num(
-                    self.arrays.get(name).map_or(0, Vec::len) as f64
-                ))
+                Ok(Scalar::Num(self.arrays.get(name).map_or(0, Vec::len) as f64))
             }
             PExpr::Diamond => {
                 let _g = self.session.enter("read_line");
@@ -505,7 +505,13 @@ impl<'s> PerlInterp<'s> {
                     let _g = self.session.enter("hv_store");
                     let _m = self.session.enter("safemalloc");
                     let node = self.session.traced((), (k.len() + 24) as u32);
-                    map.insert(k, Entry { _node: node, value: v });
+                    map.insert(
+                        k,
+                        Entry {
+                            _node: node,
+                            value: v,
+                        },
+                    );
                 }
                 Ok(())
             }
@@ -633,10 +639,7 @@ mod tests {
             run("$x = \"foo123\"; if ($x =~ /[0-9]+/) { print \"y\"; }", ""),
             "y"
         );
-        assert_eq!(
-            run("$_ = \"aXc\"; s/X/b/; print $_;", ""),
-            "abc"
-        );
+        assert_eq!(run("$_ = \"aXc\"; s/X/b/; print $_;", ""), "abc");
     }
 
     #[test]
@@ -665,7 +668,10 @@ mod tests {
 
     #[test]
     fn last_exits_loop() {
-        let out = run("while (<>) { $n++; if ($n == 2) { last; } } print $n;", "a\nb\nc\nd\n");
+        let out = run(
+            "while (<>) { $n++; if ($n == 2) { last; } } print $n;",
+            "a\nb\nc\nd\n",
+        );
         assert_eq!(out, "2");
     }
 

@@ -125,8 +125,7 @@ mod tests {
     fn fill_script_fills_paragraphs() {
         let s = TraceSession::new("perl-fill");
         let program = parse(FILL_SCRIPT).expect("parse");
-        let words = "alpha\nbeta\ngamma\ndelta\nepsilon\nzeta\neta\ntheta\niota\nkappa\n"
-            .repeat(4);
+        let words = "alpha\nbeta\ngamma\ndelta\nepsilon\nzeta\neta\ntheta\niota\nkappa\n".repeat(4);
         let mut interp = PerlInterp::new(&s, &words);
         let out = interp.run(&program).expect("run");
         assert!(out.lines().count() >= 3);

@@ -285,9 +285,7 @@ impl P {
         for (op, neg) in [("=~", false), ("!~", true)] {
             if self.eat_op(op) {
                 return match self.next() {
-                    Some(Tok::Regex(re)) => {
-                        Ok(PExpr::Match(Box::new(lhs), re, neg))
-                    }
+                    Some(Tok::Regex(re)) => Ok(PExpr::Match(Box::new(lhs), re, neg)),
                     Some(Tok::Subst(re, rep)) if !neg => {
                         Ok(PExpr::Substitute(Box::new(lhs), re, rep))
                     }
@@ -376,11 +374,7 @@ impl P {
             Some(Tok::Diamond) => Ok(PExpr::Diamond),
             Some(Tok::Regex(re)) => {
                 // Bare regex matches $_.
-                Ok(PExpr::Match(
-                    Box::new(PExpr::Scalar("_".into())),
-                    re,
-                    false,
-                ))
+                Ok(PExpr::Match(Box::new(PExpr::Scalar("_".into())), re, false))
             }
             Some(Tok::Subst(re, rep)) => Ok(PExpr::Substitute(
                 Box::new(PExpr::Scalar("_".into())),

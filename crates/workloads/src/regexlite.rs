@@ -11,7 +11,10 @@
 enum Piece {
     Char(char),
     Any,
-    Class { negated: bool, ranges: Vec<(char, char)> },
+    Class {
+        negated: bool,
+        ranges: Vec<(char, char)>,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,7 +70,9 @@ impl Regex {
                     let mut ranges = Vec::new();
                     while i < chars.len() && chars[i] != ']' {
                         let lo = chars[i];
-                        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                        if chars.get(i + 1) == Some(&'-')
+                            && chars.get(i + 2).is_some_and(|&c| c != ']')
+                        {
                             ranges.push((lo, chars[i + 2]));
                             i += 3;
                         } else {

@@ -4,7 +4,7 @@
 
 use lifepred_trace::TraceSession;
 use lifepred_workloads::cfrac::Big;
-use lifepred_workloads::espresso::{complement, cofactor, tautology, Cube, DC, ONE, ZERO};
+use lifepred_workloads::espresso::{cofactor, complement, tautology, Cube, DC, ONE, ZERO};
 use lifepred_workloads::regexlite::Regex;
 use proptest::prelude::*;
 

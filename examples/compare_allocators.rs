@@ -21,11 +21,7 @@ fn main() {
     for workload in all_workloads() {
         let registry = shared_registry();
         let training = record(workload.as_ref(), 0, registry.clone());
-        let test = record(
-            workload.as_ref(),
-            workload.inputs().len() - 1,
-            registry,
-        );
+        let test = record(workload.as_ref(), workload.inputs().len() - 1, registry);
         let profile = Profile::build(&training, &SiteConfig::default(), DEFAULT_THRESHOLD);
         let db = train(&profile, &TrainConfig::default());
 

@@ -12,12 +12,18 @@ use lifepred::trace::shared_registry;
 use lifepred::workloads::{by_name, record};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "ghost".to_owned());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "ghost".to_owned());
     let Some(workload) = by_name(&name) else {
         eprintln!("unknown workload {name}; try cfrac, espresso, gawk, ghost or perl");
         std::process::exit(1);
     };
-    let trace = record(workload.as_ref(), workload.inputs().len() - 1, shared_registry());
+    let trace = record(
+        workload.as_ref(),
+        workload.inputs().len() - 1,
+        shared_registry(),
+    );
     let stats = trace.stats();
     println!(
         "{name}: {} objects, {} bytes, max live {} bytes, {} distinct chains",

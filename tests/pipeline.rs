@@ -2,8 +2,7 @@
 //! → replay, end to end.
 
 use lifepred::core::{
-    evaluate, train, Profile, ShortLivedSet, SiteConfig, SitePolicy, TrainConfig,
-    DEFAULT_THRESHOLD,
+    evaluate, train, Profile, ShortLivedSet, SiteConfig, SitePolicy, TrainConfig, DEFAULT_THRESHOLD,
 };
 use lifepred::heap::{replay_arena, replay_bsd, replay_firstfit, ReplayConfig};
 use lifepred::trace::{shared_registry, Trace};

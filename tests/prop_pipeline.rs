@@ -2,9 +2,7 @@
 //! the simulators must uphold their invariants for *any* allocation
 //! behaviour, not just the built-in workloads.
 
-use lifepred::core::{
-    evaluate, train, Profile, SiteConfig, SitePolicy, TrainConfig,
-};
+use lifepred::core::{evaluate, train, Profile, SiteConfig, SitePolicy, TrainConfig};
 use lifepred::heap::{replay_arena, replay_firstfit, ReplayConfig};
 use lifepred::trace::{Trace, TraceSession};
 use proptest::prelude::*;
