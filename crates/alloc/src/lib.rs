@@ -56,9 +56,11 @@
 mod database;
 mod profiler;
 mod runtime;
+mod sharded;
 mod site;
 
 pub use database::RuntimeSiteDb;
 pub use profiler::{AllocTicket, RuntimeProfiler};
-pub use runtime::{PredictiveAllocator, RuntimeArenaConfig, RuntimeStats};
+pub use runtime::{PredictiveAllocator, RuntimeArenaConfig, RuntimeStats, ARENA_ENV};
+pub use sharded::ShardedAllocator;
 pub use site::{site_key, SiteKey, SiteScope};

@@ -24,10 +24,81 @@ impl Default for RuntimeArenaConfig {
     }
 }
 
+/// Environment variable overriding the default arena geometry:
+/// `LIFEPRED_ARENAS=count,size` (e.g. `32,8192`).
+pub const ARENA_ENV: &str = "LIFEPRED_ARENAS";
+
 impl RuntimeArenaConfig {
     /// Total bytes of the arena area.
     pub fn total_bytes(&self) -> usize {
         self.arena_count * self.arena_size
+    }
+
+    /// Parses a `count,size` geometry spec (the [`ARENA_ENV`] format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed syntax, a zero count/size, more
+    /// than 65536 arenas, arenas under 64 bytes or over 1 GiB, or a
+    /// total area overflowing `usize`.
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        let (count, size) = spec
+            .split_once(',')
+            .ok_or_else(|| format!("{ARENA_ENV}: expected count,size, got {spec:?}"))?;
+        let arena_count: usize = count
+            .trim()
+            .parse()
+            .map_err(|e| format!("{ARENA_ENV}: bad arena count {count:?}: {e}"))?;
+        let arena_size: usize = size
+            .trim()
+            .parse()
+            .map_err(|e| format!("{ARENA_ENV}: bad arena size {size:?}: {e}"))?;
+        if arena_count == 0 || arena_count > 65536 {
+            return Err(format!(
+                "{ARENA_ENV}: arena count must be in 1..=65536, got {arena_count}"
+            ));
+        }
+        if !(64..=1 << 30).contains(&arena_size) {
+            return Err(format!(
+                "{ARENA_ENV}: arena size must be in 64..=1 GiB, got {arena_size}"
+            ));
+        }
+        if arena_count.checked_mul(arena_size).is_none() {
+            return Err(format!(
+                "{ARENA_ENV}: total area {arena_count}*{arena_size} overflows"
+            ));
+        }
+        Ok(RuntimeArenaConfig {
+            arena_count,
+            arena_size,
+        })
+    }
+
+    /// Reads the [`ARENA_ENV`] override, if set.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RuntimeArenaConfig::parse_spec`] message when the
+    /// variable is set but malformed.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var(ARENA_ENV) {
+            Ok(spec) => RuntimeArenaConfig::parse_spec(&spec).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// The startup geometry: the [`ARENA_ENV`] override when set, the
+    /// paper's 16 × 4 KB otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the variable is set but malformed — a misconfigured
+    /// allocator should fail loudly at startup, not run with silently
+    /// substituted geometry.
+    pub fn startup() -> Self {
+        RuntimeArenaConfig::from_env()
+            .expect("malformed LIFEPRED_ARENAS")
+            .unwrap_or_default()
     }
 }
 
@@ -47,12 +118,76 @@ pub struct RuntimeStats {
     /// Predicted-short allocations that had to fall back (all arenas
     /// pinned, or the object was larger than an arena).
     pub overflows: u64,
+    /// Frees of arena addresses whose arena had no live objects — a
+    /// double free (or a stray pointer into the arena area). Counted
+    /// and ignored instead of corrupting the live counts.
+    pub double_frees: u64,
+    /// Snapshot: bytes currently bump-allocated across all arenas
+    /// (occupancy since each arena's last reset).
+    pub arena_used_bytes: u64,
+    /// Snapshot: total capacity of the arena area in bytes.
+    pub arena_total_bytes: u64,
+    /// Snapshot: bytes sitting in arenas that still hold live objects —
+    /// memory that cannot be reclaimed by an arena reset.
+    pub pinned_arena_bytes: u64,
+}
+
+impl RuntimeStats {
+    /// Arena occupancy: used bytes as a percentage of capacity.
+    pub fn utilization_pct(&self) -> f64 {
+        stats_pct(self.arena_used_bytes, self.arena_total_bytes)
+    }
+
+    /// Arena fragmentation: bytes pinned by live objects (unreclaimable
+    /// by a reset) as a percentage of capacity.
+    pub fn fragmentation_pct(&self) -> f64 {
+        stats_pct(self.pinned_arena_bytes, self.arena_total_bytes)
+    }
+
+    /// Field-wise sum — combines per-shard counters into totals.
+    pub fn merged(&self, other: &RuntimeStats) -> RuntimeStats {
+        RuntimeStats {
+            arena_allocs: self.arena_allocs + other.arena_allocs,
+            general_allocs: self.general_allocs + other.general_allocs,
+            arena_frees: self.arena_frees + other.arena_frees,
+            general_frees: self.general_frees + other.general_frees,
+            arena_resets: self.arena_resets + other.arena_resets,
+            overflows: self.overflows + other.overflows,
+            double_frees: self.double_frees + other.double_frees,
+            arena_used_bytes: self.arena_used_bytes + other.arena_used_bytes,
+            arena_total_bytes: self.arena_total_bytes + other.arena_total_bytes,
+            pinned_arena_bytes: self.pinned_arena_bytes + other.pinned_arena_bytes,
+        }
+    }
+}
+
+fn stats_pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
 }
 
 #[derive(Debug, Clone, Copy, Default)]
-struct ArenaState {
-    used: usize,
-    live: u32,
+pub(crate) struct ArenaState {
+    pub(crate) used: usize,
+    pub(crate) live: u32,
+}
+
+/// Fills the snapshot fields of `stats` from arena states.
+pub(crate) fn fill_arena_snapshot(
+    stats: &mut RuntimeStats,
+    arenas: &[ArenaState],
+    arena_size: usize,
+) {
+    stats.arena_total_bytes = (arenas.len() * arena_size) as u64;
+    stats.arena_used_bytes = arenas.iter().map(|a| a.used as u64).sum();
+    stats.pinned_arena_bytes = arenas
+        .iter()
+        .filter(|a| a.live > 0)
+        .map(|a| a.used as u64)
+        .sum();
 }
 
 #[derive(Debug)]
@@ -95,9 +230,16 @@ impl PredictiveAllocator {
         PredictiveAllocator::with_database(RuntimeSiteDb::default())
     }
 
-    /// Creates an allocator driven by a trained database.
+    /// Creates an allocator driven by a trained database, with the
+    /// startup geometry (the `LIFEPRED_ARENAS` environment override
+    /// when set, the paper's 16 × 4 KB otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `LIFEPRED_ARENAS` is set but malformed (see
+    /// [`RuntimeArenaConfig::startup`]).
     pub fn with_database(db: RuntimeSiteDb) -> Self {
-        PredictiveAllocator::with_config(db, RuntimeArenaConfig::default())
+        PredictiveAllocator::with_config(db, RuntimeArenaConfig::startup())
     }
 
     /// Creates an allocator with explicit arena geometry.
@@ -133,9 +275,13 @@ impl PredictiveAllocator {
         &self.config
     }
 
-    /// Counters so far.
+    /// Counters so far, with arena utilization snapshot fields filled
+    /// in at call time.
     pub fn stats(&self) -> RuntimeStats {
-        self.inner.lock().stats
+        let inner = self.inner.lock();
+        let mut stats = inner.stats;
+        fill_arena_snapshot(&mut stats, &inner.arenas, self.config.arena_size);
+        stats
     }
 
     /// Whether `ptr` points into the arena area.
@@ -221,8 +367,14 @@ impl PredictiveAllocator {
             let idx = offset / self.config.arena_size;
             let mut inner = self.inner.lock();
             let arena = &mut inner.arenas[idx];
-            debug_assert!(arena.live > 0, "arena free with zero live count");
-            arena.live = arena.live.saturating_sub(1);
+            if arena.live == 0 {
+                // Double free (or stray arena pointer): counted, not
+                // masked — decrementing would corrupt another object's
+                // accounting.
+                inner.stats.double_frees += 1;
+                return;
+            }
+            arena.live -= 1;
             inner.stats.arena_frees += 1;
         } else {
             self.inner.lock().stats.general_frees += 1;
@@ -276,7 +428,7 @@ unsafe impl GlobalAlloc for PredictiveAllocator {
     }
 }
 
-fn align_up(offset: usize, align: usize) -> usize {
+pub(crate) fn align_up(offset: usize, align: usize) -> usize {
     (offset + align - 1) & !(align - 1)
 }
 
@@ -442,5 +594,101 @@ mod tests {
         let heap = PredictiveAllocator::new();
         let p = heap.allocate(site_key(), Layout::from_size_align(0, 1).expect("l"));
         assert!(p.is_null());
+    }
+
+    #[test]
+    fn arena_spec_parses_valid_geometries() {
+        let c = RuntimeArenaConfig::parse_spec("32,8192").expect("valid");
+        assert_eq!(c.arena_count, 32);
+        assert_eq!(c.arena_size, 8192);
+        let c = RuntimeArenaConfig::parse_spec(" 4 , 64 ").expect("whitespace ok");
+        assert_eq!(c.arena_count, 4);
+        assert_eq!(c.arena_size, 64);
+    }
+
+    #[test]
+    fn arena_spec_rejects_malformed_geometries() {
+        for bad in [
+            "",              // empty
+            "16",            // no comma
+            "16,4096,1",     // parse fails on "4096,1"
+            "a,4096",        // non-numeric count
+            "16,b",          // non-numeric size
+            "0,4096",        // zero count
+            "70000,4096",    // count over cap
+            "16,32",         // size under floor
+            "16,2147483648", // size over 1 GiB
+        ] {
+            assert!(
+                RuntimeArenaConfig::parse_spec(bad).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+        // Per-component limits fit, but the product overflows usize.
+        let huge = format!("65536,{}", 1usize << 30);
+        if usize::BITS <= 46 {
+            assert!(RuntimeArenaConfig::parse_spec(&huge).is_err());
+        }
+    }
+
+    #[test]
+    fn double_free_is_counted_not_masked() {
+        let site = site_key();
+        let heap = PredictiveAllocator::with_database(trained_db(site, 64));
+        let p = heap.allocate(site, layout(64));
+        assert!(heap.is_arena_ptr(p));
+        unsafe { heap.deallocate(p, layout(64)) };
+        // The second free of the same block must not underflow the live
+        // count — it is counted as a double free and otherwise ignored.
+        unsafe { heap.deallocate(p, layout(64)) };
+        let s = heap.stats();
+        assert_eq!(s.arena_frees, 1);
+        assert_eq!(s.double_frees, 1);
+        assert_eq!(heap.arena_live_objects(), 0);
+    }
+
+    #[test]
+    fn stats_snapshot_reports_utilization_and_fragmentation() {
+        let site = site_key();
+        let heap = PredictiveAllocator::with_config(
+            trained_db(site, 512),
+            RuntimeArenaConfig {
+                arena_count: 2,
+                arena_size: 1024,
+            },
+        );
+        let p = heap.allocate(site, layout(512));
+        let s = heap.stats();
+        assert_eq!(s.arena_total_bytes, 2048);
+        assert_eq!(s.arena_used_bytes, 512);
+        assert_eq!(s.pinned_arena_bytes, 512);
+        assert!((s.utilization_pct() - 25.0).abs() < 1e-9);
+        assert!((s.fragmentation_pct() - 25.0).abs() < 1e-9);
+        unsafe { heap.deallocate(p, layout(512)) };
+        // Freed: the arena keeps its bump offset (used) but is no
+        // longer pinned.
+        let s = heap.stats();
+        assert_eq!(s.pinned_arena_bytes, 0);
+        assert!((s.fragmentation_pct() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merged_stats_sum_fieldwise() {
+        let a = RuntimeStats {
+            arena_allocs: 1,
+            general_allocs: 2,
+            double_frees: 3,
+            ..RuntimeStats::default()
+        };
+        let b = RuntimeStats {
+            arena_allocs: 10,
+            overflows: 5,
+            ..RuntimeStats::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.arena_allocs, 11);
+        assert_eq!(m.general_allocs, 2);
+        assert_eq!(m.double_frees, 3);
+        assert_eq!(m.overflows, 5);
     }
 }

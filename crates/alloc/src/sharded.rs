@@ -1,0 +1,810 @@
+//! The sharded runtime allocator: per-thread arena shards with an
+//! optional online self-correcting predictor.
+//!
+//! [`PredictiveAllocator`](crate::PredictiveAllocator) funnels every
+//! allocation through one global mutex. [`ShardedAllocator`] splits the
+//! arena area into per-thread shards — each thread bump-allocates under
+//! its *own* shard lock, so the fast path never takes a global lock.
+//! Prediction comes from either a frozen [`RuntimeSiteDb`] (offline
+//! training, as in the paper) or a live
+//! [`SharedPredictor`](lifepred_adaptive::SharedPredictor) that keeps
+//! learning while the program runs: each shard caches an `Arc` snapshot
+//! of the predicted-short set and revalidates it with one atomic
+//! generation compare, the learner's mutex is only taken at epoch
+//! boundaries and on (rare) mispredictions.
+
+use crate::database::RuntimeSiteDb;
+use crate::runtime::{align_up, fill_arena_snapshot, ArenaState, RuntimeArenaConfig, RuntimeStats};
+use crate::site::{site_key, SiteKey};
+use lifepred_adaptive::{EpochAgg, EpochConfig, LearnerStats, SharedPredictor};
+use parking_lot::Mutex;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::{HashMap, HashSet};
+use std::ptr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Monotonic thread numbering for shard assignment.
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Each thread draws one slot for its lifetime; shard index is the
+    /// slot modulo the allocator's shard count. Const-initialized so
+    /// the hot-path access is a plain TLS load with no init guard.
+    static THREAD_SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+/// This thread's slot, drawn from [`NEXT_THREAD`] on first use.
+#[inline]
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            s.set(v);
+            v
+        }
+    })
+}
+
+/// Pads each shard's mutex to its own cache line: neighbouring shards
+/// must not bounce one line between cores under independent traffic.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct CacheLine<T>(T);
+
+/// Side metadata for one live object in adaptive mode.
+#[derive(Debug, Clone, Copy)]
+struct ObjMeta {
+    /// Site fingerprint (the size-folded chain key).
+    key: u64,
+    size: u64,
+    /// Byte clock just before this allocation.
+    birth: u64,
+    /// Alloc-time prediction.
+    predicted: bool,
+    /// Already reported to the learner as pinning (aging scan), so its
+    /// eventual free must not count a second misprediction.
+    reported: bool,
+}
+
+/// One pointer-hash-sharded slice of the adaptive side tables.
+#[derive(Debug, Default)]
+struct MetaShard {
+    /// Live objects keyed by address.
+    live: HashMap<usize, ObjMeta>,
+    /// Per-site feedback accumulated since the last epoch tick.
+    agg: HashMap<u64, EpochAgg>,
+}
+
+/// The online-learning half of the allocator.
+#[derive(Debug)]
+struct AdaptiveState {
+    predictor: SharedPredictor,
+    /// The global byte clock: advanced by object size on every
+    /// allocation, read on every free to compute a lifetime.
+    clock: AtomicU64,
+    /// Clock value at which the next epoch tick fires (CAS-claimed so
+    /// exactly one thread performs each tick).
+    next_epoch: AtomicU64,
+    epoch_bytes: u64,
+    threshold: u64,
+    /// Pointer-hash-sharded side tables; sharded independently of the
+    /// arena shards so frees from foreign threads don't pile onto one
+    /// lock.
+    meta: Vec<CacheLine<Mutex<MetaShard>>>,
+}
+
+impl AdaptiveState {
+    fn meta_index(&self, p: *mut u8) -> usize {
+        // Fibonacci hash over the address (low bits dropped: allocators
+        // return aligned pointers).
+        let h = (p as usize >> 4).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        (h >> 32) % self.meta.len()
+    }
+}
+
+/// Prediction source: offline-trained and frozen, or learning online.
+/// The adaptive state is boxed: it embeds the learner's mutex and is
+/// an order of magnitude bigger than the frozen database handle.
+#[derive(Debug)]
+enum Mode {
+    Frozen(RuntimeSiteDb),
+    Adaptive(Box<AdaptiveState>),
+}
+
+/// Per-shard mutable state; one mutex each, never a global one.
+#[derive(Debug)]
+struct ShardInner {
+    arenas: Vec<ArenaState>,
+    current: usize,
+    stats: RuntimeStats,
+    /// Cached snapshot of the predicted-short set (adaptive mode).
+    cached_gen: u64,
+    cached: Arc<HashSet<u64>>,
+}
+
+/// A lifetime-predicting allocator with per-thread arena shards.
+///
+/// Each thread is assigned a shard (round-robin over a thread-local
+/// slot); its allocations bump-allocate into that shard's arenas under
+/// the shard's own mutex. Frees route by address range back to the
+/// owning shard. There is **no global lock on the allocation fast
+/// path** — in adaptive mode the learner sits behind a mutex that is
+/// only touched at epoch boundaries and on mispredictions, while
+/// prediction lookups hit a per-shard cached `Arc` snapshot validated
+/// by one atomic load.
+///
+/// Double frees are detected (via the adaptive side table, or the
+/// arena live count in frozen mode), counted in
+/// [`RuntimeStats::double_frees`], and otherwise ignored.
+///
+/// # Examples
+///
+/// Online mode learns a short-lived site while allocating:
+///
+/// ```
+/// use lifepred_adaptive::EpochConfig;
+/// use lifepred_alloc::{ShardedAllocator, SiteKey};
+/// use std::alloc::Layout;
+///
+/// let cfg = EpochConfig {
+///     threshold: 1024,
+///     epoch_bytes: 2048,
+///     ..EpochConfig::default()
+/// };
+/// let heap = ShardedAllocator::adaptive(cfg, 2, Default::default());
+/// let site = SiteKey(0xfeed);
+/// let layout = Layout::from_size_align(64, 8).unwrap();
+/// for _ in 0..200 {
+///     let p = heap.allocate(site, layout);
+///     assert!(!p.is_null());
+///     unsafe { heap.deallocate(p, layout) };
+/// }
+/// let stats = heap.stats();
+/// assert_eq!(stats.double_frees, 0);
+/// let learned = heap.adaptive_stats().unwrap();
+/// assert!(learned.predicted_allocs > 0, "site was learned online");
+/// ```
+#[derive(Debug)]
+pub struct ShardedAllocator {
+    /// Per-shard arena geometry.
+    config: RuntimeArenaConfig,
+    shard_count: usize,
+    /// `config.total_bytes()`, cached: the pointer→shard math runs on
+    /// every free and must not recompute the product.
+    shard_bytes: usize,
+    /// `shard_count * shard_bytes`, cached for [`Self::is_arena_ptr`].
+    area_bytes: usize,
+    /// `log2(shard_bytes)` when it is a power of two (the default
+    /// geometry is): lets the free path shift instead of divide.
+    shard_shift: Option<u32>,
+    /// `log2(arena_size)` when it is a power of two, same purpose.
+    arena_shift: Option<u32>,
+    /// `shard_count - 1` when the count is a power of two: lets the
+    /// alloc path mask the thread slot instead of taking a modulo.
+    slot_mask: Option<usize>,
+    /// Base of the whole arena area (`area_bytes` bytes); shard `s`
+    /// owns the `s`-th slice. Owned, freed on drop.
+    base: *mut u8,
+    shards: Vec<CacheLine<Mutex<ShardInner>>>,
+    mode: Mode,
+}
+
+// SAFETY: the raw base pointer is only read concurrently; all mutable
+// bookkeeping sits behind per-shard/per-meta mutexes, and the arena
+// memory itself is handed out in disjoint chunks.
+unsafe impl Send for ShardedAllocator {}
+// SAFETY: as above — shared access is mediated by the internal mutexes.
+unsafe impl Sync for ShardedAllocator {}
+
+impl ShardedAllocator {
+    /// A shard count matched to the machine: available parallelism,
+    /// clamped to `1..=64`.
+    pub fn default_shards() -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(1, 64)
+    }
+
+    /// Creates a sharded allocator driven by a frozen offline-trained
+    /// database. Each shard gets its own arena area of `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, the geometry is empty, or the arena
+    /// area cannot be allocated.
+    pub fn frozen(db: RuntimeSiteDb, shards: usize, geometry: RuntimeArenaConfig) -> Self {
+        ShardedAllocator::build(Mode::Frozen(db), shards, geometry)
+    }
+
+    /// Creates a sharded allocator with a frozen database, default
+    /// shard count, and the startup geometry ([`RuntimeArenaConfig::startup`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `LIFEPRED_ARENAS` is set but malformed.
+    pub fn frozen_startup(db: RuntimeSiteDb) -> Self {
+        ShardedAllocator::frozen(db, Self::default_shards(), RuntimeArenaConfig::startup())
+    }
+
+    /// Creates a sharded allocator that learns online with the given
+    /// epoch configuration. Each shard gets its own arena area of
+    /// `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero, `epoch` fails
+    /// [`EpochConfig::validate`], the geometry is empty, or the arena
+    /// area cannot be allocated.
+    pub fn adaptive(epoch: EpochConfig, shards: usize, geometry: RuntimeArenaConfig) -> Self {
+        let meta = (0..shards.max(1)).map(|_| CacheLine::default()).collect();
+        let state = AdaptiveState {
+            predictor: SharedPredictor::new(epoch),
+            clock: AtomicU64::new(0),
+            next_epoch: AtomicU64::new(epoch.epoch_bytes),
+            epoch_bytes: epoch.epoch_bytes,
+            threshold: epoch.threshold,
+            meta,
+        };
+        ShardedAllocator::build(Mode::Adaptive(Box::new(state)), shards, geometry)
+    }
+
+    /// Creates an online-learning allocator with default shard count
+    /// and the startup geometry ([`RuntimeArenaConfig::startup`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `LIFEPRED_ARENAS` is set but malformed, or `epoch`
+    /// is invalid.
+    pub fn adaptive_startup(epoch: EpochConfig) -> Self {
+        ShardedAllocator::adaptive(epoch, Self::default_shards(), RuntimeArenaConfig::startup())
+    }
+
+    fn build(mode: Mode, shards: usize, geometry: RuntimeArenaConfig) -> Self {
+        assert!(shards > 0, "shard count must be nonzero");
+        assert!(
+            geometry.arena_count > 0 && geometry.arena_size > 0,
+            "empty geometry"
+        );
+        let total = shards
+            .checked_mul(geometry.total_bytes())
+            .expect("arena area size overflow");
+        let layout = Layout::from_size_align(total, 4096).expect("arena area layout");
+        // SAFETY: layout has nonzero size.
+        let base = unsafe { System.alloc(layout) };
+        assert!(!base.is_null(), "arena area allocation failed");
+        let shard_inner = || ShardInner {
+            arenas: vec![ArenaState::default(); geometry.arena_count],
+            current: 0,
+            stats: RuntimeStats::default(),
+            cached_gen: 0,
+            cached: Arc::new(HashSet::new()),
+        };
+        let shard_bytes = geometry.total_bytes();
+        ShardedAllocator {
+            config: geometry,
+            shard_count: shards,
+            shard_bytes,
+            area_bytes: total,
+            shard_shift: shard_bytes
+                .is_power_of_two()
+                .then(|| shard_bytes.trailing_zeros()),
+            arena_shift: geometry
+                .arena_size
+                .is_power_of_two()
+                .then(|| geometry.arena_size.trailing_zeros()),
+            slot_mask: shards.is_power_of_two().then(|| shards - 1),
+            base,
+            shards: (0..shards)
+                .map(|_| CacheLine(Mutex::new(shard_inner())))
+                .collect(),
+            mode,
+        }
+    }
+
+    /// The per-shard arena geometry.
+    pub fn config(&self) -> &RuntimeArenaConfig {
+        &self.config
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The shard serving the calling thread.
+    #[inline]
+    fn shard_index(&self) -> usize {
+        let slot = thread_slot();
+        match self.slot_mask {
+            Some(mask) => slot & mask,
+            None => slot % self.shard_count,
+        }
+    }
+
+    /// Splits an offset into the arena area into (shard, arena) indices.
+    #[inline]
+    fn locate(&self, offset: usize) -> (usize, usize) {
+        let (shard_idx, within) = match self.shard_shift {
+            Some(s) => (offset >> s, offset & (self.shard_bytes - 1)),
+            None => (offset / self.shard_bytes, offset % self.shard_bytes),
+        };
+        let arena_idx = match self.arena_shift {
+            Some(s) => within >> s,
+            None => within / self.config.arena_size,
+        };
+        (shard_idx, arena_idx)
+    }
+
+    /// Whether `ptr` points into any shard's arena area.
+    #[inline]
+    pub fn is_arena_ptr(&self, ptr: *mut u8) -> bool {
+        (ptr as usize).wrapping_sub(self.base as usize) < self.area_bytes
+    }
+
+    /// Counters summed across all shards, with arena utilization
+    /// snapshot fields filled in at call time.
+    pub fn stats(&self) -> RuntimeStats {
+        self.shard_stats()
+            .iter()
+            .fold(RuntimeStats::default(), |acc, s| acc.merged(s))
+    }
+
+    /// Per-shard counters, with each shard's arena snapshot filled in.
+    pub fn shard_stats(&self) -> Vec<RuntimeStats> {
+        self.shards
+            .iter()
+            .map(|shard| {
+                let inner = shard.0.lock();
+                let mut s = inner.stats;
+                fill_arena_snapshot(&mut s, &inner.arenas, self.config.arena_size);
+                s
+            })
+            .collect()
+    }
+
+    /// Online-learner counters; `None` in frozen mode.
+    pub fn adaptive_stats(&self) -> Option<LearnerStats> {
+        match &self.mode {
+            Mode::Adaptive(state) => Some(state.predictor.stats()),
+            Mode::Frozen(_) => None,
+        }
+    }
+
+    /// Live objects across all shards' arenas.
+    pub fn arena_live_objects(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.0.lock()
+                    .arenas
+                    .iter()
+                    .map(|a| u64::from(a.live))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Allocates memory for `layout`, deciding by `site`.
+    ///
+    /// Returns null on failure (or for zero-size layouts). The returned
+    /// memory must be released with [`ShardedAllocator::deallocate`]
+    /// while this allocator is still alive.
+    pub fn allocate(&self, site: SiteKey, layout: Layout) -> *mut u8 {
+        if layout.size() == 0 {
+            return ptr::null_mut();
+        }
+        let keyed = site.with_size(layout.size());
+        let size = layout.size() as u64;
+        // Advance the byte clock first: the object's birth is the clock
+        // just before its own bytes land, exactly as in the simulator.
+        let birth = match &self.mode {
+            Mode::Adaptive(state) => state.clock.fetch_add(size, Ordering::Relaxed),
+            Mode::Frozen(_) => 0,
+        };
+        let shard_idx = self.shard_index();
+        let p = {
+            let mut inner = self.shards[shard_idx].0.lock();
+            let predicted = match &self.mode {
+                Mode::Frozen(db) => db.predicts(keyed),
+                Mode::Adaptive(state) => {
+                    if let Some((generation, table)) =
+                        state.predictor.refresh_if_stale(inner.cached_gen)
+                    {
+                        inner.cached_gen = generation;
+                        inner.cached = table;
+                    }
+                    inner.cached.contains(&keyed.0)
+                }
+            };
+            self.place(shard_idx, &mut inner, predicted, layout)
+        };
+        if let Mode::Adaptive(state) = &self.mode {
+            if !p.0.is_null() {
+                let mut meta = state.meta[state.meta_index(p.0)].0.lock();
+                meta.live.insert(
+                    p.0 as usize,
+                    ObjMeta {
+                        key: keyed.0,
+                        size,
+                        birth,
+                        predicted: p.1,
+                        reported: false,
+                    },
+                );
+                meta.agg.entry(keyed.0).or_default().on_alloc(size, p.1);
+            }
+            self.maybe_roll_epoch(state);
+        }
+        p.0
+    }
+
+    /// Places one allocation within `shard_idx`, holding its lock.
+    /// Returns the pointer and the prediction that was applied.
+    fn place(
+        &self,
+        shard_idx: usize,
+        inner: &mut ShardInner,
+        predicted: bool,
+        layout: Layout,
+    ) -> (*mut u8, bool) {
+        if !predicted || layout.size() > self.config.arena_size || layout.align() > 4096 {
+            if predicted {
+                inner.stats.overflows += 1;
+            }
+            inner.stats.general_allocs += 1;
+            // SAFETY: nonzero size checked by the caller.
+            return (unsafe { System.alloc(layout) }, predicted);
+        }
+        // Fast path: bump the shard's current arena.
+        let current = inner.current;
+        if let Some(p) = self.bump(shard_idx, inner, current, layout) {
+            return (p, true);
+        }
+        // Scan the shard for an empty arena and reset it.
+        if let Some(idx) = inner.arenas.iter().position(|a| a.live == 0) {
+            inner.arenas[idx] = ArenaState::default();
+            inner.current = idx;
+            inner.stats.arena_resets += 1;
+            if let Some(p) = self.bump(shard_idx, inner, idx, layout) {
+                return (p, true);
+            }
+        }
+        // Every arena in this shard is pinned: degenerate to the
+        // general allocator.
+        inner.stats.overflows += 1;
+        inner.stats.general_allocs += 1;
+        // SAFETY: nonzero size checked by the caller.
+        (unsafe { System.alloc(layout) }, predicted)
+    }
+
+    fn bump(
+        &self,
+        shard_idx: usize,
+        inner: &mut ShardInner,
+        arena_idx: usize,
+        layout: Layout,
+    ) -> Option<*mut u8> {
+        let arena = &mut inner.arenas[arena_idx];
+        let offset = align_up(arena.used, layout.align());
+        if offset + layout.size() > self.config.arena_size {
+            return None;
+        }
+        arena.used = offset + layout.size();
+        arena.live += 1;
+        inner.stats.arena_allocs += 1;
+        let area_offset =
+            shard_idx * self.shard_bytes + arena_idx * self.config.arena_size + offset;
+        // SAFETY: area_offset + size <= shard_count * total_bytes, so
+        // the resulting pointer is inside the owned area allocation.
+        Some(unsafe { self.base.add(area_offset) })
+    }
+
+    /// Fires the epoch tick if the byte clock crossed the boundary.
+    /// Exactly one thread wins the CAS and performs the tick: drain the
+    /// per-shard feedback buffers into the learner, age-scan live
+    /// objects for arena-pinning mispredictions, and advance the
+    /// learner clock (which rolls the due epoch).
+    fn maybe_roll_epoch(&self, state: &AdaptiveState) {
+        let now = state.clock.load(Ordering::Relaxed);
+        let due = state.next_epoch.load(Ordering::Relaxed);
+        if now < due {
+            return;
+        }
+        if state
+            .next_epoch
+            .compare_exchange(
+                due,
+                now + state.epoch_bytes,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            // Another thread is performing this tick.
+            return;
+        }
+        state.predictor.with_learner(|learner| {
+            // Lock order: learner, then each meta shard in turn. The
+            // free path never holds a meta lock while taking the
+            // learner, so this cannot deadlock.
+            for meta in &state.meta {
+                let mut guard = meta.0.lock();
+                for (key, agg) in guard.agg.drain() {
+                    learner.absorb(key, &agg);
+                }
+                for obj in guard.live.values_mut() {
+                    if obj.predicted
+                        && !obj.reported
+                        && now.saturating_sub(obj.birth) >= state.threshold
+                    {
+                        // A predicted-short object still live past the
+                        // threshold pins its arena: report it once.
+                        obj.reported = true;
+                        learner.note_pinned(obj.key, obj.size);
+                    }
+                }
+            }
+            // Rolls every epoch that became due on the way to `now`.
+            learner.advance_clock(now);
+        });
+    }
+
+    /// Releases memory obtained from [`ShardedAllocator::allocate`].
+    ///
+    /// A double free is detected (side table in adaptive mode, arena
+    /// live count in frozen mode), counted, and otherwise ignored — it
+    /// never corrupts another object's accounting.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from `allocate` on this same allocator with the
+    /// same `layout`, and must not be used afterwards. (A repeated free
+    /// of the same block is tolerated and counted, not undefined — the
+    /// block is simply not released twice.)
+    pub unsafe fn deallocate(&self, ptr: *mut u8, layout: Layout) {
+        if ptr.is_null() {
+            return;
+        }
+        if let Mode::Adaptive(state) = &self.mode {
+            let mut meta = state.meta[state.meta_index(ptr)].0.lock();
+            let Some(obj) = meta.live.remove(&(ptr as usize)) else {
+                // No live record: a double free (or stray pointer).
+                drop(meta);
+                self.shards[self.shard_index()].0.lock().stats.double_frees += 1;
+                return;
+            };
+            let now = state.clock.load(Ordering::Relaxed);
+            let lifetime = now.saturating_sub(obj.birth);
+            let long = lifetime >= state.threshold;
+            if obj.predicted && long {
+                // Misprediction (or the tail of one already reported by
+                // the aging scan): rare by construction, so going to
+                // the learner mutex directly is fine. Drop the meta
+                // lock first — the epoch tick takes learner-then-meta.
+                drop(meta);
+                let counts_as_misprediction = !obj.reported;
+                state.predictor.with_learner(|learner| {
+                    let birth = learner.clock().saturating_sub(lifetime);
+                    learner.record_free(obj.key, obj.size, birth, counts_as_misprediction);
+                });
+            } else {
+                meta.agg.entry(obj.key).or_default().on_free(lifetime, long);
+            }
+        }
+        if self.is_arena_ptr(ptr) {
+            let offset = ptr as usize - self.base as usize;
+            let (shard_idx, arena_idx) = self.locate(offset);
+            let mut inner = self.shards[shard_idx].0.lock();
+            let arena = &mut inner.arenas[arena_idx];
+            if arena.live == 0 {
+                // Frozen mode has no side table, so this check is the
+                // double-free detector there; in adaptive mode the side
+                // table catches it first and this is unreachable.
+                inner.stats.double_frees += 1;
+                return;
+            }
+            arena.live -= 1;
+            inner.stats.arena_frees += 1;
+        } else {
+            self.shards[self.shard_index()].0.lock().stats.general_frees += 1;
+            // SAFETY: forwarded from `place`'s system path per the
+            // caller contract; the adaptive side table has already
+            // filtered repeated frees of the same block.
+            unsafe { System.dealloc(ptr, layout) };
+        }
+    }
+}
+
+impl Drop for ShardedAllocator {
+    fn drop(&mut self) {
+        let layout = Layout::from_size_align(self.area_bytes, 4096).expect("arena area layout");
+        // SAFETY: base was allocated with exactly this layout in
+        // `build` and is not referenced after drop.
+        unsafe { System.dealloc(self.base, layout) };
+    }
+}
+
+// SAFETY: allocate/deallocate satisfy the GlobalAlloc contract:
+// allocate returns either null or a block valid for `layout`, and
+// deallocate releases blocks from alloc exactly once.
+unsafe impl GlobalAlloc for ShardedAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // The ambient SiteScope chain identifies the site, as for
+        // PredictiveAllocator.
+        self.allocate(site_key(), layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: per the GlobalAlloc contract, ptr came from alloc.
+        unsafe { self.deallocate(ptr, layout) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(n: usize) -> Layout {
+        Layout::from_size_align(n, 8).expect("layout")
+    }
+
+    fn tiny_epoch() -> EpochConfig {
+        EpochConfig {
+            threshold: 1024,
+            epoch_bytes: 2048,
+            ..EpochConfig::default()
+        }
+    }
+
+    fn small_geometry() -> RuntimeArenaConfig {
+        RuntimeArenaConfig {
+            arena_count: 2,
+            arena_size: 1024,
+        }
+    }
+
+    #[test]
+    fn frozen_mode_routes_predicted_sites_to_arenas() {
+        let site = SiteKey(0x51);
+        let mut db = RuntimeSiteDb::new(32 * 1024);
+        db.insert(site.with_size(64));
+        let heap = ShardedAllocator::frozen(db, 4, RuntimeArenaConfig::default());
+        let p = heap.allocate(site, layout(64));
+        assert!(heap.is_arena_ptr(p));
+        let q = heap.allocate(SiteKey(0x99), layout(64));
+        assert!(!q.is_null());
+        assert!(!heap.is_arena_ptr(q));
+        unsafe {
+            heap.deallocate(p, layout(64));
+            heap.deallocate(q, layout(64));
+        }
+        let s = heap.stats();
+        assert_eq!(s.arena_allocs, 1);
+        assert_eq!(s.general_allocs, 1);
+        assert_eq!(s.arena_frees, 1);
+        assert_eq!(s.general_frees, 1);
+        assert_eq!(heap.arena_live_objects(), 0);
+    }
+
+    #[test]
+    fn adaptive_mode_learns_and_switches_to_arenas() {
+        let heap = ShardedAllocator::adaptive(tiny_epoch(), 2, RuntimeArenaConfig::default());
+        let site = SiteKey(0xfeed);
+        // First allocations are unpredicted (system path); after a
+        // couple of clean epochs the site flips to arenas.
+        for _ in 0..200 {
+            let p = heap.allocate(site, layout(64));
+            assert!(!p.is_null());
+            unsafe { heap.deallocate(p, layout(64)) };
+        }
+        let s = heap.stats();
+        assert!(s.arena_allocs > 0, "site never reached the arenas: {s:?}");
+        assert!(s.general_allocs > 0, "learning takes at least one epoch");
+        assert_eq!(s.double_frees, 0);
+        let learned = heap.adaptive_stats().expect("adaptive mode");
+        assert!(learned.promotions >= 1);
+        assert!(learned.predicted_allocs > 0);
+        assert_eq!(learned.mispredictions, 0);
+    }
+
+    #[test]
+    fn pinning_object_demotes_site_via_aging_scan() {
+        let heap = ShardedAllocator::adaptive(tiny_epoch(), 1, small_geometry());
+        let site = SiteKey(0xabc);
+        // Learn the site as short-lived.
+        for _ in 0..200 {
+            let p = heap.allocate(site, layout(64));
+            unsafe { heap.deallocate(p, layout(64)) };
+        }
+        assert!(heap.adaptive_stats().expect("adaptive").promotions >= 1);
+        // Now allocate one object at the (predicted) site and keep it
+        // live while churning unrelated traffic past the threshold: the
+        // aging scan reports it and demotes the site.
+        let pinned = heap.allocate(site, layout(64));
+        let noise = SiteKey(0x777);
+        for _ in 0..200 {
+            let p = heap.allocate(noise, layout(64));
+            unsafe { heap.deallocate(p, layout(64)) };
+        }
+        let learned = heap.adaptive_stats().expect("adaptive");
+        assert!(learned.mispredictions >= 1, "aging scan must report");
+        assert!(learned.demotions >= 1, "site must be demoted");
+        // The eventual free of the pinned object counts once, not twice.
+        unsafe { heap.deallocate(pinned, layout(64)) };
+        let after = heap.adaptive_stats().expect("adaptive");
+        assert_eq!(after.mispredictions, learned.mispredictions);
+        assert_eq!(heap.stats().double_frees, 0);
+    }
+
+    #[test]
+    fn adaptive_double_free_is_counted_for_both_paths() {
+        let heap = ShardedAllocator::adaptive(tiny_epoch(), 1, small_geometry());
+        let site = SiteKey(0xd0);
+        // System-path object (unpredicted site).
+        let p = heap.allocate(site, layout(64));
+        assert!(!heap.is_arena_ptr(p));
+        unsafe { heap.deallocate(p, layout(64)) };
+        unsafe { heap.deallocate(p, layout(64)) };
+        assert_eq!(heap.stats().double_frees, 1);
+        // Arena-path object: learn the site first.
+        for _ in 0..200 {
+            let q = heap.allocate(site, layout(64));
+            unsafe { heap.deallocate(q, layout(64)) };
+        }
+        let q = heap.allocate(site, layout(64));
+        assert!(heap.is_arena_ptr(q), "site should be learned by now");
+        unsafe { heap.deallocate(q, layout(64)) };
+        unsafe { heap.deallocate(q, layout(64)) };
+        assert_eq!(heap.stats().double_frees, 2);
+        assert_eq!(heap.arena_live_objects(), 0);
+    }
+
+    #[test]
+    fn shard_stats_sum_to_totals() {
+        let site = SiteKey(0x5a);
+        let mut db = RuntimeSiteDb::new(32 * 1024);
+        db.insert(site.with_size(32));
+        let heap = ShardedAllocator::frozen(db, 4, RuntimeArenaConfig::default());
+        let mut ptrs = Vec::new();
+        for _ in 0..64 {
+            ptrs.push(heap.allocate(site, layout(32)));
+        }
+        for p in ptrs {
+            unsafe { heap.deallocate(p, layout(32)) };
+        }
+        let total = heap.stats();
+        let summed = heap
+            .shard_stats()
+            .iter()
+            .fold(RuntimeStats::default(), |acc, s| acc.merged(s));
+        assert_eq!(total, summed);
+        assert_eq!(total.arena_allocs, 64);
+        assert_eq!(total.arena_frees, 64);
+    }
+
+    #[test]
+    fn zero_size_returns_null() {
+        let heap = ShardedAllocator::adaptive(tiny_epoch(), 1, small_geometry());
+        let p = heap.allocate(SiteKey(1), Layout::from_size_align(0, 1).expect("l"));
+        assert!(p.is_null());
+        // Freeing null is a no-op, not a double free.
+        unsafe { heap.deallocate(p, Layout::from_size_align(0, 1).expect("l")) };
+        assert_eq!(heap.stats().double_frees, 0);
+    }
+
+    #[test]
+    fn global_alloc_contract() {
+        let heap = ShardedAllocator::adaptive(tiny_epoch(), 2, small_geometry());
+        let l = layout(48);
+        let p = unsafe { GlobalAlloc::alloc(&heap, l) };
+        assert!(!p.is_null());
+        unsafe { ptr::write_bytes(p, 7, 48) };
+        unsafe { GlobalAlloc::dealloc(&heap, p, l) };
+        assert_eq!(heap.stats().double_frees, 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Multi-threaded smoke test: two traced workload programs replayed
+//! concurrently against one shared [`ShardedAllocator`] in adaptive
+//! mode. No frees are lost, double frees stay at zero, and per-shard
+//! counters sum to the global totals.
+
+use lifepred_adaptive::EpochConfig;
+use lifepred_alloc::{RuntimeArenaConfig, RuntimeStats, ShardedAllocator, SiteKey};
+use lifepred_trace::{shared_registry, EventKind, Trace};
+use lifepred_workloads::by_name;
+use std::alloc::Layout;
+use std::collections::HashMap;
+
+fn record_workload(name: &str) -> Trace {
+    let w = by_name(name).expect("workload exists");
+    lifepred_workloads::record(w.as_ref(), 0, shared_registry())
+}
+
+fn small_epoch() -> EpochConfig {
+    EpochConfig {
+        threshold: 4096,
+        epoch_bytes: 8192,
+        ..EpochConfig::default()
+    }
+}
+
+/// Replays one trace's alloc/free stream against the shared allocator.
+/// `tag` keeps the two programs' site keys disjoint. Returns the
+/// allocations made plus the survivors (as addresses) for the caller to
+/// free from a *different* thread.
+fn replay(heap: &ShardedAllocator, trace: &Trace, tag: u64) -> (u64, u64, Vec<(usize, Layout)>) {
+    let records = trace.records();
+    let mut live: HashMap<u64, (*mut u8, Layout)> = HashMap::new();
+    let mut allocs = 0u64;
+    let mut frees = 0u64;
+    for event in trace.events() {
+        let record = &records[event.record];
+        let site = SiteKey(u64::from(record.chain.index()) | (tag << 32));
+        match event.kind {
+            EventKind::Alloc => {
+                let layout =
+                    Layout::from_size_align(record.size.max(1) as usize, 8).expect("layout");
+                let p = heap.allocate(site, layout);
+                assert!(!p.is_null(), "allocation failed mid-replay");
+                allocs += 1;
+                let prev = live.insert(event.object.index(), (p, layout));
+                assert!(prev.is_none(), "object allocated twice");
+            }
+            EventKind::Free => {
+                let (p, layout) = live.remove(&event.object.index()).expect("free of live");
+                unsafe { heap.deallocate(p, layout) };
+                frees += 1;
+            }
+        }
+    }
+    let survivors = live
+        .into_values()
+        .map(|(p, layout)| (p as usize, layout))
+        .collect();
+    (allocs, frees, survivors)
+}
+
+#[test]
+fn two_workloads_share_one_adaptive_allocator() {
+    let cfrac = record_workload("cfrac");
+    let gawk = record_workload("gawk");
+    let heap = ShardedAllocator::adaptive(small_epoch(), 4, RuntimeArenaConfig::default());
+
+    let ((a1, f1, rest1), (a2, f2, rest2)) = std::thread::scope(|s| {
+        let h1 = s.spawn(|| replay(&heap, &cfrac, 1));
+        let h2 = s.spawn(|| replay(&heap, &gawk, 2));
+        (
+            h1.join().expect("cfrac thread"),
+            h2.join().expect("gawk thread"),
+        )
+    });
+    assert!(a1 > 1000, "cfrac should allocate plenty, got {a1}");
+    assert!(a2 > 1000, "gawk should allocate plenty, got {a2}");
+
+    // Cross-thread frees: survivors were allocated on worker threads
+    // and are released here on the main thread.
+    let mut cross = 0u64;
+    for (addr, layout) in rest1.into_iter().chain(rest2) {
+        unsafe { heap.deallocate(addr as *mut u8, layout) };
+        cross += 1;
+    }
+
+    let stats = heap.stats();
+    assert_eq!(
+        stats.arena_allocs + stats.general_allocs,
+        a1 + a2,
+        "no allocation lost: {stats:?}"
+    );
+    assert_eq!(
+        stats.arena_frees + stats.general_frees,
+        f1 + f2 + cross,
+        "no free lost: {stats:?}"
+    );
+    assert_eq!(stats.double_frees, 0);
+    assert_eq!(heap.arena_live_objects(), 0, "everything was freed");
+
+    // Per-shard counters sum to the global totals.
+    let summed = heap
+        .shard_stats()
+        .iter()
+        .fold(RuntimeStats::default(), |acc, s| acc.merged(s));
+    assert_eq!(summed, stats);
+
+    // The learner saw real traffic and learned something.
+    let learned = heap.adaptive_stats().expect("adaptive mode");
+    assert!(learned.epochs > 0, "epochs ticked: {learned:?}");
+    assert!(learned.total_allocs > 0);
+    assert!(
+        learned.promotions > 0,
+        "workload churn should promote at least one site: {learned:?}"
+    );
+    // Online prediction actually routed traffic to the arenas.
+    assert!(stats.arena_allocs > 0, "no allocation ever hit an arena");
+}
+
+#[test]
+fn same_program_from_many_threads_keeps_counts_consistent() {
+    let trace = record_workload("cfrac");
+    let heap = ShardedAllocator::adaptive(small_epoch(), 4, RuntimeArenaConfig::default());
+
+    let results = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|tag| {
+                let trace = &trace;
+                let heap = &heap;
+                s.spawn(move || replay(heap, trace, tag as u64 + 1))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("replay thread"))
+            .collect::<Vec<_>>()
+    });
+
+    let mut allocs = 0u64;
+    let mut frees = 0u64;
+    for (a, f, rest) in results {
+        allocs += a;
+        frees += f;
+        for (addr, layout) in rest {
+            unsafe { heap.deallocate(addr as *mut u8, layout) };
+            frees += 1;
+        }
+    }
+    let stats = heap.stats();
+    assert_eq!(stats.arena_allocs + stats.general_allocs, allocs);
+    assert_eq!(stats.arena_frees + stats.general_frees, frees);
+    assert_eq!(stats.double_frees, 0);
+    assert_eq!(heap.arena_live_objects(), 0);
+}

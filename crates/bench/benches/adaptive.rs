@@ -1,0 +1,121 @@
+//! Scalability of the sharded runtime allocator: allocate/free
+//! throughput at 1, 2, 4 and 8 threads, comparing the single-mutex
+//! [`PredictiveAllocator`], the sharded allocator with a frozen
+//! database, the sharded allocator learning online, and the system
+//! allocator baseline.
+//!
+//! Under contention the mutex allocator serializes every operation;
+//! the sharded allocator only ever locks the calling thread's own
+//! shard, so its throughput should grow with the thread count.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lifepred_adaptive::EpochConfig;
+use lifepred_alloc::{
+    site_key, PredictiveAllocator, RuntimeArenaConfig, RuntimeSiteDb, ShardedAllocator,
+};
+use std::alloc::Layout;
+
+/// Allocate/free cycles per thread per iteration: large enough that
+/// thread spawn cost is noise, small enough for the smoke mode.
+const OPS: usize = 2_000;
+
+/// Sizes cycled through by every thread (a small realistic mix).
+const SIZES: [usize; 8] = [16, 24, 8, 48, 32, 104, 16, 64];
+
+/// Runs `work` on `threads` concurrent threads and joins them all.
+fn fan_out(threads: usize, work: impl Fn() + Sync) {
+    if threads == 1 {
+        work();
+        return;
+    }
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(&work);
+        }
+    });
+}
+
+/// One thread's worth of work against any allocate/deallocate pair.
+fn churn(alloc: impl Fn(Layout) -> *mut u8, dealloc: impl Fn(*mut u8, Layout)) {
+    for i in 0..OPS {
+        let layout = Layout::from_size_align(SIZES[i % SIZES.len()], 8).expect("layout");
+        let p = alloc(layout);
+        dealloc(black_box(p), layout);
+    }
+}
+
+/// A database predicting every size in [`SIZES`] short-lived, so the
+/// frozen allocators exercise their arena fast path.
+fn all_short_db() -> RuntimeSiteDb {
+    let mut db = RuntimeSiteDb::new(32 * 1024);
+    for size in SIZES {
+        db.insert(site_key().with_size(size));
+    }
+    db
+}
+
+fn scaling(c: &mut Criterion) {
+    let site = site_key();
+    let geometry = RuntimeArenaConfig::default();
+    let epoch = EpochConfig {
+        threshold: 4096,
+        epoch_bytes: 8192,
+        ..EpochConfig::default()
+    };
+
+    let mut group = c.benchmark_group("adaptive_scaling");
+    for threads in [1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * OPS) as u64));
+
+        group.bench_function(BenchmarkId::new("mutex_frozen", threads), |b| {
+            let heap = PredictiveAllocator::with_database(all_short_db());
+            b.iter(|| {
+                fan_out(threads, || {
+                    churn(
+                        |l| heap.allocate(site, l),
+                        |p, l| unsafe { heap.deallocate(p, l) },
+                    );
+                });
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("sharded_frozen", threads), |b| {
+            let heap = ShardedAllocator::frozen(all_short_db(), threads, geometry);
+            b.iter(|| {
+                fan_out(threads, || {
+                    churn(
+                        |l| heap.allocate(site, l),
+                        |p, l| unsafe { heap.deallocate(p, l) },
+                    );
+                });
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("sharded_adaptive", threads), |b| {
+            let heap = ShardedAllocator::adaptive(epoch, threads, geometry);
+            b.iter(|| {
+                fan_out(threads, || {
+                    churn(
+                        |l| heap.allocate(site, l),
+                        |p, l| unsafe { heap.deallocate(p, l) },
+                    );
+                });
+            });
+        });
+
+        group.bench_function(BenchmarkId::new("system", threads), |b| {
+            b.iter(|| {
+                fan_out(threads, || {
+                    churn(
+                        |l| unsafe { std::alloc::alloc(l) },
+                        |p, l| unsafe { std::alloc::dealloc(p, l) },
+                    );
+                });
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scaling);
+criterion_main!(benches);

@@ -10,10 +10,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use lifepred_adaptive::EpochConfig;
 use lifepred_core::{
     evaluate, train, PredictionReport, Profile, ShortLivedSet, SiteConfig, TrainConfig,
     DEFAULT_THRESHOLD,
 };
+use lifepred_heap::{replay_arena_online, OnlineReplayReport, ReplayConfig};
 use lifepred_trace::{shared_registry, Trace};
 use lifepred_workloads::{all_workloads, record};
 
@@ -86,6 +88,20 @@ pub fn analyze(entry: &SuiteEntry, config: &SiteConfig) -> Analysis {
     }
 }
 
+/// Replays the entry's **test** trace with the online learner deciding
+/// every prediction as it goes — the no-training-run counterpart to
+/// [`analyze`]'s true-prediction path. Where `analyze` asks "how good
+/// is a predictor trained on another input?", this asks "how good is a
+/// predictor that has never seen any input and corrects itself while
+/// the program runs?".
+pub fn analyze_online(
+    entry: &SuiteEntry,
+    config: &SiteConfig,
+    epoch: &EpochConfig,
+) -> OnlineReplayReport {
+    replay_arena_online(&entry.test, config, epoch, &ReplayConfig::default())
+}
+
 /// Prints an aligned text table.
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -149,6 +165,17 @@ mod tests {
         // True prediction can't beat the actual short fraction.
         assert!(
             a.true_report.predicted_short_bytes_pct <= a.true_report.actual_short_bytes_pct + 1e-9
+        );
+
+        // The online learner, starting blind on the same test trace,
+        // still finds predictable sites and reports its own coverage.
+        let online = analyze_online(&entry, &SiteConfig::default(), &EpochConfig::default());
+        assert_eq!(online.replay.total_allocs, entry.test.stats().total_objects);
+        assert!(online.learner.epochs > 0);
+        assert!(online.learner.sites > 0);
+        assert!(
+            online.learner.coverage_byte_pct() <= 100.0
+                && online.learner.coverage_byte_pct() >= 0.0
         );
     }
 }

@@ -18,13 +18,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use lifepred_adaptive::{EpochConfig, LearnerStats};
 use lifepred_core::{
     train, Profile, ShortLivedSet, SiteConfig, SiteExtractor, SitePolicy, TrainConfig,
     DEFAULT_THRESHOLD,
 };
 use lifepred_heap::{
-    replay_arena_stream, replay_bsd_stream, replay_firstfit_stream, ReplayConfig, ReplayEvent,
-    ReplayMeta, ReplayReport, ReplayStreamError,
+    replay_arena_online_stream, replay_arena_stream, replay_bsd_stream, replay_firstfit_stream,
+    ReplayConfig, ReplayEvent, ReplayMeta, ReplayReport, ReplayStreamError,
 };
 use lifepred_trace::{shared_registry, Trace};
 use lifepred_tracefile::{load_trace, save_trace, TraceEvent, TraceFileError, TraceReader};
@@ -39,7 +40,9 @@ USAGE:
     lifepred record --workload <name> [--input <n>]... -o <file.lpt>
     lifepred inspect <file.lpt> [--functions] [--chains] [--verify]
     lifepred train <file.lpt>... -o <pred.json> [--policy <p>] [--rounding <n>] [--threshold <bytes>]
-    lifepred simulate <file.lpt> --predictor <pred.json> [--allocator <a>]
+    lifepred simulate <file.lpt> --predictor <pred.json|online> [--allocator <a>]
+                      [--policy <p>] [--rounding <n>] [--threshold <bytes>]
+                      [--epoch <bytes>] [--requalify <k>]
     lifepred report [--workload <name>]... [--policy <p>]
 
 OPTIONS:
@@ -51,8 +54,13 @@ OPTIONS:
     --policy <p>          site policy: complete (default), len-N, cce, size-only
     --rounding <n>        size rounding in bytes (default 4)
     --threshold <bytes>   short-lived threshold (default 32768)
-    --predictor <file>    trained predictor JSON (from `lifepred train`)
+    --predictor <file>    trained predictor JSON (from `lifepred train`),
+                          or the literal `online` to train in-place while
+                          simulating (arena allocator only)
     --allocator <a>       arena (default), first-fit or bsd
+    --epoch <bytes>       online: epoch length (default 2x threshold)
+    --requalify <k>       online: clean epochs a demoted site must show
+                          before re-qualifying (default 3)
     --functions           inspect: list the function registry
     --chains              inspect: list the interned call chains
     --verify              inspect: stream every section, checking CRCs
@@ -403,11 +411,25 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let mut path = None;
     let mut predictor = None;
     let mut allocator = "arena".to_owned();
+    let mut policy = SitePolicy::Complete;
+    let mut rounding = 4u32;
+    let mut threshold: u64 = DEFAULT_THRESHOLD;
+    let mut epoch_bytes: Option<u64> = None;
+    let mut requalify = 3u32;
     let mut s = Scanner::new(args);
     while let Some(arg) = s.next() {
         match arg {
             Arg::Opt("predictor", v) => predictor = Some(s.value("predictor", v)?.to_owned()),
             Arg::Opt("allocator", v) => allocator = s.value("allocator", v)?.to_owned(),
+            Arg::Opt("policy", v) => policy = parse_policy(s.value("policy", v)?)?,
+            Arg::Opt("rounding", v) => rounding = parse_num("rounding", s.value("rounding", v)?)?,
+            Arg::Opt("threshold", v) => {
+                threshold = parse_num("threshold", s.value("threshold", v)?)?;
+            }
+            Arg::Opt("epoch", v) => epoch_bytes = Some(parse_num("epoch", s.value("epoch", v)?)?),
+            Arg::Opt("requalify", v) => {
+                requalify = parse_num("requalify", s.value("requalify", v)?)?;
+            }
             Arg::Opt(o, _) => return Err(format!("simulate: unknown option --{o}")),
             Arg::Positional(p) if path.is_none() => path = Some(p.to_owned()),
             Arg::Positional(p) => return Err(format!("simulate: unexpected argument {p:?}")),
@@ -417,6 +439,52 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let config = ReplayConfig::default();
 
     let open = |path: &str| TraceReader::open(path).map_err(|e| file_err(path, e));
+
+    // The online predictor trains itself while the trace replays — no
+    // JSON database involved.
+    if predictor.as_deref() == Some("online") {
+        if allocator != "arena" {
+            return Err("simulate: --predictor online requires the arena allocator".to_owned());
+        }
+        let site_config = SiteConfig {
+            policy,
+            size_rounding: rounding,
+        };
+        let epoch = EpochConfig {
+            threshold,
+            epoch_bytes: epoch_bytes.unwrap_or(2 * threshold),
+            requalify_epochs: requalify,
+            ..EpochConfig::default()
+        };
+        epoch.validate().map_err(|e| format!("simulate: {e}"))?;
+        // Pass 1: stream the records, fingerprinting each object's
+        // allocation site. Only the (small) chain table is held in
+        // memory, plus one u64 per object.
+        let reader = open(&path)?;
+        let chains = reader.chain_table().clone();
+        let mut extractor = SiteExtractor::from_chains(&chains, site_config);
+        let mut sites = Vec::new();
+        for record in reader.into_records().map_err(|e| file_err(&path, e))? {
+            let record = record.map_err(|e| file_err(&path, e))?;
+            sites.push(extractor.site_of(&record).fingerprint());
+        }
+        // Pass 2: stream the events through the allocator, with the
+        // learner predicting and correcting as they go by.
+        let reader = open(&path)?;
+        let meta = ReplayMeta {
+            program: reader.name().to_owned(),
+            function_calls: reader.stats().function_calls,
+        };
+        let events = reader
+            .into_events()
+            .map_err(|e| file_err(&path, e))?
+            .map(|e| e.map(to_replay_event));
+        let online = replay_arena_online_stream(&meta, events, &sites, &epoch, &config)
+            .map_err(|e| replay_err(&path, e))?;
+        write_report(out, &online.replay)?;
+        return write_online_stats(out, &online.learner);
+    }
+
     let report = match allocator.as_str() {
         "arena" => {
             let pred_path = predictor.ok_or("simulate: --predictor is required for arena")?;
@@ -503,6 +571,31 @@ fn write_report(out: &mut dyn Write, r: &ReplayReport) -> Result<(), String> {
     )
 }
 
+fn write_online_stats(out: &mut dyn Write, l: &LearnerStats) -> Result<(), String> {
+    write_out(
+        out,
+        format!(
+            "\nonline learner:\n\
+             epochs:         {}\n\
+             sites:          {} ({} short-lived now)\n\
+             promotions:     {}\n\
+             demotions:      {}\n\
+             mispredictions: {}\n\
+             coverage:       {:.1}% allocs, {:.1}% bytes\n\
+             error bytes:    {:.2}%\n",
+            l.epochs,
+            l.sites,
+            l.short_sites,
+            l.promotions,
+            l.demotions,
+            l.mispredictions,
+            l.coverage_alloc_pct(),
+            l.coverage_byte_pct(),
+            l.error_byte_pct(),
+        ),
+    )
+}
+
 // ---------------------------------------------------------------------
 // report
 // ---------------------------------------------------------------------
@@ -530,7 +623,8 @@ fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         ..SiteConfig::default()
     };
     let headers = [
-        "program", "sites", "used", "actual%", "self%", "selferr%", "true%", "trueerr%",
+        "program", "sites", "used", "actual%", "self%", "selferr%", "true%", "trueerr%", "online%",
+        "onerr%", "epochs",
     ];
     let mut rows = Vec::new();
     for name in &names {
@@ -546,6 +640,10 @@ fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             test: test_trace,
         };
         let a = lifepred_bench::analyze(&entry, &config);
+        // Offline columns answer "train on one input, test on another";
+        // the online columns answer "start blind on the test input and
+        // learn while it runs".
+        let online = lifepred_bench::analyze_online(&entry, &config, &EpochConfig::default());
         rows.push(vec![
             name.clone(),
             a.self_report.total_sites.to_string(),
@@ -555,11 +653,14 @@ fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             format!("{:.2}", a.self_report.error_bytes_pct),
             format!("{:.1}", a.true_report.predicted_short_bytes_pct),
             format!("{:.2}", a.true_report.error_bytes_pct),
+            format!("{:.1}", online.learner.coverage_byte_pct()),
+            format!("{:.2}", online.learner.error_byte_pct()),
+            online.learner.epochs.to_string(),
         ]);
     }
     write_table(
         out,
-        &format!("prediction quality (policy {policy})"),
+        &format!("prediction quality, offline vs online (policy {policy})"),
         &headers,
         &rows,
     )

@@ -120,6 +120,60 @@ fn streamed_simulation_matches_in_memory_replay() {
 }
 
 #[test]
+fn online_simulation_needs_no_predictor_file() {
+    let dir = Scratch::new("online");
+    let trace = dir.path("cfrac.lpt");
+    run(&["record", "--workload", "cfrac", "-o", &trace]).expect("record");
+
+    // The literal predictor `online` trains in-place: no JSON database
+    // exists anywhere, yet the arena still admits objects.
+    let out = run(&["simulate", &trace, "--predictor", "online"]).expect("online simulate");
+    assert!(
+        out.contains("allocator:      arena-online"),
+        "online simulate output: {out}"
+    );
+    assert!(out.contains("online learner:"), "output: {out}");
+    assert!(out.contains("epochs:"), "output: {out}");
+    assert!(out.contains("coverage:"), "output: {out}");
+
+    // Epoch geometry is tunable; the tuned run still reports learner
+    // stats, and malformed geometry errors instead of panicking.
+    let out = run(&[
+        "simulate",
+        &trace,
+        "--predictor",
+        "online",
+        "--threshold",
+        "4096",
+        "--epoch",
+        "8192",
+        "--requalify",
+        "2",
+    ])
+    .expect("tuned online simulate");
+    assert!(out.contains("online learner:"), "output: {out}");
+    assert!(run(&["simulate", &trace, "--predictor", "online", "--epoch", "0"]).is_err());
+    assert!(run(&[
+        "simulate",
+        &trace,
+        "--predictor",
+        "online",
+        "--requalify",
+        "0"
+    ])
+    .is_err());
+    assert!(run(&[
+        "simulate",
+        &trace,
+        "--predictor",
+        "online",
+        "--allocator",
+        "bsd"
+    ])
+    .is_err());
+}
+
+#[test]
 fn multi_input_record_trains_across_traces() {
     let dir = Scratch::new("multi-input");
     let pattern = dir.path("espresso-{}.lpt");
@@ -142,6 +196,16 @@ fn multi_input_record_trains_across_traces() {
     assert!(out.contains("short-lived sites"));
     // The cross-trace predictor drives a simulation of the test input.
     run(&["simulate", &t1, "--predictor", &pred]).expect("simulate test input");
+}
+
+#[test]
+fn report_compares_offline_and_online_predictors() {
+    let out = run(&["report", "--workload", "espresso"]).expect("report");
+    assert!(out.contains("offline vs online"), "report output: {out}");
+    for col in ["true%", "trueerr%", "online%", "onerr%", "epochs"] {
+        assert!(out.contains(col), "missing column {col}: {out}");
+    }
+    assert!(out.contains("espresso"), "report output: {out}");
 }
 
 #[test]

@@ -170,6 +170,32 @@ impl SiteKey {
         }
     }
 
+    /// A stable 64-bit fingerprint of the key: FNV-1a over the variant
+    /// discriminant and fields.
+    ///
+    /// This is the integer identity consumers that can't carry the full
+    /// key use — e.g. the online learner in `lifepred-adaptive`, which
+    /// keys its per-site state by `u64`. It is deterministic across
+    /// runs for the same interned function ids; as with any 64-bit
+    /// hash, distinct keys may collide.
+    pub fn fingerprint(&self) -> u64 {
+        const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+        match self {
+            SiteKey::Chain { frames, size } => {
+                let mut h = fnv1a(SEED, &[1]);
+                for f in frames {
+                    h = fnv1a(h, &f.index().to_le_bytes());
+                }
+                fnv1a(h, &size.to_le_bytes())
+            }
+            SiteKey::Encrypted { key, size } => {
+                let h = fnv1a(fnv1a(SEED, &[2]), &key.to_le_bytes());
+                fnv1a(h, &size.to_le_bytes())
+            }
+            SiteKey::Size { size } => fnv1a(fnv1a(SEED, &[3]), &size.to_le_bytes()),
+        }
+    }
+
     /// Decodes a key produced by [`SiteKey::encode`].
     ///
     /// Returns `None` on malformed input.
@@ -260,6 +286,14 @@ impl<'t> SiteExtractor<'t> {
             ChainPart::Nothing => SiteKey::Size { size },
         }
     }
+}
+
+fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 fn process_chain(chain: &CallChain, policy: SitePolicy) -> ChainPart {
@@ -357,6 +391,30 @@ mod tests {
             let line = k.encode();
             assert_eq!(SiteKey::decode(&line), Some(k), "line {line}");
         }
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_discriminating() {
+        let chain = SiteKey::Chain {
+            frames: vec![FnId::from_index(1), FnId::from_index(9)],
+            size: 16,
+        };
+        assert_eq!(chain.fingerprint(), chain.clone().fingerprint());
+        let encrypted = SiteKey::Encrypted { key: 1, size: 16 };
+        let size_only = SiteKey::Size { size: 16 };
+        // Same size, different variants: distinct fingerprints.
+        assert_ne!(chain.fingerprint(), encrypted.fingerprint());
+        assert_ne!(chain.fingerprint(), size_only.fingerprint());
+        assert_ne!(encrypted.fingerprint(), size_only.fingerprint());
+        // Size perturbation changes the fingerprint.
+        let bigger = SiteKey::Size { size: 20 };
+        assert_ne!(size_only.fingerprint(), bigger.fingerprint());
+        // Frame order matters.
+        let swapped = SiteKey::Chain {
+            frames: vec![FnId::from_index(9), FnId::from_index(1)],
+            size: 16,
+        };
+        assert_ne!(chain.fingerprint(), swapped.fingerprint());
     }
 
     #[test]

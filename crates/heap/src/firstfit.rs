@@ -26,7 +26,7 @@ struct Block {
 /// Enhancements per Knuth: boundary tags give O(1) coalescing at free
 /// time, and a *roving pointer* resumes each search where the previous
 /// one ended so small blocks don't accumulate at the front of the free
-/// list. The heap grows in [`PAGE`]-byte increments.
+/// list. The heap grows in `PAGE`-byte (8 KB) increments.
 ///
 /// # Examples
 ///

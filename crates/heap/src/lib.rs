@@ -16,10 +16,12 @@
 //!
 //! Allocators operate on a synthetic address space — no real memory is
 //! touched — so heap sizes, fragmentation and operation counts are
-//! exactly reproducible. [`replay`] functions drive a whole
+//! exactly reproducible. The `replay_*` functions drive a whole
 //! [`Trace`](lifepred_trace::Trace) through an allocator and produce
-//! the numbers behind Tables 7 and 8; [`costmodel`] converts operation
-//! counts into the per-operation instruction estimates of Table 9.
+//! the numbers behind Tables 7 and 8; the cost functions
+//! ([`firstfit_costs`], [`bsd_costs`], [`arena_costs`]) convert
+//! operation counts into the per-operation instruction estimates of
+//! Table 9.
 //!
 //! # Examples
 //!
@@ -51,8 +53,9 @@ pub use costmodel::{arena_costs, bsd_costs, firstfit_costs, CostReport, Predicto
 pub use counts::OpCounts;
 pub use firstfit::FirstFit;
 pub use replay::{
-    prediction_bitmap, replay_arena, replay_arena_stream, replay_bsd, replay_bsd_stream,
-    replay_firstfit, replay_firstfit_stream, ReplayConfig, ReplayEvent, ReplayMeta, ReplayReport,
+    prediction_bitmap, replay_arena, replay_arena_online, replay_arena_online_stream,
+    replay_arena_stream, replay_bsd, replay_bsd_stream, replay_firstfit, replay_firstfit_stream,
+    site_fingerprints, OnlineReplayReport, ReplayConfig, ReplayEvent, ReplayMeta, ReplayReport,
     ReplayStreamError,
 };
 

@@ -17,8 +17,10 @@ use crate::bsd::BsdMalloc;
 use crate::counts::OpCounts;
 use crate::firstfit::FirstFit;
 use crate::Addr;
-use lifepred_core::{ShortLivedSet, SiteExtractor};
+use lifepred_adaptive::{EpochConfig, LearnerStats, OnlineLearner};
+use lifepred_core::{ShortLivedSet, SiteConfig, SiteExtractor};
 use lifepred_trace::{EventKind, Trace};
+use std::collections::VecDeque;
 use std::convert::Infallible;
 use std::fmt;
 
@@ -329,6 +331,144 @@ pub fn replay_arena_stream<E>(
     })
 }
 
+/// Results of an **online** arena replay: the allocator-level numbers
+/// plus the counters of the learner that made every prediction while
+/// the trace was running.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineReplayReport {
+    /// Allocator-level results (allocator name `arena-online`).
+    pub replay: ReplayReport,
+    /// Counters of the self-training predictor.
+    pub learner: LearnerStats,
+}
+
+/// Per-object bookkeeping for the online replay.
+#[derive(Debug, Clone, Copy)]
+struct OnlineObj {
+    key: u64,
+    size: u32,
+    birth: u64,
+    predicted: bool,
+    reported: bool,
+    live: bool,
+}
+
+/// Replays an event stream through the arena allocator with **no
+/// offline training**: an [`OnlineLearner`] decides every prediction
+/// as the trace runs and keeps correcting itself from the lifetimes it
+/// observes.
+///
+/// `sites[record]` is the site fingerprint
+/// ([`SiteKey::fingerprint`](lifepred_core::SiteKey::fingerprint)) of
+/// that object's allocation site — the online analogue of the
+/// `predicted` bitmap of [`replay_arena_stream`].
+///
+/// A predicted-short object still live after `epoch.threshold` bytes
+/// of allocation pins its arena; the replay reports it to the learner
+/// at that moment (an aging queue, mirroring the runtime allocator's
+/// epoch scan), demoting its site long before the free arrives.
+///
+/// # Errors
+///
+/// See [`replay_firstfit_stream`]; additionally, an allocation whose
+/// record index has no entry in `sites` is reported as corrupt.
+pub fn replay_arena_online_stream<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    sites: &[u64],
+    epoch: &EpochConfig,
+    config: &ReplayConfig,
+) -> Result<OnlineReplayReport, ReplayStreamError<E>> {
+    let mut learner = OnlineLearner::new(*epoch);
+    let mut heap = ArenaAllocator::new(config.arena);
+    let mut slots = SlotTable::default();
+    let mut objs: Vec<Option<OnlineObj>> = Vec::new();
+    // Predicted objects in birth order; the front is always the oldest,
+    // so aging is O(1) amortized.
+    let mut aging: VecDeque<usize> = VecDeque::new();
+    let threshold = epoch.threshold;
+    let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
+    let (mut arena_allocs, mut arena_bytes) = (0u64, 0u64);
+    for event in events {
+        match event.map_err(ReplayStreamError::Source)? {
+            ReplayEvent::Alloc { record, size } => {
+                total_allocs += 1;
+                total_bytes += u64::from(size);
+                let key = *sites.get(record).ok_or_else(|| {
+                    ReplayStreamError::Corrupt(format!(
+                        "object {record} has no site fingerprint ({} known)",
+                        sites.len()
+                    ))
+                })?;
+                let birth = learner.clock();
+                let predicted = learner.record_alloc(key, u64::from(size));
+                let addr = heap.alloc(size, predicted);
+                if heap.is_arena_addr(addr) {
+                    arena_allocs += 1;
+                    arena_bytes += u64::from(size);
+                }
+                slots.born(record, addr)?;
+                if record >= objs.len() {
+                    objs.resize(record + 1, None);
+                }
+                objs[record] = Some(OnlineObj {
+                    key,
+                    size,
+                    birth,
+                    predicted,
+                    reported: false,
+                    live: true,
+                });
+                if predicted {
+                    aging.push_back(record);
+                }
+                // Aging scan: a predicted object still live past the
+                // threshold pins its arena — report it once.
+                while let Some(&oldest) = aging.front() {
+                    let obj = objs[oldest].as_mut().expect("aging entry was allocated");
+                    if learner.clock().saturating_sub(obj.birth) < threshold {
+                        break;
+                    }
+                    aging.pop_front();
+                    if obj.live && !obj.reported {
+                        obj.reported = true;
+                        learner.note_pinned(obj.key, u64::from(obj.size));
+                    }
+                }
+            }
+            ReplayEvent::Free { record } => {
+                let addr = slots.died(record)?;
+                heap.free(addr);
+                let obj = objs[record].as_mut().expect("slot table guards liveness");
+                obj.live = false;
+                // A pinning misprediction was already reported by the
+                // aging scan; don't count its free a second time.
+                let counts_as_misprediction = obj.predicted && !obj.reported;
+                learner.record_free(
+                    obj.key,
+                    u64::from(obj.size),
+                    obj.birth,
+                    counts_as_misprediction,
+                );
+            }
+        }
+    }
+    Ok(OnlineReplayReport {
+        replay: ReplayReport {
+            program: meta.program.clone(),
+            allocator: "arena-online".to_owned(),
+            total_allocs,
+            total_bytes,
+            arena_allocs,
+            arena_bytes,
+            max_heap_bytes: heap.max_heap_bytes(),
+            counts: heap.counts(),
+            function_calls: meta.function_calls,
+        },
+        learner: learner.stats(),
+    })
+}
+
 /// Adapts a materialized trace into the stream-event shape.
 fn trace_events(trace: &Trace) -> impl Iterator<Item = Result<ReplayEvent, Infallible>> + '_ {
     trace.events().into_iter().map(|e| {
@@ -344,7 +484,7 @@ fn trace_events(trace: &Trace) -> impl Iterator<Item = Result<ReplayEvent, Infal
 
 /// Unwraps a stream-replay result for the in-memory path, where the
 /// source is infallible and a malformed sequence is a caller bug.
-fn expect_valid(result: Result<ReplayReport, ReplayStreamError<Infallible>>) -> ReplayReport {
+fn expect_valid<T>(result: Result<T, ReplayStreamError<Infallible>>) -> T {
     match result {
         Ok(report) => report,
         Err(ReplayStreamError::Source(e)) => match e {},
@@ -392,6 +532,37 @@ pub fn replay_arena(trace: &Trace, db: &ShortLivedSet, config: &ReplayConfig) ->
         &ReplayMeta::of(trace),
         trace_events(trace),
         &predicted,
+        config,
+    ))
+}
+
+/// Computes the per-record site fingerprints `replay_arena_online*`
+/// consults: `result[i]` identifies `trace.records()[i]`'s site under
+/// `sites` as a stable `u64`.
+pub fn site_fingerprints(trace: &Trace, sites: &SiteConfig) -> Vec<u64> {
+    let mut extractor = SiteExtractor::new(trace, *sites);
+    trace
+        .records()
+        .iter()
+        .map(|r| extractor.site_of(r).fingerprint())
+        .collect()
+}
+
+/// Replays `trace` through the arena allocator with the online learner
+/// deciding (and correcting) every prediction — no offline training
+/// run, no frozen database.
+pub fn replay_arena_online(
+    trace: &Trace,
+    sites: &SiteConfig,
+    epoch: &EpochConfig,
+    config: &ReplayConfig,
+) -> OnlineReplayReport {
+    let fingerprints = site_fingerprints(trace, sites);
+    expect_valid(replay_arena_online_stream(
+        &ReplayMeta::of(trace),
+        trace_events(trace),
+        &fingerprints,
+        epoch,
         config,
     ))
 }
@@ -534,6 +705,112 @@ mod tests {
         let predicted = prediction_bitmap(&t, &db);
         let stream = replay_arena_stream(&meta, trace_events(&t), &predicted, &cfg).expect("valid");
         assert_eq!(stream, replay_arena(&t, &db, &cfg));
+    }
+
+    fn small_epoch() -> EpochConfig {
+        EpochConfig {
+            threshold: 4096,
+            epoch_bytes: 8192,
+            ..EpochConfig::default()
+        }
+    }
+
+    #[test]
+    fn online_replay_learns_short_sites_mid_trace() {
+        let t = workload();
+        let r = replay_arena_online(
+            &t,
+            &SiteConfig::default(),
+            &small_epoch(),
+            &ReplayConfig::default(),
+        );
+        assert_eq!(r.replay.allocator, "arena-online");
+        assert_eq!(r.replay.total_allocs, t.stats().total_objects);
+        // The short-lived site is learned after a warmup and routed to
+        // arenas from then on.
+        assert!(r.learner.promotions >= 1, "{:?}", r.learner);
+        assert!(
+            r.replay.arena_alloc_pct() > 50.0,
+            "arena alloc pct {}",
+            r.replay.arena_alloc_pct()
+        );
+        // Warmup means online coverage trails the offline oracle.
+        let offline = replay_arena(&t, &trained(&t), &ReplayConfig::default());
+        assert!(r.replay.arena_allocs <= offline.arena_allocs);
+    }
+
+    #[test]
+    fn online_replay_demotes_drifting_site() {
+        // A site that is short-lived for a while, then starts holding
+        // objects across the threshold: the learner must demote it.
+        let s = TraceSession::new("drift");
+        {
+            let _g = s.enter("drifter");
+            for _ in 0..2000 {
+                let a = s.alloc(64);
+                s.free(a);
+            }
+        }
+        let mut kept = Vec::new();
+        {
+            let _g = s.enter("drifter");
+            for _ in 0..40 {
+                kept.push(s.alloc(64));
+                // Unrelated traffic ages the kept objects.
+                let _g2 = s.enter("noise");
+                for _ in 0..8 {
+                    let n = s.alloc(512);
+                    s.free(n);
+                }
+            }
+        }
+        for id in kept {
+            s.free(id);
+        }
+        let t = s.finish();
+        let r = replay_arena_online(
+            &t,
+            &SiteConfig::default(),
+            &small_epoch(),
+            &ReplayConfig::default(),
+        );
+        assert!(r.learner.promotions >= 1, "{:?}", r.learner);
+        assert!(r.learner.mispredictions >= 1, "{:?}", r.learner);
+        assert!(r.learner.demotions >= 1, "{:?}", r.learner);
+    }
+
+    #[test]
+    fn online_replay_needs_no_second_pass_state() {
+        // Stream and trace paths agree bit-for-bit, like the offline
+        // replays.
+        let t = workload();
+        let sites = site_fingerprints(&t, &SiteConfig::default());
+        let meta = ReplayMeta::of(&t);
+        let cfg = ReplayConfig::default();
+        let epoch = small_epoch();
+        let stream = replay_arena_online_stream(&meta, trace_events(&t), &sites, &epoch, &cfg)
+            .expect("valid");
+        assert_eq!(
+            stream,
+            replay_arena_online(&t, &SiteConfig::default(), &epoch, &cfg)
+        );
+    }
+
+    #[test]
+    fn online_replay_rejects_missing_fingerprints() {
+        let meta = ReplayMeta::default();
+        let events: Vec<Result<ReplayEvent, Infallible>> =
+            vec![Ok(ReplayEvent::Alloc { record: 0, size: 8 })];
+        assert!(matches!(
+            replay_arena_online_stream(
+                &meta,
+                events,
+                &[],
+                &EpochConfig::default(),
+                &ReplayConfig::default()
+            ),
+            Err(ReplayStreamError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! workload runs under the tracer once, and the resulting trace is
 //! then profiled, used to train predictors, and replayed through
 //! allocator simulations over and over. This crate gives the
-//! [`Trace`](lifepred_trace::Trace) a compact binary persistent form
+//! [`Trace`] a compact binary persistent form
 //! so those phases can run in separate processes (see the `lifepred`
 //! CLI).
 //!
@@ -20,7 +20,7 @@
 //! # Reading
 //!
 //! * [`TraceReader::read_trace`] / [`load_trace`] rebuild a full
-//!   in-memory [`Trace`](lifepred_trace::Trace), validating every
+//!   in-memory [`Trace`], validating every
 //!   section checksum and cross-checking the event stream against the
 //!   records.
 //! * [`TraceReader::into_events`] streams the event stream in constant

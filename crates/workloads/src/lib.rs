@@ -4,7 +4,7 @@
 //! 1990s C programs we cannot ship — so this crate provides
 //! from-scratch Rust mini-implementations of the same program classes,
 //! each instrumented against a
-//! [`TraceSession`](lifepred_trace::TraceSession):
+//! [`lifepred_trace::TraceSession`]:
 //!
 //! * [`cfrac`] — continued-fraction integer factoring over our own
 //!   arbitrary-precision arithmetic;

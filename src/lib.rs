@@ -18,8 +18,12 @@
 //!   instruction cost model;
 //! * [`workloads`] — traced mini-implementations of the paper's five
 //!   programs (cfrac, espresso, gawk, ghost, perl);
-//! * [`alloc`] — a *runtime* predictive allocator over real memory
-//!   (profiler, trained site database, arena-backed `GlobalAlloc`).
+//! * [`alloc`] — *runtime* predictive allocators over real memory
+//!   (profiler, trained site database, arena-backed `GlobalAlloc`,
+//!   and the sharded per-thread variant);
+//! * [`adaptive`] — the online self-correcting predictor: epoch-based
+//!   training, misprediction-driven demotion with hysteresis, and the
+//!   lock-free-reader snapshot the sharded allocator consults.
 //!
 //! # Quickstart
 //!
@@ -44,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use lifepred_adaptive as adaptive;
 pub use lifepred_alloc as alloc;
 pub use lifepred_core as core;
 pub use lifepred_heap as heap;

@@ -11,10 +11,30 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Re-export of the standard optimization barrier.
 pub use std::hint::black_box;
+
+/// When set, benchmarks run their routine once instead of measuring —
+/// the behaviour of real criterion under `cargo bench -- --test`,
+/// which CI uses as a cheap "do the benches still run" smoke check.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Enables or disables smoke-test mode (see [`parse_args`]).
+pub fn set_test_mode(enabled: bool) {
+    TEST_MODE.store(enabled, Ordering::Relaxed);
+}
+
+/// Reads harness flags from the process arguments. Only `--test` is
+/// understood; everything else cargo passes (`--bench`, filters) is
+/// ignored, as before. Called by [`criterion_main!`].
+pub fn parse_args() {
+    if std::env::args().any(|a| a == "--test") {
+        set_test_mode(true);
+    }
+}
 
 /// Target measurement time per benchmark.
 const MEASURE_TARGET: Duration = Duration::from_millis(300);
@@ -60,6 +80,13 @@ pub struct Bencher {
 impl Bencher {
     /// Calls `routine` repeatedly and records its median timing.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if TEST_MODE.load(Ordering::Relaxed) {
+            // Smoke mode: prove the routine runs, skip the measurement.
+            let t0 = Instant::now();
+            black_box(routine());
+            self.ns_per_iter = (t0.elapsed().as_nanos() as f64).max(1.0);
+            return;
+        }
         // Warm-up: also estimates a batch size so that one timed batch
         // is long enough for the clock to resolve.
         let warm_start = Instant::now();
@@ -89,6 +116,10 @@ impl Bencher {
 }
 
 fn report(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    if TEST_MODE.load(Ordering::Relaxed) {
+        println!("test-mode: {name} ... ok");
+        return;
+    }
     let mut line = format!("bench: {name:<40} {ns_per_iter:>12.1} ns/iter");
     match throughput {
         Some(Throughput::Elements(n)) => {
@@ -178,8 +209,9 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo bench` passes harness flags (e.g. `--bench`);
-            // this shim has no CLI and ignores them.
+            // `cargo bench` passes harness flags; `--test` switches to
+            // run-once smoke mode, everything else is ignored.
+            $crate::parse_args();
             $( $group(); )+
         }
     };
@@ -193,6 +225,17 @@ mod tests {
     fn bencher_measures_something() {
         let mut b = Bencher { ns_per_iter: 0.0 };
         b.iter(|| black_box(2u64 + 2));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn test_mode_runs_routine_exactly_once() {
+        set_test_mode(true);
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        let mut count = 0u32;
+        b.iter(|| count += 1);
+        set_test_mode(false);
+        assert_eq!(count, 1);
         assert!(b.ns_per_iter > 0.0);
     }
 
