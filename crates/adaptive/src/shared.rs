@@ -23,8 +23,11 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 #[derive(Debug)]
 pub struct SharedPredictor {
     learner: Mutex<OnlineLearner>,
+    /// Fast staleness check only; the authoritative generation lives
+    /// *inside* [`Self::table`] next to its snapshot, so a reader can
+    /// never pair one generation with another generation's table.
     generation: AtomicU64,
-    table: Mutex<Arc<HashSet<u64>>>,
+    table: Mutex<(u64, Arc<HashSet<u64>>)>,
 }
 
 impl SharedPredictor {
@@ -37,7 +40,7 @@ impl SharedPredictor {
         SharedPredictor {
             learner: Mutex::new(OnlineLearner::new(config)),
             generation: AtomicU64::new(0),
-            table: Mutex::new(Arc::new(HashSet::new())),
+            table: Mutex::new((0, Arc::new(HashSet::new()))),
         }
     }
 
@@ -48,12 +51,15 @@ impl SharedPredictor {
     }
 
     /// The published snapshot together with its generation.
+    ///
+    /// Generation and table are read under one lock, so the pair is
+    /// always consistent — a reader can never cache a new generation
+    /// against an old table (which would make
+    /// [`refresh_if_stale`](Self::refresh_if_stale) treat the stale
+    /// snapshot as current until the *next* set change).
     pub fn table(&self) -> (u64, Arc<HashSet<u64>>) {
-        // Order matters: read the generation *after* cloning the table
-        // so a stale pair is detected on the next refresh check, never
-        // a new generation paired with an old table.
-        let table = lock(&self.table).clone();
-        (self.generation(), table)
+        let guard = lock(&self.table);
+        (guard.0, Arc::clone(&guard.1))
     }
 
     /// Refreshes a reader's cached snapshot when stale: returns the
@@ -74,7 +80,10 @@ impl SharedPredictor {
         let generation = learner.generation();
         if generation != self.generation.load(Ordering::Acquire) {
             let snapshot = Arc::new(learner.snapshot());
-            *lock(&self.table) = snapshot;
+            // Publish the pair first, the fast-check atomic second: a
+            // reader woken by the atomic then finds (at least) this
+            // generation's table under the mutex.
+            *lock(&self.table) = (generation, snapshot);
             self.generation.store(generation, Ordering::Release);
         }
         result

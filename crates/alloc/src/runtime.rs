@@ -87,6 +87,19 @@ impl RuntimeArenaConfig {
         }
     }
 
+    /// The largest layout alignment the arena path can honour with
+    /// this geometry.
+    ///
+    /// Arenas start at multiples of `arena_size` from a 4096-aligned
+    /// base, so a pointer bumped within an arena is only guaranteed
+    /// aligned when the requested alignment divides `arena_size` (and
+    /// is at most 4096, the base alignment). Allocators route layouts
+    /// with a larger alignment to the system allocator instead of
+    /// returning a misaligned arena pointer.
+    pub fn max_served_align(&self) -> usize {
+        1usize << self.arena_size.trailing_zeros().min(12)
+    }
+
     /// The startup geometry: the [`ARENA_ENV`] override when set, the
     /// paper's 16 × 4 KB otherwise.
     ///
@@ -304,7 +317,12 @@ impl PredictiveAllocator {
         let keyed = site.with_size(layout.size());
         let predicted = self.db.predicts(keyed);
         let need = layout.size();
-        if !predicted || need > self.config.arena_size || layout.align() > 4096 {
+        // Alignments beyond max_served_align cannot be honoured from
+        // arena starts (multiples of arena_size): system path.
+        if !predicted
+            || need > self.config.arena_size
+            || layout.align() > self.config.max_served_align()
+        {
             let mut inner = self.inner.lock();
             if predicted {
                 inner.stats.overflows += 1;
@@ -348,7 +366,10 @@ impl PredictiveAllocator {
         arena.live += 1;
         inner.stats.arena_allocs += 1;
         // SAFETY: arena_base + offset + size <= total area size, so the
-        // resulting pointer is inside the owned area allocation.
+        // resulting pointer is inside the owned area allocation;
+        // `allocate` only admits alignments that divide arena_size (and
+        // the 4096 base alignment), so base + arena_base + offset
+        // honours layout.align().
         Some(unsafe { self.base.add(arena_base + offset) })
     }
 
@@ -594,6 +615,78 @@ mod tests {
         let heap = PredictiveAllocator::new();
         let p = heap.allocate(site_key(), Layout::from_size_align(0, 1).expect("l"));
         assert!(p.is_null());
+    }
+
+    #[test]
+    fn alignment_beyond_arena_starts_routes_to_system() {
+        let site = site_key();
+        // 1024-byte arenas: arena 1 starts 1024 bytes past the
+        // 4096-aligned base, so a 2048-align request cannot be served
+        // from the arenas without risking a misaligned pointer.
+        let heap = PredictiveAllocator::with_config(
+            trained_db(site, 64),
+            RuntimeArenaConfig {
+                arena_count: 4,
+                arena_size: 1024,
+            },
+        );
+        let l = Layout::from_size_align(64, 2048).expect("l");
+        let p = heap.allocate(site, l);
+        assert!(!p.is_null());
+        assert!(!heap.is_arena_ptr(p), "must not come from an arena");
+        assert_eq!(p as usize % 2048, 0, "alignment violated");
+        assert!(heap.stats().overflows >= 1, "routed as an overflow");
+        unsafe { heap.deallocate(p, l) };
+    }
+
+    #[test]
+    fn non_power_of_two_arena_size_limits_served_alignment() {
+        // 96 = 32·3: arena starts are only guaranteed 32-aligned.
+        let cfg = RuntimeArenaConfig {
+            arena_count: 4,
+            arena_size: 96,
+        };
+        assert_eq!(cfg.max_served_align(), 32);
+        let site = site_key();
+        let mut db = RuntimeSiteDb::new(32 * 1024);
+        db.insert(site.with_size(64));
+        db.insert(site.with_size(32));
+        let heap = PredictiveAllocator::with_config(db, cfg);
+        // align 64 > 32: system path, still aligned.
+        let l64 = Layout::from_size_align(64, 64).expect("l");
+        let p = heap.allocate(site, l64);
+        assert!(!heap.is_arena_ptr(p));
+        assert_eq!(p as usize % 64, 0, "alignment violated");
+        unsafe { heap.deallocate(p, l64) };
+        // align 32 divides 96: arena-served pointers are all aligned.
+        let l32 = Layout::from_size_align(32, 32).expect("l");
+        let mut ptrs = Vec::new();
+        for _ in 0..8 {
+            let q = heap.allocate(site, l32);
+            assert!(heap.is_arena_ptr(q));
+            assert_eq!(q as usize % 32, 0, "alignment violated");
+            ptrs.push(q);
+        }
+        for q in ptrs {
+            unsafe { heap.deallocate(q, l32) };
+        }
+    }
+
+    #[test]
+    fn max_served_align_caps_at_base_alignment() {
+        let big = RuntimeArenaConfig {
+            arena_count: 2,
+            arena_size: 1 << 20,
+        };
+        // Arena starts are 1 MiB apart, but the base itself is only
+        // 4096-aligned.
+        assert_eq!(big.max_served_align(), 4096);
+        assert_eq!(RuntimeArenaConfig::default().max_served_align(), 4096);
+        let odd = RuntimeArenaConfig {
+            arena_count: 16,
+            arena_size: 100,
+        };
+        assert_eq!(odd.max_served_align(), 4);
     }
 
     #[test]

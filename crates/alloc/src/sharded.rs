@@ -137,9 +137,12 @@ struct ShardInner {
 /// prediction lookups hit a per-shard cached `Arc` snapshot validated
 /// by one atomic load.
 ///
-/// Double frees are detected (via the adaptive side table, or the
-/// arena live count in frozen mode), counted in
-/// [`RuntimeStats::double_frees`], and otherwise ignored.
+/// In adaptive mode the per-pointer side table detects double frees,
+/// counts them in [`RuntimeStats::double_frees`], and otherwise
+/// ignores them. Frozen mode has no side table: a repeated free is
+/// undefined behaviour there (see
+/// [`deallocate`](ShardedAllocator::deallocate)); the counter only
+/// catches the subset that hits an arena with no live objects.
 ///
 /// # Examples
 ///
@@ -186,6 +189,11 @@ pub struct ShardedAllocator {
     /// `shard_count - 1` when the count is a power of two: lets the
     /// alloc path mask the thread slot instead of taking a modulo.
     slot_mask: Option<usize>,
+    /// [`RuntimeArenaConfig::max_served_align`], cached: the largest
+    /// alignment arena starts (multiples of `arena_size` from the
+    /// 4096-aligned base) can honour. Larger alignments go to the
+    /// system path.
+    max_align: usize,
     /// Base of the whole arena area (`area_bytes` bytes); shard `s`
     /// owns the `s`-th slice. Owned, freed on drop.
     base: *mut u8,
@@ -298,6 +306,7 @@ impl ShardedAllocator {
                 .is_power_of_two()
                 .then(|| geometry.arena_size.trailing_zeros()),
             slot_mask: shards.is_power_of_two().then(|| shards - 1),
+            max_align: geometry.max_served_align(),
             base,
             shards: (0..shards)
                 .map(|_| CacheLine(Mutex::new(shard_inner())))
@@ -368,9 +377,25 @@ impl ShardedAllocator {
     }
 
     /// Online-learner counters; `None` in frozen mode.
+    ///
+    /// Epoch ticks only fire from [`allocate`](Self::allocate), so
+    /// once allocation stops, feedback from the final partial epoch
+    /// would otherwise sit in the per-shard buffers forever. This
+    /// absorbs those pending aggregates into the learner first —
+    /// counters reflect all observed traffic, and late demotion
+    /// evidence (batched long frees) is applied — then reports.
     pub fn adaptive_stats(&self) -> Option<LearnerStats> {
         match &self.mode {
-            Mode::Adaptive(state) => Some(state.predictor.stats()),
+            Mode::Adaptive(state) => Some(state.predictor.with_learner(|learner| {
+                // Lock order learner-then-meta, matching the epoch
+                // tick, so this cannot deadlock against it.
+                for meta in &state.meta {
+                    for (key, agg) in meta.0.lock().agg.drain() {
+                        learner.absorb(key, &agg);
+                    }
+                }
+                learner.stats()
+            })),
             Mode::Frozen(_) => None,
         }
     }
@@ -452,7 +477,7 @@ impl ShardedAllocator {
         predicted: bool,
         layout: Layout,
     ) -> (*mut u8, bool) {
-        if !predicted || layout.size() > self.config.arena_size || layout.align() > 4096 {
+        if !predicted || layout.size() > self.config.arena_size || layout.align() > self.max_align {
             if predicted {
                 inner.stats.overflows += 1;
             }
@@ -500,7 +525,10 @@ impl ShardedAllocator {
         let area_offset =
             shard_idx * self.shard_bytes + arena_idx * self.config.arena_size + offset;
         // SAFETY: area_offset + size <= shard_count * total_bytes, so
-        // the resulting pointer is inside the owned area allocation.
+        // the resulting pointer is inside the owned area allocation;
+        // `place` only admits alignments that divide arena_size (and
+        // the 4096 base alignment), so base + area_offset honours
+        // layout.align().
         Some(unsafe { self.base.add(area_offset) })
     }
 
@@ -556,16 +584,24 @@ impl ShardedAllocator {
 
     /// Releases memory obtained from [`ShardedAllocator::allocate`].
     ///
-    /// A double free is detected (side table in adaptive mode, arena
-    /// live count in frozen mode), counted, and otherwise ignored — it
-    /// never corrupts another object's accounting.
+    /// In adaptive mode the side table detects a double free before
+    /// any memory or count is touched: it is counted and otherwise
+    /// ignored, never corrupting another object's accounting.
     ///
     /// # Safety
     ///
     /// `ptr` must come from `allocate` on this same allocator with the
-    /// same `layout`, and must not be used afterwards. (A repeated free
-    /// of the same block is tolerated and counted, not undefined — the
-    /// block is simply not released twice.)
+    /// same `layout`, and must not be used afterwards.
+    ///
+    /// In *adaptive* mode only, a repeated free of the same block is
+    /// tolerated and counted, not undefined — the side table filters
+    /// it and the block is not released twice. In *frozen* mode there
+    /// is no side table, so a repeated free is undefined behaviour,
+    /// exactly as with the system allocator: a system-path block would
+    /// be passed to `System.dealloc` twice, and an arena block would
+    /// decrement another object's live count, letting its arena reset
+    /// under live data. The frozen-mode `double_frees` counter only
+    /// catches repeated frees into an arena with no live objects.
     pub unsafe fn deallocate(&self, ptr: *mut u8, layout: Layout) {
         if ptr.is_null() {
             return;
@@ -602,9 +638,10 @@ impl ShardedAllocator {
             let mut inner = self.shards[shard_idx].0.lock();
             let arena = &mut inner.arenas[arena_idx];
             if arena.live == 0 {
-                // Frozen mode has no side table, so this check is the
-                // double-free detector there; in adaptive mode the side
-                // table catches it first and this is unreachable.
+                // Frozen mode's best-effort detector: it only fires
+                // once the arena has fully drained (see the # Safety
+                // contract). In adaptive mode the side table catches
+                // the double free first and this is unreachable.
                 inner.stats.double_frees += 1;
                 return;
             }
@@ -785,6 +822,49 @@ mod tests {
         assert_eq!(total, summed);
         assert_eq!(total.arena_allocs, 64);
         assert_eq!(total.arena_frees, 64);
+    }
+
+    #[test]
+    fn alignment_beyond_arena_starts_routes_to_system() {
+        let site = SiteKey(0x41);
+        let mut db = RuntimeSiteDb::new(32 * 1024);
+        db.insert(site.with_size(64));
+        // 1024-byte arenas behind a 4096-aligned base: shard and arena
+        // starts are only 1024-aligned, so 2048/4096-align requests
+        // must take the system path (and still come back aligned).
+        let heap = ShardedAllocator::frozen(db, 2, small_geometry());
+        for align in [2048usize, 4096] {
+            let l = Layout::from_size_align(64, align).expect("l");
+            let p = heap.allocate(site, l);
+            assert!(!p.is_null());
+            assert!(!heap.is_arena_ptr(p), "must not come from an arena");
+            assert_eq!(p as usize % align, 0, "alignment violated");
+            unsafe { heap.deallocate(p, l) };
+        }
+        assert!(heap.stats().overflows >= 2, "routed as overflows");
+        // Alignments dividing the arena size still use the arenas.
+        let l = Layout::from_size_align(64, 1024).expect("l");
+        let p = heap.allocate(site, l);
+        assert!(heap.is_arena_ptr(p));
+        assert_eq!(p as usize % 1024, 0, "alignment violated");
+        unsafe { heap.deallocate(p, l) };
+    }
+
+    #[test]
+    fn adaptive_stats_flushes_pending_feedback() {
+        let heap = ShardedAllocator::adaptive(tiny_epoch(), 2, small_geometry());
+        let site = SiteKey(0x111);
+        // 10 × 8 bytes: well under epoch_bytes (2048), so no epoch tick
+        // fires and all feedback sits in the per-shard buffers.
+        for _ in 0..10 {
+            let p = heap.allocate(site, layout(8));
+            assert!(!p.is_null());
+            unsafe { heap.deallocate(p, layout(8)) };
+        }
+        let s = heap.adaptive_stats().expect("adaptive");
+        assert_eq!(s.total_allocs, 10, "pending allocs not absorbed");
+        assert_eq!(s.total_frees, 10, "pending frees not absorbed");
+        assert_eq!(s.epochs, 0, "no epoch should have rolled");
     }
 
     #[test]
