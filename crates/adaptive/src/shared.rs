@@ -4,7 +4,17 @@
 use crate::config::EpochConfig;
 use crate::learner::{LearnerStats, OnlineLearner};
 use std::collections::HashSet;
+
+// Model-check builds swap the sync primitives for loom's so the
+// publish protocol below can be explored schedule-by-schedule; see
+// tests/loom.rs and DESIGN.md §9.
+#[cfg(all(loom, feature = "loom-test"))]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(all(loom, feature = "loom-test"))]
+use loom::sync::{Arc, Mutex, MutexGuard};
+#[cfg(not(all(loom, feature = "loom-test")))]
 use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(all(loom, feature = "loom-test")))]
 use std::sync::{Arc, Mutex, MutexGuard};
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {

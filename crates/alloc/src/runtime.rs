@@ -30,8 +30,17 @@ pub const ARENA_ENV: &str = "LIFEPRED_ARENAS";
 
 impl RuntimeArenaConfig {
     /// Total bytes of the arena area.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arena_count * arena_size` overflows `usize` — a
+    /// geometry that cannot exist must fail loudly, not wrap into a
+    /// tiny area ([`parse_spec`](Self::parse_spec) already rejects
+    /// such specs; this guards hand-built configs).
     pub fn total_bytes(&self) -> usize {
-        self.arena_count * self.arena_size
+        self.arena_count
+            .checked_mul(self.arena_size)
+            .expect("arena geometry overflows usize")
     }
 
     /// Parses a `count,size` geometry spec (the [`ARENA_ENV`] format).
@@ -158,18 +167,24 @@ impl RuntimeStats {
     }
 
     /// Field-wise sum — combines per-shard counters into totals.
+    /// Saturating: a merged report clamps rather than wraps if any
+    /// counter pair sums past `u64::MAX`.
     pub fn merged(&self, other: &RuntimeStats) -> RuntimeStats {
         RuntimeStats {
-            arena_allocs: self.arena_allocs + other.arena_allocs,
-            general_allocs: self.general_allocs + other.general_allocs,
-            arena_frees: self.arena_frees + other.arena_frees,
-            general_frees: self.general_frees + other.general_frees,
-            arena_resets: self.arena_resets + other.arena_resets,
-            overflows: self.overflows + other.overflows,
-            double_frees: self.double_frees + other.double_frees,
-            arena_used_bytes: self.arena_used_bytes + other.arena_used_bytes,
-            arena_total_bytes: self.arena_total_bytes + other.arena_total_bytes,
-            pinned_arena_bytes: self.pinned_arena_bytes + other.pinned_arena_bytes,
+            arena_allocs: self.arena_allocs.saturating_add(other.arena_allocs),
+            general_allocs: self.general_allocs.saturating_add(other.general_allocs),
+            arena_frees: self.arena_frees.saturating_add(other.arena_frees),
+            general_frees: self.general_frees.saturating_add(other.general_frees),
+            arena_resets: self.arena_resets.saturating_add(other.arena_resets),
+            overflows: self.overflows.saturating_add(other.overflows),
+            double_frees: self.double_frees.saturating_add(other.double_frees),
+            arena_used_bytes: self.arena_used_bytes.saturating_add(other.arena_used_bytes),
+            arena_total_bytes: self
+                .arena_total_bytes
+                .saturating_add(other.arena_total_bytes),
+            pinned_arena_bytes: self
+                .pinned_arena_bytes
+                .saturating_add(other.pinned_arena_bytes),
         }
     }
 }
@@ -194,7 +209,7 @@ pub(crate) fn fill_arena_snapshot(
     arenas: &[ArenaState],
     arena_size: usize,
 ) {
-    stats.arena_total_bytes = (arenas.len() * arena_size) as u64;
+    stats.arena_total_bytes = (arenas.len() as u64).saturating_mul(arena_size as u64);
     stats.arena_used_bytes = arenas.iter().map(|a| a.used as u64).sum();
     stats.pinned_arena_bytes = arenas
         .iter()
@@ -234,6 +249,8 @@ pub struct PredictiveAllocator {
 // bookkeeping sits behind the mutex, and the arena memory itself is
 // handed out in disjoint chunks.
 unsafe impl Send for PredictiveAllocator {}
+// SAFETY: as above — shared access is mediated by the internal mutex;
+// the arena base pointer itself is never written after construction.
 unsafe impl Sync for PredictiveAllocator {}
 
 impl PredictiveAllocator {
@@ -299,9 +316,10 @@ impl PredictiveAllocator {
 
     /// Whether `ptr` points into the arena area.
     pub fn is_arena_ptr(&self, ptr: *mut u8) -> bool {
-        let p = ptr as usize;
-        let base = self.base as usize;
-        p >= base && p < base + self.config.total_bytes()
+        // Wrapping subtraction folds the two range checks into one
+        // compare with no overflowable `base + len` addition (same
+        // shape as `ShardedAllocator::is_arena_ptr`).
+        (ptr as usize).wrapping_sub(self.base as usize) < self.config.total_bytes()
     }
 
     /// Allocates memory for `layout`, deciding by `site`.
@@ -356,21 +374,25 @@ impl PredictiveAllocator {
     }
 
     fn bump(&self, inner: &mut Inner, idx: usize, layout: Layout) -> Option<*mut u8> {
-        let arena_base = idx * self.config.arena_size;
+        // Checked throughout: any overflow means "does not fit" and
+        // falls back exactly like an exhausted arena.
+        let arena_base = idx.checked_mul(self.config.arena_size)?;
         let arena = &mut inner.arenas[idx];
-        let offset = align_up(arena.used, layout.align());
-        if offset + layout.size() > self.config.arena_size {
+        let offset = align_up(arena.used, layout.align())?;
+        let end = offset.checked_add(layout.size())?;
+        if end > self.config.arena_size {
             return None;
         }
-        arena.used = offset + layout.size();
+        arena.used = end;
         arena.live += 1;
         inner.stats.arena_allocs += 1;
-        // SAFETY: arena_base + offset + size <= total area size, so the
+        let area_offset = arena_base.checked_add(offset)?;
+        // SAFETY: area_offset + size <= total area size, so the
         // resulting pointer is inside the owned area allocation;
         // `allocate` only admits alignments that divide arena_size (and
-        // the 4096 base alignment), so base + arena_base + offset
-        // honours layout.align().
-        Some(unsafe { self.base.add(arena_base + offset) })
+        // the 4096 base alignment), so base + area_offset honours
+        // layout.align().
+        Some(unsafe { self.base.add(area_offset) })
     }
 
     /// Releases memory obtained from [`PredictiveAllocator::allocate`].
@@ -449,8 +471,10 @@ unsafe impl GlobalAlloc for PredictiveAllocator {
     }
 }
 
-pub(crate) fn align_up(offset: usize, align: usize) -> usize {
-    (offset + align - 1) & !(align - 1)
+/// Rounds `offset` up to a multiple of `align` (a power of two, per
+/// `Layout`'s contract); `None` when the rounding would overflow.
+pub(crate) fn align_up(offset: usize, align: usize) -> Option<usize> {
+    offset.checked_next_multiple_of(align)
 }
 
 #[cfg(test)]
@@ -476,6 +500,8 @@ mod tests {
         let p = heap.allocate(site, layout(64));
         assert!(heap.is_arena_ptr(p));
         assert_eq!(heap.arena_live_objects(), 1);
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, layout(64)) };
         assert_eq!(heap.arena_live_objects(), 0);
         assert_eq!(heap.stats().arena_allocs, 1);
@@ -489,6 +515,8 @@ mod tests {
         let p = heap.allocate(site, layout(64));
         assert!(!p.is_null());
         assert!(!heap.is_arena_ptr(p));
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, layout(64)) };
         assert_eq!(heap.stats().general_allocs, 1);
         assert_eq!(heap.stats().general_frees, 1);
@@ -502,15 +530,19 @@ mod tests {
         for i in 0..100u8 {
             let p = heap.allocate(site, layout(16));
             assert!(heap.is_arena_ptr(p));
+            // SAFETY: p is a live allocation at least this large.
             unsafe { ptr::write_bytes(p, i, 16) };
             ptrs.push(p);
         }
         for (i, &p) in ptrs.iter().enumerate() {
             // Values must still be intact: chunks are disjoint.
+            // SAFETY: p is a live allocation at least this large.
             let v = unsafe { *p };
             assert_eq!(v, i as u8);
         }
         for p in ptrs {
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
             unsafe { heap.deallocate(p, layout(16)) };
         }
     }
@@ -528,6 +560,8 @@ mod tests {
         for _ in 0..50 {
             let p = heap.allocate(site, layout(512));
             assert!(heap.is_arena_ptr(p));
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
             unsafe { heap.deallocate(p, layout(512)) };
         }
         assert!(heap.stats().arena_resets > 0);
@@ -550,8 +584,12 @@ mod tests {
         assert!(!p.is_null());
         assert!(!heap.is_arena_ptr(p), "should fall back when pinned");
         assert!(heap.stats().overflows >= 1);
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, layout(512)) };
         for pin in pins {
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
             unsafe { heap.deallocate(pin, layout(512)) };
         }
     }
@@ -578,6 +616,8 @@ mod tests {
         let heap = PredictiveAllocator::with_database(db);
         let p = heap.allocate(site, layout(40));
         assert!(heap.is_arena_ptr(p));
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, layout(40)) };
     }
 
@@ -588,9 +628,13 @@ mod tests {
         // Through the GlobalAlloc interface the leaf site differs, so
         // this goes to the system path — but must still be valid.
         let l = layout(32);
+        // SAFETY: the layout has nonzero size.
         let p = unsafe { GlobalAlloc::alloc(&heap, l) };
         assert!(!p.is_null());
+        // SAFETY: p is a live allocation at least this large.
         unsafe { ptr::write_bytes(p, 7, 32) };
+        // SAFETY: p came from this allocator's alloc with the
+        // same layout and is freed exactly once.
         unsafe { GlobalAlloc::dealloc(&heap, p, l) };
     }
 
@@ -604,6 +648,8 @@ mod tests {
         let a = heap.allocate(site, Layout::from_size_align(24, 8).expect("l"));
         let b = heap.allocate(site, Layout::from_size_align(64, 64).expect("l"));
         assert_eq!(b as usize % 64, 0, "alignment violated");
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe {
             heap.deallocate(a, Layout::from_size_align(24, 8).expect("l"));
             heap.deallocate(b, Layout::from_size_align(64, 64).expect("l"));
@@ -636,6 +682,8 @@ mod tests {
         assert!(!heap.is_arena_ptr(p), "must not come from an arena");
         assert_eq!(p as usize % 2048, 0, "alignment violated");
         assert!(heap.stats().overflows >= 1, "routed as an overflow");
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, l) };
     }
 
@@ -657,6 +705,8 @@ mod tests {
         let p = heap.allocate(site, l64);
         assert!(!heap.is_arena_ptr(p));
         assert_eq!(p as usize % 64, 0, "alignment violated");
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, l64) };
         // align 32 divides 96: arena-served pointers are all aligned.
         let l32 = Layout::from_size_align(32, 32).expect("l");
@@ -668,6 +718,8 @@ mod tests {
             ptrs.push(q);
         }
         for q in ptrs {
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
             unsafe { heap.deallocate(q, l32) };
         }
     }
@@ -730,9 +782,13 @@ mod tests {
         let heap = PredictiveAllocator::with_database(trained_db(site, 64));
         let p = heap.allocate(site, layout(64));
         assert!(heap.is_arena_ptr(p));
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, layout(64)) };
         // The second free of the same block must not underflow the live
         // count — it is counted as a double free and otherwise ignored.
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, layout(64)) };
         let s = heap.stats();
         assert_eq!(s.arena_frees, 1);
@@ -757,6 +813,8 @@ mod tests {
         assert_eq!(s.pinned_arena_bytes, 512);
         assert!((s.utilization_pct() - 25.0).abs() < 1e-9);
         assert!((s.fragmentation_pct() - 25.0).abs() < 1e-9);
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, layout(512)) };
         // Freed: the arena keeps its bump offset (used) but is no
         // longer pinned.

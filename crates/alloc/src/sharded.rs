@@ -515,15 +515,20 @@ impl ShardedAllocator {
         layout: Layout,
     ) -> Option<*mut u8> {
         let arena = &mut inner.arenas[arena_idx];
-        let offset = align_up(arena.used, layout.align());
-        if offset + layout.size() > self.config.arena_size {
+        // Checked throughout: any overflow means "does not fit" and
+        // falls back exactly like an exhausted arena.
+        let offset = align_up(arena.used, layout.align())?;
+        let end = offset.checked_add(layout.size())?;
+        if end > self.config.arena_size {
             return None;
         }
-        arena.used = offset + layout.size();
+        arena.used = end;
         arena.live += 1;
         inner.stats.arena_allocs += 1;
-        let area_offset =
-            shard_idx * self.shard_bytes + arena_idx * self.config.arena_size + offset;
+        let area_offset = shard_idx
+            .checked_mul(self.shard_bytes)?
+            .checked_add(arena_idx.checked_mul(self.config.arena_size)?)?
+            .checked_add(offset)?;
         // SAFETY: area_offset + size <= shard_count * total_bytes, so
         // the resulting pointer is inside the owned area allocation;
         // `place` only admits alignments that divide arena_size (and
@@ -547,7 +552,7 @@ impl ShardedAllocator {
             .next_epoch
             .compare_exchange(
                 due,
-                now + state.epoch_bytes,
+                now.saturating_add(state.epoch_bytes),
                 Ordering::AcqRel,
                 Ordering::Relaxed,
             )
@@ -716,6 +721,8 @@ mod tests {
         let q = heap.allocate(SiteKey(0x99), layout(64));
         assert!(!q.is_null());
         assert!(!heap.is_arena_ptr(q));
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe {
             heap.deallocate(p, layout(64));
             heap.deallocate(q, layout(64));
@@ -737,6 +744,8 @@ mod tests {
         for _ in 0..200 {
             let p = heap.allocate(site, layout(64));
             assert!(!p.is_null());
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
             unsafe { heap.deallocate(p, layout(64)) };
         }
         let s = heap.stats();
@@ -756,6 +765,8 @@ mod tests {
         // Learn the site as short-lived.
         for _ in 0..200 {
             let p = heap.allocate(site, layout(64));
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
             unsafe { heap.deallocate(p, layout(64)) };
         }
         assert!(heap.adaptive_stats().expect("adaptive").promotions >= 1);
@@ -766,12 +777,16 @@ mod tests {
         let noise = SiteKey(0x777);
         for _ in 0..200 {
             let p = heap.allocate(noise, layout(64));
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
             unsafe { heap.deallocate(p, layout(64)) };
         }
         let learned = heap.adaptive_stats().expect("adaptive");
         assert!(learned.mispredictions >= 1, "aging scan must report");
         assert!(learned.demotions >= 1, "site must be demoted");
         // The eventual free of the pinned object counts once, not twice.
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(pinned, layout(64)) };
         let after = heap.adaptive_stats().expect("adaptive");
         assert_eq!(after.mispredictions, learned.mispredictions);
@@ -785,17 +800,27 @@ mod tests {
         // System-path object (unpredicted site).
         let p = heap.allocate(site, layout(64));
         assert!(!heap.is_arena_ptr(p));
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, layout(64)) };
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, layout(64)) };
         assert_eq!(heap.stats().double_frees, 1);
         // Arena-path object: learn the site first.
         for _ in 0..200 {
             let q = heap.allocate(site, layout(64));
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
             unsafe { heap.deallocate(q, layout(64)) };
         }
         let q = heap.allocate(site, layout(64));
         assert!(heap.is_arena_ptr(q), "site should be learned by now");
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(q, layout(64)) };
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(q, layout(64)) };
         assert_eq!(heap.stats().double_frees, 2);
         assert_eq!(heap.arena_live_objects(), 0);
@@ -812,6 +837,8 @@ mod tests {
             ptrs.push(heap.allocate(site, layout(32)));
         }
         for p in ptrs {
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
             unsafe { heap.deallocate(p, layout(32)) };
         }
         let total = heap.stats();
@@ -839,6 +866,8 @@ mod tests {
             assert!(!p.is_null());
             assert!(!heap.is_arena_ptr(p), "must not come from an arena");
             assert_eq!(p as usize % align, 0, "alignment violated");
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
             unsafe { heap.deallocate(p, l) };
         }
         assert!(heap.stats().overflows >= 2, "routed as overflows");
@@ -847,6 +876,8 @@ mod tests {
         let p = heap.allocate(site, l);
         assert!(heap.is_arena_ptr(p));
         assert_eq!(p as usize % 1024, 0, "alignment violated");
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, l) };
     }
 
@@ -859,6 +890,8 @@ mod tests {
         for _ in 0..10 {
             let p = heap.allocate(site, layout(8));
             assert!(!p.is_null());
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
             unsafe { heap.deallocate(p, layout(8)) };
         }
         let s = heap.adaptive_stats().expect("adaptive");
@@ -873,6 +906,8 @@ mod tests {
         let p = heap.allocate(SiteKey(1), Layout::from_size_align(0, 1).expect("l"));
         assert!(p.is_null());
         // Freeing null is a no-op, not a double free.
+        // SAFETY: the pointer came from this heap's allocate with
+        // the same layout and is freed exactly once.
         unsafe { heap.deallocate(p, Layout::from_size_align(0, 1).expect("l")) };
         assert_eq!(heap.stats().double_frees, 0);
     }
@@ -881,9 +916,13 @@ mod tests {
     fn global_alloc_contract() {
         let heap = ShardedAllocator::adaptive(tiny_epoch(), 2, small_geometry());
         let l = layout(48);
+        // SAFETY: the layout has nonzero size.
         let p = unsafe { GlobalAlloc::alloc(&heap, l) };
         assert!(!p.is_null());
+        // SAFETY: p is a live allocation at least this large.
         unsafe { ptr::write_bytes(p, 7, 48) };
+        // SAFETY: p came from this allocator's alloc with the
+        // same layout and is freed exactly once.
         unsafe { GlobalAlloc::dealloc(&heap, p, l) };
         assert_eq!(heap.stats().double_frees, 0);
     }

@@ -47,6 +47,8 @@ fn replay(heap: &ShardedAllocator, trace: &Trace, tag: u64) -> (u64, u64, Vec<(u
             }
             EventKind::Free => {
                 let (p, layout) = live.remove(&event.object.index()).expect("free of live");
+                // SAFETY: p came from heap.allocate with this layout;
+                // the live map guarantees exactly one free.
                 unsafe { heap.deallocate(p, layout) };
                 frees += 1;
             }
@@ -80,6 +82,8 @@ fn two_workloads_share_one_adaptive_allocator() {
     // and are released here on the main thread.
     let mut cross = 0u64;
     for (addr, layout) in rest1.into_iter().chain(rest2) {
+        // SAFETY: each survivor was allocated by this heap with this
+        // layout on a worker thread and is freed exactly once here.
         unsafe { heap.deallocate(addr as *mut u8, layout) };
         cross += 1;
     }
@@ -142,6 +146,8 @@ fn same_program_from_many_threads_keeps_counts_consistent() {
         allocs += a;
         frees += f;
         for (addr, layout) in rest {
+            // SAFETY: each survivor was allocated by this heap with
+            // this layout and is freed exactly once here.
             unsafe { heap.deallocate(addr as *mut u8, layout) };
             frees += 1;
         }

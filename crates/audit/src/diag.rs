@@ -1,0 +1,157 @@
+//! Diagnostics: severity, rendering (human and JSON), and exit-code
+//! policy.
+
+use std::fmt;
+
+/// Diagnostic severity. Rules are deny-by-default; `audit.toml` can
+/// downgrade a rule to `warn` or disable it with `allow`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Deny,
+    Warn,
+    Allow,
+}
+
+impl Severity {
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "deny" => Some(Severity::Deny),
+            "warn" => Some(Severity::Warn),
+            "allow" => Some(Severity::Allow),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+            Severity::Allow => "allow",
+        })
+    }
+}
+
+/// One finding, pinned to a file:line:col span.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id, e.g. `safety-comment`.
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based.
+    pub line: usize,
+    /// 1-based.
+    pub col: usize,
+    pub message: String,
+    /// Allowlist site id (module, or `module::ident`) for rules with
+    /// per-site allowlists; used to match `[[allow]]` entries and
+    /// reported in JSON so new allow entries can be written from tool
+    /// output.
+    pub site: String,
+}
+
+impl Diagnostic {
+    /// Human-readable one-line form:
+    /// `file:line:col: deny[rule]: message`.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}:{}: {}[{}]: {}",
+            self.file, self.line, self.col, self.severity, self.rule, self.message
+        )
+    }
+
+    /// JSON object form (no external serializer available offline, so
+    /// this is hand-rolled; all strings are escaped).
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"severity\":{},\"file\":{},\"line\":{},\"col\":{},\"site\":{},\"message\":{}}}",
+            json_str(self.rule),
+            json_str(&self.severity.to_string()),
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(&self.site),
+            json_str(&self.message),
+        )
+    }
+}
+
+/// Escapes a string for JSON output.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a full report in JSON: diagnostics plus per-severity counts.
+pub fn render_json_report(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(|d| d.render_json()).collect();
+    let denies = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .count();
+    let warns = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warn)
+        .count();
+    format!(
+        "{{\"diagnostics\":[{}],\"counts\":{{\"deny\":{},\"warn\":{}}}}}",
+        items.join(","),
+        denies,
+        warns
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag() -> Diagnostic {
+        Diagnostic {
+            rule: "safety-comment",
+            severity: Severity::Deny,
+            file: "crates/alloc/src/sharded.rs".into(),
+            line: 7,
+            col: 9,
+            message: "undocumented `unsafe` block".into(),
+            site: "alloc/sharded".into(),
+        }
+    }
+
+    #[test]
+    fn human_format() {
+        assert_eq!(
+            diag().render_human(),
+            "crates/alloc/src/sharded.rs:7:9: deny[safety-comment]: undocumented `unsafe` block"
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn json_report_counts() {
+        let mut w = diag();
+        w.severity = Severity::Warn;
+        let report = render_json_report(&[diag(), w]);
+        assert!(report.contains("\"counts\":{\"deny\":1,\"warn\":1}"));
+        assert!(report.starts_with("{\"diagnostics\":["));
+    }
+}

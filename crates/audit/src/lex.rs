@@ -1,0 +1,455 @@
+//! A minimal Rust lexer: just enough token structure for the audit
+//! rules to pattern-match reliably.
+//!
+//! The build environment has no crates.io access, so `syn` is not
+//! available; the rules operate on this token stream plus the file
+//! context computed in [`crate::ctx`] instead of a full AST. The
+//! lexer must be *sound* for the constructs the rules match on: it
+//! never reports tokens from inside string/char literals or comments,
+//! understands raw strings, nested block comments, and lifetimes
+//! vs. char literals, and records byte spans for every token so
+//! diagnostics carry exact file:line:col positions.
+
+/// One lexical token with its byte span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+/// Token kinds the audit rules distinguish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `impl`, `Ordering`, ...).
+    Ident(String),
+    /// A lifetime such as `'a` (the text excludes the quote).
+    Lifetime(String),
+    /// Single punctuation character (`.`, `+`, `&`, `!`, `{`, ...).
+    /// Multi-character operators appear as consecutive puncts.
+    Punct(char),
+    /// String, char, byte, or numeric literal (content opaque).
+    Literal,
+    /// A comment. `line` is true for `//`-style, false for `/* */`.
+    /// `doc` marks `///`, `//!`, `/**`, and `/*!` forms, which rustc
+    /// treats as documentation, not free-form comments.
+    Comment { line: bool, doc: bool, text: String },
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// Whether this token is the given identifier/keyword.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(t) if t == s)
+    }
+
+    /// Whether this token is a comment (doc or plain).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::Comment { .. })
+    }
+}
+
+/// Lexes `src` into tokens. Unknown bytes are skipped: the audit tool
+/// must degrade gracefully on files it half-understands rather than
+/// fail the whole run.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Comments.
+        if c == '/' && i + 1 < b.len() {
+            match b[i + 1] as char {
+                '/' => {
+                    let mut j = i + 2;
+                    while j < b.len() && b[j] != b'\n' {
+                        j += 1;
+                    }
+                    let text = src[i..j].to_string();
+                    let doc = text.starts_with("///") || text.starts_with("//!");
+                    // `////....` dividers are plain comments, as in rustdoc.
+                    let doc = doc && !text.starts_with("////");
+                    toks.push(Tok {
+                        kind: TokKind::Comment {
+                            line: true,
+                            doc,
+                            text,
+                        },
+                        start,
+                        end: j,
+                    });
+                    i = j;
+                    continue;
+                }
+                '*' => {
+                    // Block comment; Rust block comments nest.
+                    let mut depth = 1usize;
+                    let mut j = i + 2;
+                    while j < b.len() && depth > 0 {
+                        if j + 1 < b.len() && b[j] == b'/' && b[j + 1] == b'*' {
+                            depth += 1;
+                            j += 2;
+                        } else if j + 1 < b.len() && b[j] == b'*' && b[j + 1] == b'/' {
+                            depth -= 1;
+                            j += 2;
+                        } else {
+                            j += 1;
+                        }
+                    }
+                    let text = src[i..j].to_string();
+                    let doc = text.starts_with("/**") || text.starts_with("/*!");
+                    let doc = doc && !text.starts_with("/***");
+                    toks.push(Tok {
+                        kind: TokKind::Comment {
+                            line: false,
+                            doc,
+                            text,
+                        },
+                        start,
+                        end: j,
+                    });
+                    i = j;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# etc.
+        if (c == 'r' || c == 'b') && is_raw_string_start(b, i) {
+            let j = skip_raw_string(b, i);
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                start,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords (also eats the `b` of b"...": handled
+        // above, so reaching here means plain ident).
+        if c == '_' || c.is_ascii_alphabetic() {
+            let mut j = i + 1;
+            while j < b.len() && (b[j] == b'_' || (b[j] as char).is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            // b'x' byte char literal.
+            if c == 'b' && j == i + 1 && j < b.len() && b[j] == b'\'' {
+                let k = skip_char_literal(b, j);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    start,
+                    end: k,
+                });
+                i = k;
+                continue;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident(src[i..j].to_string()),
+                start,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < b.len() {
+                let d = b[j] as char;
+                if d == '_' || d.is_ascii_alphanumeric() {
+                    j += 1;
+                } else if d == '.' && j + 1 < b.len() && (b[j + 1] as char).is_ascii_digit() {
+                    // Consume a fractional part, but not `0..10` ranges
+                    // or `4.method()` calls.
+                    j += 2;
+                } else if (d == '+' || d == '-') && matches!(b[j - 1], b'e' | b'E') {
+                    // Exponent sign as in 1e-3.
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                start,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let j = skip_string(b, i);
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                start,
+                end: j,
+            });
+            i = j;
+            continue;
+        }
+        // Char literal or lifetime.
+        if c == '\'' {
+            if is_char_literal(b, i) {
+                let j = skip_char_literal(b, i);
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    start,
+                    end: j,
+                });
+                i = j;
+            } else {
+                // Lifetime: 'ident (no closing quote).
+                let mut j = i + 1;
+                while j < b.len() && (b[j] == b'_' || (b[j] as char).is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime(src[i + 1..j].to_string()),
+                    start,
+                    end: j,
+                });
+                i = j;
+            }
+            continue;
+        }
+        // Everything else: single punctuation character.
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            start,
+            end: i + c.len_utf8(),
+        });
+        i += c.len_utf8();
+    }
+    toks
+}
+
+/// Whether position `i` begins a raw (byte) string: `r"`, `r#`, `br"`, `br#`.
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    j += 1;
+    while j < b.len() && b[j] == b'#' {
+        j += 1;
+    }
+    j < b.len() && b[j] == b'"'
+}
+
+/// Skips a raw string starting at `i`; returns the offset past it.
+fn skip_raw_string(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // 'r'
+    let mut hashes = 0;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    while j < b.len() {
+        if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while k < b.len() && b[k] == b'#' && seen < hashes {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips a `"..."` string with escapes; returns the offset past it.
+fn skip_string(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Whether `'` at `i` starts a char literal (vs. a lifetime): a char
+/// literal has a closing quote after one (possibly escaped) char.
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    if i + 1 >= b.len() {
+        return false;
+    }
+    if b[i + 1] == b'\\' {
+        return true;
+    }
+    // 'x' — exactly one char then a quote. A lifetime like 'a is
+    // followed by a non-quote. `'static` etc. have many chars.
+    if b[i + 1] != b'\'' {
+        // Find where an ident run from i+1 would end.
+        let mut j = i + 1;
+        while j < b.len() && (b[j] == b'_' || (b[j] as char).is_ascii_alphanumeric()) {
+            j += 1;
+        }
+        return j < b.len() && b[j] == b'\'' && j == i + 2;
+    }
+    false
+}
+
+/// Skips a char (or byte-char) literal starting at the quote at `i`
+/// (or the `b` before it); returns the offset past the closing quote.
+fn skip_char_literal(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1; // past the opening quote
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\'' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        let k = kinds("let x = a + 42;");
+        assert_eq!(
+            k,
+            vec![
+                TokKind::Ident("let".into()),
+                TokKind::Ident("x".into()),
+                TokKind::Punct('='),
+                TokKind::Ident("a".into()),
+                TokKind::Punct('+'),
+                TokKind::Literal,
+                TokKind::Punct(';'),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let k = kinds(r#"let s = "unsafe { Ordering::Relaxed }";"#);
+        assert!(k.contains(&TokKind::Literal));
+        assert!(!k.contains(&TokKind::Ident("unsafe".into())));
+        assert!(!k.contains(&TokKind::Ident("Relaxed".into())));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let k = kinds(r##"let s = r#"static mut inside"#; x"##);
+        assert!(!k.contains(&TokKind::Ident("static".into())));
+        assert!(k.contains(&TokKind::Ident("x".into())));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let k = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let d = '\\n'; }");
+        assert!(k.contains(&TokKind::Lifetime("a".into())));
+        assert_eq!(
+            k.iter().filter(|t| matches!(t, TokKind::Literal)).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn static_lifetime_is_not_a_char() {
+        let k = kinds("&'static str");
+        assert!(k.contains(&TokKind::Lifetime("static".into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let k = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(k.len(), 2);
+        assert!(matches!(k[0], TokKind::Comment { line: false, .. }));
+        assert_eq!(k[1], TokKind::Ident("x".into()));
+    }
+
+    #[test]
+    fn doc_comments_flagged() {
+        let toks = lex("/// doc\n// plain\n//! inner doc\nx");
+        let docs: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Comment { doc, .. } => Some(*doc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(docs, vec![true, false, true]);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let k = kinds("for i in 0..10 {}");
+        assert_eq!(
+            k.iter()
+                .filter(|t| matches!(t, TokKind::Punct('.')))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn float_and_method_on_int() {
+        let k = kinds("1.5 + (4).max(2)");
+        assert_eq!(
+            k.iter().filter(|t| matches!(t, TokKind::Literal)).count(),
+            3
+        );
+        assert!(k.contains(&TokKind::Ident("max".into())));
+    }
+
+    #[test]
+    fn byte_char_literal() {
+        let k = kinds("if b[j] == b'\\n' { x }");
+        assert!(k.contains(&TokKind::Ident("x".into())));
+    }
+
+    #[test]
+    fn spans_are_byte_accurate() {
+        let src = "ab + cd";
+        let toks = lex(src);
+        assert_eq!(&src[toks[0].start..toks[0].end], "ab");
+        assert_eq!(&src[toks[1].start..toks[1].end], "+");
+        assert_eq!(&src[toks[2].start..toks[2].end], "cd");
+    }
+}

@@ -1,0 +1,115 @@
+//! R5 `forbidden-constructs`: `static mut`, `mem::transmute`, and
+//! `Box::leak` are banned outside test code — no allowlist.
+//!
+//! `static mut` is a data race waiting for a second thread;
+//! `transmute` defeats every invariant the other rules check; leaked
+//! allocations would silently pin arenas forever in an allocator whose
+//! whole premise is that predicted-short objects die.
+
+use super::{emit, skip_tests, Rule};
+use crate::config::AuditConfig;
+use crate::ctx::FileCtx;
+use crate::diag::Diagnostic;
+
+pub struct ForbiddenConstructs;
+
+const ID: &str = "forbidden-constructs";
+
+impl Rule for ForbiddenConstructs {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "no static mut, mem::transmute, or Box::leak outside tests"
+    }
+
+    fn check(&self, ctx: &FileCtx, cfg: &AuditConfig, out: &mut Vec<Diagnostic>) {
+        let toks = &ctx.toks;
+        for i in 0..toks.len() {
+            let Some(name) = toks[i].ident() else {
+                continue;
+            };
+            let flagged: Option<String> = match name {
+                "static" => ctx
+                    .next_code_tok(i + 1)
+                    .filter(|&n| toks[n].is_ident("mut"))
+                    .map(|_| "`static mut` (use an atomic or a lock instead)".to_string()),
+                "transmute" => {
+                    Some("`transmute` (reinterpret through safe conversions instead)".to_string())
+                }
+                "leak" => {
+                    // `Box::leak` path form or `.leak()` method form.
+                    let path_form = ctx
+                        .prev_code_tok(i)
+                        .filter(|&p| toks[p].is_punct(':'))
+                        .is_some();
+                    let method_form = ctx
+                        .prev_code_tok(i)
+                        .filter(|&p| toks[p].is_punct('.'))
+                        .and_then(|_| ctx.next_code_tok(i + 1))
+                        .filter(|&n| toks[n].is_punct('('))
+                        .is_some();
+                    (path_form || method_form)
+                        .then(|| "`leak` (leaked blocks pin arenas forever)".to_string())
+                }
+                _ => None,
+            };
+            let Some(what) = flagged else { continue };
+            if skip_tests(ID, ctx, cfg, toks[i].start) {
+                continue;
+            }
+            emit(
+                ID,
+                ctx,
+                cfg,
+                toks[i].start,
+                ctx.module.clone(),
+                format!("forbidden construct {what}"),
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::FileCtx;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let ctx = FileCtx::new(PathBuf::from("t.rs"), src.to_string(), "m/x".into());
+        let mut out = Vec::new();
+        ForbiddenConstructs.check(&ctx, &AuditConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn static_mut_flagged() {
+        assert_eq!(run("static mut COUNTER: u64 = 0;").len(), 1);
+        assert!(run("static COUNTER: AtomicU64 = AtomicU64::new(0);").is_empty());
+    }
+
+    #[test]
+    fn transmute_flagged_in_any_form() {
+        assert_eq!(
+            run("let y = unsafe { mem::transmute::<A, B>(x) };").len(),
+            1
+        );
+        assert_eq!(run("use std::mem::transmute;").len(), 1);
+    }
+
+    #[test]
+    fn box_leak_flagged() {
+        assert_eq!(run("let s = Box::leak(Box::new(1));").len(), 1);
+        assert_eq!(run("let s = Box::new(1).leak();").len(), 1);
+        // An unrelated ident containing "leak" is untouched.
+        assert!(run("let leaky = detect_leaks(x);").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(run("#[cfg(test)]\nmod tests { fn t() { let x = Box::leak(b); } }").is_empty());
+    }
+}

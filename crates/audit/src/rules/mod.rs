@@ -1,0 +1,75 @@
+//! The rule registry: every audit rule is a small visitor over a
+//! [`FileCtx`], registered in [`all_rules`] (the same shape as vex's
+//! scriptlet registry — adding a rule is adding a module and one line
+//! here).
+
+use crate::config::AuditConfig;
+use crate::ctx::FileCtx;
+use crate::diag::{Diagnostic, Severity};
+
+mod forbidden;
+mod layout_math;
+mod raw_ptr;
+mod relaxed_publish;
+mod safety_comment;
+
+pub use forbidden::ForbiddenConstructs;
+pub use layout_math::LayoutMath;
+pub use raw_ptr::RawPtrOps;
+pub use relaxed_publish::RelaxedPublish;
+pub use safety_comment::SafetyComment;
+
+/// One audit rule.
+pub trait Rule {
+    /// Stable id used in config, allowlists, and output
+    /// (kebab-case, e.g. `safety-comment`).
+    fn id(&self) -> &'static str;
+    /// One-line description for `lifepred-audit rules`.
+    fn description(&self) -> &'static str;
+    /// Emits diagnostics for one file.
+    fn check(&self, ctx: &FileCtx, cfg: &AuditConfig, out: &mut Vec<Diagnostic>);
+}
+
+/// All registered rules, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(SafetyComment),
+        Box::new(RawPtrOps),
+        Box::new(RelaxedPublish),
+        Box::new(LayoutMath),
+        Box::new(ForbiddenConstructs),
+    ]
+}
+
+/// Shared diagnostic constructor: positions the finding at `offset`
+/// and fills severity from config.
+pub(crate) fn emit(
+    rule: &'static str,
+    ctx: &FileCtx,
+    cfg: &AuditConfig,
+    offset: usize,
+    site: String,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    let severity = cfg.severity(rule);
+    if severity == Severity::Allow {
+        return;
+    }
+    let (line, col) = ctx.line_col(offset);
+    out.push(Diagnostic {
+        rule,
+        severity,
+        file: ctx.path.display().to_string(),
+        line,
+        col,
+        message,
+        site,
+    });
+}
+
+/// Whether a rule should skip this offset (test code, unless the rule
+/// is configured to include tests).
+pub(crate) fn skip_tests(rule: &str, ctx: &FileCtx, cfg: &AuditConfig, offset: usize) -> bool {
+    !cfg.include_tests(rule) && ctx.in_test(offset)
+}

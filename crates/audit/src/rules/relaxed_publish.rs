@@ -1,0 +1,229 @@
+//! R3 `relaxed-publish`: atomic *writes* (store / swap / fetch-ops /
+//! CAS success orderings) must not use `Ordering::Relaxed` unless the
+//! specific atomic is allowlisted in `audit.toml` with a written
+//! rationale.
+//!
+//! This is the lint form of the `SharedPredictor` generation bug the
+//! PR 2 review caught by hand: a relaxed write that publishes state
+//! read by other threads lets readers pair the notification with
+//! stale data. Loads are exempt — the rule targets the publishing
+//! side. CAS *failure* orderings are exempt (a failed CAS publishes
+//! nothing).
+
+use super::{emit, skip_tests, Rule};
+use crate::config::AuditConfig;
+use crate::ctx::FileCtx;
+use crate::diag::Diagnostic;
+use crate::lex::TokKind;
+
+pub struct RelaxedPublish;
+
+const ID: &str = "relaxed-publish";
+
+/// Atomic write methods and the index of the ordering argument that
+/// publishes (`usize::MAX` = last argument).
+const WRITE_METHODS: &[(&str, usize)] = &[
+    ("store", usize::MAX),
+    ("swap", usize::MAX),
+    ("fetch_add", usize::MAX),
+    ("fetch_sub", usize::MAX),
+    ("fetch_and", usize::MAX),
+    ("fetch_nand", usize::MAX),
+    ("fetch_or", usize::MAX),
+    ("fetch_xor", usize::MAX),
+    ("fetch_max", usize::MAX),
+    ("fetch_min", usize::MAX),
+    // compare_exchange(current, new, success, failure): the success
+    // ordering (index 2) publishes; the failure ordering is a load.
+    ("compare_exchange", 2),
+    ("compare_exchange_weak", 2),
+    // fetch_update(set_order, fetch_order, f): set_order publishes.
+    ("fetch_update", 0),
+];
+
+impl Rule for RelaxedPublish {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "no Ordering::Relaxed on atomic writes that publish cross-thread state"
+    }
+
+    fn check(&self, ctx: &FileCtx, cfg: &AuditConfig, out: &mut Vec<Diagnostic>) {
+        let toks = &ctx.toks;
+        for i in 0..toks.len() {
+            if !toks[i].is_punct('.') {
+                continue;
+            }
+            let Some(m) = ctx.next_code_tok(i + 1) else {
+                continue;
+            };
+            let Some(name) = toks[m].ident() else {
+                continue;
+            };
+            let Some(&(_, ord_pos)) = WRITE_METHODS.iter().find(|(n, _)| *n == name) else {
+                continue;
+            };
+            let Some(open) = ctx.next_code_tok(m + 1) else {
+                continue;
+            };
+            if !toks[open].is_punct('(') {
+                continue;
+            }
+            if skip_tests(ID, ctx, cfg, toks[m].start) {
+                continue;
+            }
+            let args = split_args(ctx, open);
+            if args.is_empty() {
+                continue;
+            }
+            let idx = if ord_pos == usize::MAX {
+                args.len() - 1
+            } else {
+                ord_pos
+            };
+            let Some(arg) = args.get(idx) else { continue };
+            if !arg_is_relaxed(ctx, arg) {
+                continue;
+            }
+            let receiver = receiver_ident(ctx, i).unwrap_or("<expr>");
+            let site = format!("{}::{}", ctx.module, receiver);
+            if cfg.is_allowed(ID, &site) || cfg.is_allowed(ID, &ctx.module) {
+                continue;
+            }
+            emit(
+                ID,
+                ctx,
+                cfg,
+                toks[m].start,
+                site.clone(),
+                format!(
+                    "`{name}` on `{receiver}` publishes with `Ordering::Relaxed`; \
+                     use Release/AcqRel or add a reasoned [[allow]] for `{site}`"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+/// Splits the argument list opening at token `open` (a `(`) into
+/// top-level token ranges, one per argument.
+fn split_args(ctx: &FileCtx, open: usize) -> Vec<(usize, usize)> {
+    let toks = &ctx.toks;
+    let mut args = Vec::new();
+    let mut depth = 0usize;
+    let mut arg_start = open + 1;
+    for (i, tok) in toks.iter().enumerate().skip(open) {
+        match tok.kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    if i > arg_start {
+                        args.push((arg_start, i));
+                    }
+                    break;
+                }
+            }
+            TokKind::Punct(',') if depth == 1 => {
+                args.push((arg_start, i));
+                arg_start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    args
+}
+
+/// Whether an argument token range is a `Relaxed` ordering path
+/// (`Ordering::Relaxed`, `atomic::Ordering::Relaxed`, bare `Relaxed`).
+fn arg_is_relaxed(ctx: &FileCtx, &(start, end): &(usize, usize)) -> bool {
+    ctx.toks[start..end].iter().any(|t| t.is_ident("Relaxed"))
+}
+
+/// The identifier immediately before the `.` of the method call —
+/// `state.clock.fetch_add(...)` → `clock`.
+fn receiver_ident(ctx: &FileCtx, dot: usize) -> Option<&str> {
+    let prev = ctx.prev_code_tok(dot)?;
+    ctx.toks[prev].ident()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::FileCtx;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        run_cfg(src, &AuditConfig::default())
+    }
+
+    fn run_cfg(src: &str, cfg: &AuditConfig) -> Vec<Diagnostic> {
+        let ctx = FileCtx::new(PathBuf::from("t.rs"), src.to_string(), "m/x".into());
+        let mut out = Vec::new();
+        RelaxedPublish.check(&ctx, cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn relaxed_store_is_flagged() {
+        let d = run("fn f(a: &AtomicU64) { a.store(1, Ordering::Relaxed); }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].site, "m/x::a");
+    }
+
+    #[test]
+    fn release_store_is_clean() {
+        assert!(run("fn f(a: &AtomicU64) { a.store(1, Ordering::Release); }").is_empty());
+    }
+
+    #[test]
+    fn relaxed_load_is_exempt() {
+        assert!(run("fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }").is_empty());
+    }
+
+    #[test]
+    fn fetch_add_relaxed_is_flagged_with_receiver_site() {
+        let d = run("fn f(s: &S) { s.clock.fetch_add(n, Ordering::Relaxed); }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].site, "m/x::clock");
+    }
+
+    #[test]
+    fn cas_failure_relaxed_is_fine_success_is_not() {
+        // Failure ordering Relaxed: the repo's own epoch-tick shape.
+        assert!(run(
+            "fn f(a: &AtomicU64) { a.compare_exchange(d, n, Ordering::AcqRel, Ordering::Relaxed); }"
+        )
+        .is_empty());
+        // Success ordering Relaxed: flagged.
+        let d = run(
+            "fn f(a: &AtomicU64) { a.compare_exchange(d, n, Ordering::Relaxed, Ordering::Relaxed); }",
+        );
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn allowlist_suppresses_by_site() {
+        let cfg = AuditConfig::parse(
+            "[[allow]]\nrule = \"relaxed-publish\"\nsite = \"m/x::counter\"\nreason = \"monotonic id counter, publishes nothing\"\n",
+        )
+        .unwrap();
+        assert!(run_cfg("fn f() { counter.fetch_add(1, Ordering::Relaxed); }", &cfg).is_empty());
+        // A different atomic in the same module still trips.
+        assert_eq!(
+            run_cfg("fn f() { other.fetch_add(1, Ordering::Relaxed); }", &cfg).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn nested_call_args_do_not_confuse_positions() {
+        // The ordering is the last top-level arg even when earlier
+        // args contain commas inside calls.
+        let d = run("fn f(a: &AtomicU64) { a.store(g(x, y), Ordering::Relaxed); }");
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! R1 `safety-comment`: every `unsafe` block and `unsafe impl` must
+//! carry a `// SAFETY:` justification above its enclosing statement.
+//!
+//! This is the tool-enforced version of the repo convention the PR 2
+//! review checked by hand. The comment must appear between the end of
+//! the previous statement and the `unsafe` keyword — either
+//! immediately above the statement containing the block (the common
+//! `// SAFETY: ...` line) or inline before it.
+
+use super::{emit, skip_tests, Rule};
+use crate::config::AuditConfig;
+use crate::ctx::{FileCtx, UnsafeKind};
+use crate::diag::Diagnostic;
+use crate::lex::TokKind;
+
+pub struct SafetyComment;
+
+const ID: &str = "safety-comment";
+
+impl Rule for SafetyComment {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "unsafe blocks and unsafe impls must carry a `// SAFETY:` justification"
+    }
+
+    fn check(&self, ctx: &FileCtx, cfg: &AuditConfig, out: &mut Vec<Diagnostic>) {
+        for u in &ctx.unsafe_spans {
+            let what = match u.kind {
+                UnsafeKind::Block => "`unsafe` block",
+                UnsafeKind::Impl => "`unsafe impl`",
+                // `unsafe fn` contracts live in `# Safety` doc
+                // sections; their *bodies* only need comments for the
+                // unsafe blocks inside (enforced separately by
+                // `unsafe_op_in_unsafe_fn`).
+                UnsafeKind::Fn | UnsafeKind::Extern => continue,
+            };
+            let kw = &ctx.toks[u.kw_tok];
+            if skip_tests(ID, ctx, cfg, kw.start) {
+                continue;
+            }
+            if has_safety_comment(ctx, u.kw_tok) {
+                continue;
+            }
+            emit(
+                ID,
+                ctx,
+                cfg,
+                kw.start,
+                ctx.module.clone(),
+                format!("{what} without a `// SAFETY:` comment above its statement"),
+                out,
+            );
+        }
+    }
+}
+
+/// Whether a SAFETY comment justifies the `unsafe` token at `kw_tok`:
+/// some comment containing `SAFETY:` lies between the end of the
+/// previous statement (`;`, `{`, or `}`) and the keyword.
+fn has_safety_comment(ctx: &FileCtx, kw_tok: usize) -> bool {
+    // Find the token that ends the previous statement.
+    let mut boundary = None;
+    for i in (0..kw_tok).rev() {
+        match &ctx.toks[i].kind {
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}') => {
+                boundary = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let from = boundary.map(|i| i + 1).unwrap_or(0);
+    ctx.toks[from..kw_tok].iter().any(|t| match &t.kind {
+        TokKind::Comment { text, .. } => text.contains("SAFETY:"),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AuditConfig;
+    use crate::ctx::FileCtx;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let ctx = FileCtx::new(PathBuf::from("t.rs"), src.to_string(), "t".into());
+        let mut out = Vec::new();
+        SafetyComment.check(&ctx, &AuditConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn documented_block_is_clean() {
+        let d = run("fn f() {\n    // SAFETY: p is valid for writes.\n    unsafe { w(p) };\n}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn undocumented_block_is_flagged() {
+        let d = run("fn f() {\n    unsafe { w(p) };\n}");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn comment_above_enclosing_statement_counts() {
+        let d = run("fn f() -> u8 {\n    // SAFETY: valid per contract.\n    let x = unsafe { r(p) };\n    x\n}");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn unrelated_comment_does_not_count() {
+        let d = run("fn f() {\n    // fast path\n    unsafe { w(p) };\n}");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn stale_safety_from_previous_statement_does_not_leak() {
+        let d = run(
+            "fn f() {\n    // SAFETY: for the first block.\n    unsafe { a() };\n    unsafe { b() };\n}",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment() {
+        assert_eq!(run("unsafe impl Send for X {}").len(), 1);
+        assert!(run("// SAFETY: no interior mutability.\nunsafe impl Send for X {}").is_empty());
+    }
+
+    #[test]
+    fn unsafe_fn_decl_is_not_flagged_here() {
+        assert!(run("pub unsafe fn f(p: *mut u8) { std::ptr::write(p, 0) }").is_empty());
+    }
+
+    #[test]
+    fn test_code_skipped_by_default() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { w() }; }\n}";
+        assert!(run(src).is_empty());
+        let ctx = FileCtx::new(PathBuf::from("t.rs"), src.to_string(), "t".into());
+        let cfg = AuditConfig::parse("[rule.safety-comment]\ninclude_tests = true\n").unwrap();
+        let mut out = Vec::new();
+        SafetyComment.check(&ctx, &cfg, &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

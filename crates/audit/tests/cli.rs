@@ -1,0 +1,164 @@
+//! End-to-end tests for the `lifepred-audit` binary: exact diagnostic
+//! counts and spans on the seeded fixture trees, a clean run over the
+//! real workspace, and the exit-code contract (0 clean / 1 deny /
+//! 2 usage or config error).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/audit sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_lifepred-audit"))
+        .args(args)
+        .output()
+        .expect("spawn lifepred-audit")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn bad_tree_reports_every_seeded_violation_with_exact_spans() {
+    let root = fixture("bad");
+    let out = run(&["check", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    // (file:line:col, rule) for every seeded violation, in output order.
+    let expected = [
+        ("crates/fx/src/r1.rs:3:5", "safety-comment"),
+        ("crates/fx/src/r1.rs:6:1", "safety-comment"),
+        ("crates/fx/src/r2.rs:4:16", "raw-ptr-ops"),
+        ("crates/fx/src/r2.rs:7:7", "raw-ptr-ops"),
+        ("crates/fx/src/r3.rs:6:11", "relaxed-publish"),
+        ("crates/fx/src/r3.rs:9:9", "relaxed-publish"),
+        ("crates/fx/src/r3.rs:12:9", "relaxed-publish"),
+        ("crates/fx/src/r4.rs:3:12", "layout-math"),
+        ("crates/fx/src/r4.rs:6:12", "layout-math"),
+        ("crates/fx/src/r4.rs:9:11", "layout-math"),
+        ("crates/fx/src/r5.rs:2:5", "forbidden-constructs"),
+        ("crates/fx/src/r5.rs:5:24", "forbidden-constructs"),
+        ("crates/fx/src/r5.rs:8:10", "forbidden-constructs"),
+    ];
+    let diag_lines: Vec<&str> = text.lines().filter(|l| l.contains(": deny[")).collect();
+    assert_eq!(diag_lines.len(), expected.len(), "{text}");
+    for (line, (span, rule)) in diag_lines.iter().zip(expected) {
+        assert!(
+            line.starts_with(&format!("{span}: deny[{rule}]:")),
+            "expected {span} deny[{rule}], got {line}"
+        );
+    }
+    assert!(
+        text.contains("5 file(s) scanned, 13 deny, 0 warn"),
+        "{text}"
+    );
+}
+
+#[test]
+fn bad_tree_json_format_carries_counts_and_rules() {
+    let root = fixture("bad");
+    let out = run(&[
+        "check",
+        "--root",
+        root.to_str().unwrap(),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(text.contains("\"deny\":13"), "{text}");
+    assert!(text.contains("\"warn\":0"), "{text}");
+    for rule in [
+        "safety-comment",
+        "raw-ptr-ops",
+        "relaxed-publish",
+        "layout-math",
+        "forbidden-constructs",
+    ] {
+        assert!(text.contains(&format!("\"rule\":\"{rule}\"")), "{text}");
+    }
+    assert!(
+        text.contains("\"file\":\"crates/fx/src/r3.rs\",\"line\":12,\"col\":9"),
+        "{text}"
+    );
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = fixture("clean");
+    let out = run(&["check", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("0 deny, 0 warn"));
+}
+
+#[test]
+fn real_workspace_is_audit_clean() {
+    let root = workspace_root();
+    assert!(
+        root.join("audit.toml").is_file(),
+        "expected audit.toml at workspace root {}",
+        root.display()
+    );
+    let out = run(&["check", "--root", root.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace must stay audit-clean:\n{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn allow_without_reason_is_a_config_error() {
+    let dir = std::env::temp_dir().join(format!("lifepred-audit-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = dir.join("bad-config.toml");
+    std::fs::write(&cfg, "[[allow]]\nrule = \"layout-math\"\nsite = \"x/y\"\n").unwrap();
+    let root = fixture("clean");
+    let out = run(&[
+        "check",
+        "--root",
+        root.to_str().unwrap(),
+        "--config",
+        cfg.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("config error"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let out = run(&["check", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn rules_subcommand_lists_the_registry() {
+    let out = run(&["rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for rule in [
+        "safety-comment",
+        "raw-ptr-ops",
+        "relaxed-publish",
+        "layout-math",
+        "forbidden-constructs",
+    ] {
+        assert!(text.contains(rule), "{text}");
+    }
+}

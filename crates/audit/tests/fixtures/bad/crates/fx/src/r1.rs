@@ -1,0 +1,6 @@
+//! R1 fixture: undocumented unsafe.
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+pub struct Wrapper(pub i64);
+unsafe impl Send for Wrapper {}

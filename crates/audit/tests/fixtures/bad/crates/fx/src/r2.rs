@@ -1,0 +1,8 @@
+//! R2 fixture: raw pointer arithmetic outside the allowlisted modules.
+pub fn third(p: *mut u8) -> *mut u8 {
+    // SAFETY: fixture — in-bounds by construction.
+    unsafe { p.add(3) }
+}
+pub fn cast(x: &mut u64) -> *mut u64 {
+    x as *mut u64
+}

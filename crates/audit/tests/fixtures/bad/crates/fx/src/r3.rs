@@ -1,0 +1,14 @@
+//! R3 fixture: Relaxed orderings on publishing atomic writes.
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+pub static READY: AtomicBool = AtomicBool::new(false);
+pub static SEQ: AtomicU64 = AtomicU64::new(0);
+pub fn publish() {
+    READY.store(true, Ordering::Relaxed);
+}
+pub fn bump() -> u64 {
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+pub fn claim(cur: u64) -> bool {
+    SEQ.compare_exchange(cur, 7, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+}

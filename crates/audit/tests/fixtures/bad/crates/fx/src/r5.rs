@@ -1,0 +1,9 @@
+//! R5 fixture: forbidden constructs.
+pub static mut SCRATCH: [u8; 64] = [0; 64];
+pub fn reinterpret(x: u32) -> f32 {
+    // SAFETY: fixture — u32 and f32 have the same size.
+    unsafe { std::mem::transmute(x) }
+}
+pub fn pin(b: Box<u32>) -> &'static mut u32 {
+    Box::leak(b)
+}

@@ -1,0 +1,14 @@
+//! Clean fixture: everything documented, allowlisted, or inline-allowed.
+use std::sync::atomic::{AtomicU64, Ordering};
+pub static TICKETS: AtomicU64 = AtomicU64::new(0);
+pub fn next_ticket() -> u64 {
+    TICKETS.fetch_add(1, Ordering::Relaxed)
+}
+pub fn read(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees p is valid for reads.
+    unsafe { *p }
+}
+pub fn pin(b: Box<u32>) -> &'static mut u32 {
+    // audit:allow(forbidden-constructs): fixture exercises inline allows
+    Box::leak(b)
+}

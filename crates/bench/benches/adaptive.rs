@@ -73,6 +73,8 @@ fn scaling(c: &mut Criterion) {
                 fan_out(threads, || {
                     churn(
                         |l| heap.allocate(site, l),
+                        // SAFETY: churn frees exactly what it
+                        // allocated, with the same layout.
                         |p, l| unsafe { heap.deallocate(p, l) },
                     );
                 });
@@ -85,6 +87,8 @@ fn scaling(c: &mut Criterion) {
                 fan_out(threads, || {
                     churn(
                         |l| heap.allocate(site, l),
+                        // SAFETY: churn frees exactly what it
+                        // allocated, with the same layout.
                         |p, l| unsafe { heap.deallocate(p, l) },
                     );
                 });
@@ -97,6 +101,8 @@ fn scaling(c: &mut Criterion) {
                 fan_out(threads, || {
                     churn(
                         |l| heap.allocate(site, l),
+                        // SAFETY: churn frees exactly what it
+                        // allocated, with the same layout.
                         |p, l| unsafe { heap.deallocate(p, l) },
                     );
                 });
@@ -107,7 +113,10 @@ fn scaling(c: &mut Criterion) {
             b.iter(|| {
                 fan_out(threads, || {
                     churn(
+                        // SAFETY: churn only passes nonzero-size
+                        // layouts and frees exactly what it allocated.
                         |l| unsafe { std::alloc::alloc(l) },
+                        // SAFETY: as above — p came from alloc(l).
                         |p, l| unsafe { std::alloc::dealloc(p, l) },
                     );
                 });

@@ -63,6 +63,8 @@ fn runtime_allocator(c: &mut Criterion) {
         let heap = PredictiveAllocator::with_database(db);
         b.iter(|| {
             let p = heap.allocate(site, layout);
+            // SAFETY: p came from heap.allocate with this layout and
+            // is freed exactly once per iteration.
             unsafe { heap.deallocate(black_box(p), layout) };
         });
     });
@@ -70,6 +72,8 @@ fn runtime_allocator(c: &mut Criterion) {
         let heap = PredictiveAllocator::new();
         b.iter(|| {
             let p = heap.allocate(site, layout);
+            // SAFETY: p came from heap.allocate with this layout and
+            // is freed exactly once per iteration.
             unsafe { heap.deallocate(black_box(p), layout) };
         });
     });

@@ -37,8 +37,16 @@ impl Default for ArenaConfig {
 
 impl ArenaConfig {
     /// Total bytes of the arena area.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arena_count * arena_size` overflows `u64`: an
+    /// impossible simulated geometry must fail loudly, not wrap into a
+    /// tiny address range.
     pub fn total_bytes(&self) -> u64 {
-        self.arena_count as u64 * u64::from(self.arena_size)
+        (self.arena_count as u64)
+            .checked_mul(u64::from(self.arena_size))
+            .expect("arena geometry overflows u64")
     }
 }
 
@@ -104,7 +112,11 @@ impl ArenaAllocator {
     /// Allocates `size` bytes; `predicted_short` is the prediction for
     /// this allocation's site.
     pub fn alloc(&mut self, size: u32, predicted_short: bool) -> Addr {
-        let aligned = size.div_ceil(ARENA_ALIGN) * ARENA_ALIGN;
+        // Checked rounding: a size within ARENA_ALIGN of u32::MAX must
+        // overflow to the general heap, not wrap to a tiny request.
+        let aligned = size
+            .checked_next_multiple_of(ARENA_ALIGN)
+            .unwrap_or(u32::MAX);
         if !predicted_short || aligned > self.config.arena_size {
             if predicted_short {
                 // Predicted short but too large for any arena: the
@@ -149,14 +161,18 @@ impl ArenaAllocator {
 
     /// Whether `addr` lies in the arena area.
     pub fn is_arena_addr(&self, addr: Addr) -> bool {
-        addr.0 >= ARENA_BASE && addr.0 < ARENA_BASE + self.config.total_bytes()
+        // Wrapping subtraction folds the two range checks into one
+        // compare with no overflowable `base + len` addition.
+        addr.0.wrapping_sub(ARENA_BASE) < self.config.total_bytes()
     }
 
     /// High-water heap size: the general heap's high-water mark plus
     /// the whole arena area (Table 8 "include the 64-kilobyte arena
     /// area in the total").
     pub fn max_heap_bytes(&self) -> u64 {
-        self.fallback.max_heap_bytes() + self.config.total_bytes()
+        self.fallback
+            .max_heap_bytes()
+            .saturating_add(self.config.total_bytes())
     }
 
     /// Merged operation counters (arena side + general heap).
@@ -180,8 +196,14 @@ impl ArenaAllocator {
 
     fn bump(&mut self, idx: usize, aligned: u32) -> Addr {
         let arena = &mut self.arenas[idx];
-        let addr =
-            ARENA_BASE + idx as u64 * u64::from(self.config.arena_size) + u64::from(arena.used);
+        // idx * arena_size + used <= total_bytes (checked above), and
+        // ARENA_BASE sits far below u64::MAX - total_bytes; checked
+        // arithmetic documents that rather than trusting it silently.
+        let addr = (idx as u64)
+            .checked_mul(u64::from(self.config.arena_size))
+            .and_then(|off| off.checked_add(u64::from(arena.used)))
+            .and_then(|off| ARENA_BASE.checked_add(off))
+            .expect("arena address overflows u64");
         arena.used += aligned;
         arena.live += 1;
         self.counts.arena_allocs += 1;

@@ -37,6 +37,8 @@ fn parse_phase(profiler: Option<&RuntimeProfiler>, heap: Option<&PredictiveAlloc
             (_, Some(h)) => {
                 let ptr = h.allocate(token_site(), token_layout);
                 assert!(!ptr.is_null());
+                // SAFETY: ptr came from h.allocate with this layout
+                // and is freed exactly once.
                 unsafe { h.deallocate(ptr, token_layout) };
             }
             _ => unreachable!("one of profiler/heap is set"),
@@ -53,6 +55,8 @@ fn parse_phase(profiler: Option<&RuntimeProfiler>, heap: Option<&PredictiveAlloc
     for s in symbols {
         match (s, profiler, heap) {
             (Err(t), Some(p), _) => p.record_free(t),
+            // SAFETY: each Ok(ptr) came from h.allocate with
+            // symbol_layout and is freed exactly once here.
             (Ok(ptr), _, Some(h)) => unsafe { h.deallocate(ptr, symbol_layout) },
             _ => unreachable!(),
         }

@@ -1,0 +1,237 @@
+//! Offline stand-in for the `loom` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored shim provides the small API subset the workspace's
+//! model-check tests use. It is **not** an exhaustive model checker:
+//! [`model`] reruns the closure under many stress schedules, and the
+//! atomic wrappers in [`sync::atomic`] inject pseudo-random
+//! `yield_now` calls around every operation to shake out
+//! interleavings. The API matches loom 0.7, so pointing the
+//! `loom` entry in the workspace `Cargo.toml` at the real crate
+//! upgrades the same tests to exhaustive exploration with no source
+//! changes.
+//!
+//! Iteration count: `LOOM_STUB_ITERS` (default 64). The real loom's
+//! `LOOM_MAX_PREEMPTIONS`/`LOOM_MAX_BRANCHES` knobs are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrdering};
+
+/// Global schedule seed, re-mixed once per [`model`] iteration so each
+/// run perturbs differently.
+static SCHEDULE_SEED: StdAtomicU64 = StdAtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+thread_local! {
+    static LOCAL_RNG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Maybe yields the current thread, driven by a per-thread
+/// splitmix-style generator. Called by every wrapped atomic operation.
+fn perturb() {
+    let decision = LOCAL_RNG.with(|rng| {
+        let mut x = rng.get();
+        if x == 0 {
+            // First use on this thread: fold the global seed with a
+            // thread-unique address so sibling threads diverge.
+            let unique = &x as *const u64 as u64;
+            x = SCHEDULE_SEED.load(StdOrdering::Relaxed) ^ unique | 1;
+        }
+        x = x.wrapping_mul(0xd129_0d3a_4542_15d3).rotate_left(23) ^ (x >> 17);
+        rng.set(x);
+        x
+    });
+    if decision % 4 == 0 {
+        std::thread::yield_now();
+    }
+}
+
+/// Runs `f` under many perturbed schedules (loom runs it under every
+/// schedule up to its preemption bound; this shim stress-tests
+/// instead).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_STUB_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    for i in 0..iters {
+        SCHEDULE_SEED.fetch_add(0x6a09_e667_f3bc_c909 ^ i, StdOrdering::Relaxed);
+        LOCAL_RNG.with(|rng| rng.set(0));
+        f();
+    }
+}
+
+/// Mirror of `loom::thread`: real threads stand in for modeled ones.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Mirror of `loom::sync`: `Arc`/`Mutex` are the std types (the shim
+/// relies on yield perturbation rather than modeled locks); the atomic
+/// types are perturbing wrappers.
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Atomic wrappers that delegate to `std::sync::atomic` but call
+    /// the scheduler-perturbation hook around every operation.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        type U64 = std::sync::atomic::AtomicU64;
+        type Usize = std::sync::atomic::AtomicUsize;
+        type U32 = std::sync::atomic::AtomicU32;
+        type Bool = std::sync::atomic::AtomicBool;
+
+        macro_rules! atomic_direct {
+            ($name:ident, $std:ty, $value:ty) => {
+                /// Perturbing stand-in for the loom atomic of the same
+                /// name.
+                #[derive(Debug, Default)]
+                pub struct $name($std);
+
+                impl $name {
+                    /// Creates the atomic (const, unlike real loom,
+                    /// which forbids statics anyway).
+                    pub const fn new(value: $value) -> Self {
+                        Self(<$std>::new(value))
+                    }
+
+                    /// Loads the value.
+                    pub fn load(&self, order: Ordering) -> $value {
+                        crate::perturb();
+                        self.0.load(order)
+                    }
+
+                    /// Stores `value`.
+                    pub fn store(&self, value: $value, order: Ordering) {
+                        crate::perturb();
+                        self.0.store(value, order);
+                        crate::perturb();
+                    }
+
+                    /// Adds, returning the previous value.
+                    pub fn fetch_add(&self, value: $value, order: Ordering) -> $value {
+                        crate::perturb();
+                        let prev = self.0.fetch_add(value, order);
+                        crate::perturb();
+                        prev
+                    }
+
+                    /// Swaps, returning the previous value.
+                    pub fn swap(&self, value: $value, order: Ordering) -> $value {
+                        crate::perturb();
+                        let prev = self.0.swap(value, order);
+                        crate::perturb();
+                        prev
+                    }
+
+                    /// Compare-and-exchange.
+                    ///
+                    /// # Errors
+                    ///
+                    /// Returns the observed value when it differs from
+                    /// `current`.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $value,
+                        new: $value,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$value, $value> {
+                        crate::perturb();
+                        let r = self.0.compare_exchange(current, new, success, failure);
+                        crate::perturb();
+                        r
+                    }
+
+                    /// Weak compare-and-exchange (never spuriously
+                    /// fails in this shim).
+                    ///
+                    /// # Errors
+                    ///
+                    /// Returns the observed value when it differs from
+                    /// `current`.
+                    pub fn compare_exchange_weak(
+                        &self,
+                        current: $value,
+                        new: $value,
+                        success: Ordering,
+                        failure: Ordering,
+                    ) -> Result<$value, $value> {
+                        self.compare_exchange(current, new, success, failure)
+                    }
+                }
+            };
+        }
+
+        atomic_direct!(AtomicU64, U64, u64);
+        atomic_direct!(AtomicUsize, Usize, usize);
+        atomic_direct!(AtomicU32, U32, u32);
+
+        /// Perturbing stand-in for `loom::sync::atomic::AtomicBool`
+        /// (no `fetch_add`, matching std).
+        #[derive(Debug, Default)]
+        pub struct AtomicBool(Bool);
+
+        impl AtomicBool {
+            /// Creates the atomic (const, unlike real loom, which
+            /// forbids statics anyway).
+            pub const fn new(value: bool) -> Self {
+                Self(Bool::new(value))
+            }
+
+            /// Loads the value.
+            pub fn load(&self, order: Ordering) -> bool {
+                crate::perturb();
+                self.0.load(order)
+            }
+
+            /// Stores `value`.
+            pub fn store(&self, value: bool, order: Ordering) {
+                crate::perturb();
+                self.0.store(value, order);
+                crate::perturb();
+            }
+
+            /// Swaps, returning the previous value.
+            pub fn swap(&self, value: bool, order: Ordering) -> bool {
+                crate::perturb();
+                let prev = self.0.swap(value, order);
+                crate::perturb();
+                prev
+            }
+
+            /// Compare-and-exchange.
+            ///
+            /// # Errors
+            ///
+            /// Returns the observed value when it differs from
+            /// `current`.
+            pub fn compare_exchange(
+                &self,
+                current: bool,
+                new: bool,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<bool, bool> {
+                crate::perturb();
+                let r = self.0.compare_exchange(current, new, success, failure);
+                crate::perturb();
+                r
+            }
+        }
+    }
+}
+
+/// Mirror of `loom::hint`.
+pub mod hint {
+    /// Spin-loop hint; also a perturbation point in this shim.
+    pub fn spin_loop() {
+        crate::perturb();
+        std::hint::spin_loop();
+    }
+}
