@@ -98,6 +98,30 @@ impl LearnerStats {
         pct(self.predicted_allocs, self.total_allocs)
     }
 
+    /// Publishes every counter as a `lifepred_learner_*` gauge in
+    /// `registry` (gauges, not counters: a stats snapshot is a level,
+    /// re-exported wholesale on each call).
+    pub fn export(&self, registry: &lifepred_obs::Registry) {
+        let fields: [(&str, u64); 13] = [
+            ("lifepred_learner_epochs", self.epochs),
+            ("lifepred_learner_sites", self.sites),
+            ("lifepred_learner_short_sites", self.short_sites),
+            ("lifepred_learner_promotions", self.promotions),
+            ("lifepred_learner_demotions", self.demotions),
+            ("lifepred_learner_mispredictions", self.mispredictions),
+            ("lifepred_learner_total_allocs", self.total_allocs),
+            ("lifepred_learner_predicted_allocs", self.predicted_allocs),
+            ("lifepred_learner_total_bytes", self.total_bytes),
+            ("lifepred_learner_predicted_bytes", self.predicted_bytes),
+            ("lifepred_learner_error_bytes", self.error_bytes),
+            ("lifepred_learner_total_frees", self.total_frees),
+            ("lifepred_learner_long_frees", self.long_frees),
+        ];
+        for (name, value) in fields {
+            registry.gauge(name).set(value);
+        }
+    }
+
     /// Percentage of bytes predicted short-lived (coverage).
     pub fn coverage_byte_pct(&self) -> f64 {
         pct(self.predicted_bytes, self.total_bytes)

@@ -54,13 +54,17 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod database;
+mod obs;
 mod profiler;
 mod runtime;
 mod sharded;
 mod site;
 
 pub use database::RuntimeSiteDb;
+pub use obs::AllocObs;
 pub use profiler::{AllocTicket, RuntimeProfiler};
-pub use runtime::{PredictiveAllocator, RuntimeArenaConfig, RuntimeStats, ARENA_ENV};
+pub use runtime::{
+    PredictiveAllocator, RuntimeArenaConfig, RuntimeStats, StatsMergeError, ARENA_ENV,
+};
 pub use sharded::ShardedAllocator;
 pub use site::{site_key, SiteKey, SiteScope};

@@ -1,0 +1,145 @@
+//! Observability wiring for the runtime allocators.
+//!
+//! [`AllocObs`] bundles the `lifepred_alloc_*` metric handles an
+//! allocator records into. Two publication patterns share the handles:
+//!
+//! * [`PredictiveAllocator`](crate::PredictiveAllocator) updates them
+//!   live — one uncontended sharded Relaxed add per event; its single
+//!   global mutex dwarfs that cost anyway.
+//! * [`ShardedAllocator`](crate::ShardedAllocator) accumulates an
+//!   [`ObsDelta`] of **plain** fields inside each shard, under the
+//!   shard mutex the fast path already holds — zero extra atomics per
+//!   event — and drains the deltas into the shared handles at epoch
+//!   ticks and `export_metrics`. That batching is how the recorded
+//!   < 2% observability-overhead budget survives a raw alloc/free
+//!   microbenchmark.
+//!
+//! Handles are `Arc`s into a [`Registry`], so the registry lock is
+//! touched only at registration and export time, never per allocation.
+
+use lifepred_obs::{Counter, EpochTimeline, HistogramSnapshot, LogHistogram, Registry};
+use std::sync::Arc;
+
+/// Hot-path metric handles for one allocator, registered under the
+/// `lifepred_alloc_*` names (shared by both allocators: attach each to
+/// its own [`Registry`] to keep them apart).
+#[derive(Debug, Clone)]
+pub struct AllocObs {
+    /// `lifepred_alloc_allocs_total` — every allocation.
+    pub allocs_total: Arc<Counter>,
+    /// `lifepred_alloc_arena_allocs_total` — served from an arena.
+    pub arena_allocs_total: Arc<Counter>,
+    /// `lifepred_alloc_general_allocs_total` — served by the system
+    /// allocator.
+    pub general_allocs_total: Arc<Counter>,
+    /// `lifepred_alloc_frees_total` — every free.
+    pub frees_total: Arc<Counter>,
+    /// `lifepred_alloc_overflows_total` — predicted-short allocations
+    /// that had to fall back.
+    pub overflows_total: Arc<Counter>,
+    /// `lifepred_alloc_double_frees_total` — detected double frees.
+    pub double_frees_total: Arc<Counter>,
+    /// `lifepred_alloc_size_bytes` — requested allocation sizes.
+    pub size_bytes: Arc<LogHistogram>,
+    /// `lifepred_alloc_latency_ns` — allocation wall time; stays empty
+    /// unless `lifepred-obs` is built with its `timing` feature.
+    pub latency_ns: Arc<LogHistogram>,
+    /// `lifepred_alloc_epochs` — one sample per adaptive epoch tick.
+    pub timeline: Arc<EpochTimeline>,
+}
+
+impl AllocObs {
+    /// Registers (or re-fetches) the allocator metric set in `registry`.
+    pub fn register(registry: &Registry) -> AllocObs {
+        AllocObs {
+            allocs_total: registry.counter("lifepred_alloc_allocs_total"),
+            arena_allocs_total: registry.counter("lifepred_alloc_arena_allocs_total"),
+            general_allocs_total: registry.counter("lifepred_alloc_general_allocs_total"),
+            frees_total: registry.counter("lifepred_alloc_frees_total"),
+            overflows_total: registry.counter("lifepred_alloc_overflows_total"),
+            double_frees_total: registry.counter("lifepred_alloc_double_frees_total"),
+            size_bytes: registry.histogram("lifepred_alloc_size_bytes"),
+            latency_ns: registry.histogram("lifepred_alloc_latency_ns"),
+            timeline: registry.timeline("lifepred_alloc_epochs"),
+        }
+    }
+
+    /// Records one allocation outcome.
+    #[inline]
+    pub(crate) fn on_alloc(&self, size: u64, arena: bool) {
+        self.allocs_total.inc();
+        self.size_bytes.observe(size);
+        if arena {
+            self.arena_allocs_total.inc();
+        } else {
+            self.general_allocs_total.inc();
+        }
+    }
+}
+
+/// Plain per-shard metric deltas for the sharded allocator's fast
+/// path: bumped under the shard mutex that path already holds, then
+/// drained into the shared [`AllocObs`] atomics by
+/// [`ObsDelta::drain_into`] at epoch ticks and export time.
+#[derive(Debug, Default)]
+pub(crate) struct ObsDelta {
+    pub(crate) general_allocs: u64,
+    pub(crate) frees: u64,
+    pub(crate) overflows: u64,
+    pub(crate) double_frees: u64,
+    pub(crate) sizes: HistogramSnapshot,
+}
+
+impl ObsDelta {
+    /// Publishes and resets this delta. The size histogram records
+    /// every allocation and each lands in exactly one of the
+    /// arena/general buckets, so the arena-served hot path bumps
+    /// nothing extra: `allocs` is the histogram count and `arena` is
+    /// that count minus the (rare) general-path bumps.
+    pub(crate) fn drain_into(&mut self, obs: &AllocObs) {
+        let d = std::mem::take(self);
+        obs.allocs_total.add(d.sizes.count);
+        obs.arena_allocs_total.add(d.sizes.count - d.general_allocs);
+        obs.general_allocs_total.add(d.general_allocs);
+        obs.frees_total.add(d.frees);
+        obs.overflows_total.add(d.overflows);
+        obs.double_frees_total.add(d.double_frees);
+        obs.size_bytes.absorb(&d.sizes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let reg = Registry::new();
+        let a = AllocObs::register(&reg);
+        let b = AllocObs::register(&reg);
+        a.allocs_total.inc();
+        b.allocs_total.inc();
+        assert_eq!(
+            reg.snapshot().counter("lifepred_alloc_allocs_total"),
+            Some(2),
+            "both handles must hit the same counter"
+        );
+    }
+
+    #[test]
+    fn on_alloc_routes_by_outcome() {
+        let reg = Registry::new();
+        let obs = AllocObs::register(&reg);
+        obs.on_alloc(64, true);
+        obs.on_alloc(32, false);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("lifepred_alloc_allocs_total"), Some(2));
+        assert_eq!(snap.counter("lifepred_alloc_arena_allocs_total"), Some(1));
+        assert_eq!(snap.counter("lifepred_alloc_general_allocs_total"), Some(1));
+        let sizes = snap
+            .histogram("lifepred_alloc_size_bytes")
+            .expect("histogram");
+        assert_eq!(sizes.count, 2);
+        assert_eq!(sizes.sum, 96);
+    }
+}

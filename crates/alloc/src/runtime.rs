@@ -1,9 +1,12 @@
 //! The runtime arena allocator (real memory, not simulation).
 
 use crate::database::RuntimeSiteDb;
+use crate::obs::AllocObs;
 use crate::site::{site_key, SiteKey};
+use lifepred_obs::{Registry, Timer};
 use parking_lot::Mutex;
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt;
 use std::ptr;
 
 /// Geometry of the runtime arena area (paper defaults: 16 × 4 KB).
@@ -152,6 +155,9 @@ pub struct RuntimeStats {
     /// Snapshot: bytes sitting in arenas that still hold live objects —
     /// memory that cannot be reclaimed by an arena reset.
     pub pinned_arena_bytes: u64,
+    /// Snapshot: number of arenas behind the snapshot fields (one
+    /// shard's geometry for per-shard stats, the sum for merged ones).
+    pub arena_count: u64,
 }
 
 impl RuntimeStats {
@@ -167,8 +173,17 @@ impl RuntimeStats {
     }
 
     /// Field-wise sum — combines per-shard counters into totals.
-    /// Saturating: a merged report clamps rather than wraps if any
-    /// counter pair sums past `u64::MAX`.
+    ///
+    /// The documented merge rule: counters saturate rather than wrap
+    /// past `u64::MAX`; the snapshot fields (`arena_used_bytes`,
+    /// `arena_total_bytes`, `pinned_arena_bytes`, `arena_count`) sum,
+    /// so [`utilization_pct`](Self::utilization_pct) and
+    /// [`fragmentation_pct`](Self::fragmentation_pct) of a merged
+    /// report are **capacity-weighted averages** — the per-arena
+    /// distribution is not preserved. When the two sides use different
+    /// per-arena sizes those weighted averages can mask a hot shard;
+    /// use [`checked_merged`](Self::checked_merged) to reject such
+    /// merges instead of averaging over them.
     pub fn merged(&self, other: &RuntimeStats) -> RuntimeStats {
         RuntimeStats {
             arena_allocs: self.arena_allocs.saturating_add(other.arena_allocs),
@@ -185,9 +200,101 @@ impl RuntimeStats {
             pinned_arena_bytes: self
                 .pinned_arena_bytes
                 .saturating_add(other.pinned_arena_bytes),
+            arena_count: self.arena_count.saturating_add(other.arena_count),
         }
     }
+
+    /// Like [`merged`](Self::merged), but refuses to blend snapshots
+    /// taken over different arena geometries: if both sides carry
+    /// arenas and their per-arena sizes differ, the merged
+    /// utilization/fragmentation percentages would be capacity-weighted
+    /// over incomparable units, silently losing the per-arena detail.
+    ///
+    /// # Errors
+    ///
+    /// [`StatsMergeError`] with both geometries when they disagree.
+    pub fn checked_merged(&self, other: &RuntimeStats) -> Result<RuntimeStats, StatsMergeError> {
+        let per_arena =
+            |s: &RuntimeStats| (s.arena_count > 0).then(|| s.arena_total_bytes / s.arena_count);
+        if let (Some(a), Some(b)) = (per_arena(self), per_arena(other)) {
+            if a != b {
+                return Err(StatsMergeError {
+                    left_arenas: self.arena_count,
+                    left_arena_bytes: a,
+                    right_arenas: other.arena_count,
+                    right_arena_bytes: b,
+                });
+            }
+        }
+        Ok(self.merged(other))
+    }
+
+    /// Exports every field as a `lifepred_runtime_*` gauge in
+    /// `registry` (the migration path off hand-rolled stats structs:
+    /// renderers read the registry, not this struct).
+    pub fn export(&self, registry: &Registry) {
+        registry
+            .gauge("lifepred_runtime_arena_allocs")
+            .set(self.arena_allocs);
+        registry
+            .gauge("lifepred_runtime_general_allocs")
+            .set(self.general_allocs);
+        registry
+            .gauge("lifepred_runtime_arena_frees")
+            .set(self.arena_frees);
+        registry
+            .gauge("lifepred_runtime_general_frees")
+            .set(self.general_frees);
+        registry
+            .gauge("lifepred_runtime_arena_resets")
+            .set(self.arena_resets);
+        registry
+            .gauge("lifepred_runtime_overflows")
+            .set(self.overflows);
+        registry
+            .gauge("lifepred_runtime_double_frees")
+            .set(self.double_frees);
+        registry
+            .gauge("lifepred_runtime_arena_used_bytes")
+            .set(self.arena_used_bytes);
+        registry
+            .gauge("lifepred_runtime_arena_total_bytes")
+            .set(self.arena_total_bytes);
+        registry
+            .gauge("lifepred_runtime_pinned_arena_bytes")
+            .set(self.pinned_arena_bytes);
+        registry
+            .gauge("lifepred_runtime_arena_count")
+            .set(self.arena_count);
+    }
 }
+
+/// Refusal to merge [`RuntimeStats`] snapshots taken over different
+/// arena geometries (see [`RuntimeStats::checked_merged`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsMergeError {
+    /// Arena count on the left side.
+    pub left_arenas: u64,
+    /// Per-arena bytes on the left side.
+    pub left_arena_bytes: u64,
+    /// Arena count on the right side.
+    pub right_arenas: u64,
+    /// Per-arena bytes on the right side.
+    pub right_arena_bytes: u64,
+}
+
+impl fmt::Display for StatsMergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot merge stats over different arena geometries: \
+             {}×{} B vs {}×{} B (percentages would average incomparable arenas)",
+            self.left_arenas, self.left_arena_bytes, self.right_arenas, self.right_arena_bytes
+        )
+    }
+}
+
+impl std::error::Error for StatsMergeError {}
 
 fn stats_pct(num: u64, den: u64) -> f64 {
     if den == 0 {
@@ -209,6 +316,7 @@ pub(crate) fn fill_arena_snapshot(
     arenas: &[ArenaState],
     arena_size: usize,
 ) {
+    stats.arena_count = arenas.len() as u64;
     stats.arena_total_bytes = (arenas.len() as u64).saturating_mul(arena_size as u64);
     stats.arena_used_bytes = arenas.iter().map(|a| a.used as u64).sum();
     stats.pinned_arena_bytes = arenas
@@ -243,6 +351,9 @@ pub struct PredictiveAllocator {
     /// Base of the arena area; owned, freed on drop.
     base: *mut u8,
     inner: Mutex<Inner>,
+    /// Metric handles when a registry is attached; the hot path pays
+    /// one sharded Relaxed add per event, nothing when detached.
+    obs: Option<AllocObs>,
 }
 
 // SAFETY: the raw base pointer is only read concurrently; all mutable
@@ -297,12 +408,28 @@ impl PredictiveAllocator {
                 current: 0,
                 stats: RuntimeStats::default(),
             }),
+            obs: None,
         }
     }
 
     /// The arena geometry.
     pub fn config(&self) -> &RuntimeArenaConfig {
         &self.config
+    }
+
+    /// Attaches the `lifepred_alloc_*` metric set from `registry` to
+    /// this allocator's hot path. Call before sharing the allocator;
+    /// pair with [`export_metrics`](Self::export_metrics) for the
+    /// snapshot gauges.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.obs = Some(AllocObs::register(registry));
+    }
+
+    /// Exports the current [`RuntimeStats`] as `lifepred_runtime_*`
+    /// gauges in `registry` (an export-time operation — call it when a
+    /// report is wanted, not per allocation).
+    pub fn export_metrics(&self, registry: &Registry) {
+        self.stats().export(registry);
     }
 
     /// Counters so far, with arena utilization snapshot fields filled
@@ -332,6 +459,16 @@ impl PredictiveAllocator {
         if layout.size() == 0 {
             return ptr::null_mut();
         }
+        let timer = Timer::start();
+        let p = self.allocate_inner(site, layout);
+        if let Some(obs) = &self.obs {
+            obs.on_alloc(layout.size() as u64, self.is_arena_ptr(p));
+            timer.observe_ns(&obs.latency_ns);
+        }
+        p
+    }
+
+    fn allocate_inner(&self, site: SiteKey, layout: Layout) -> *mut u8 {
         let keyed = site.with_size(layout.size());
         let predicted = self.db.predicts(keyed);
         let need = layout.size();
@@ -344,6 +481,9 @@ impl PredictiveAllocator {
             let mut inner = self.inner.lock();
             if predicted {
                 inner.stats.overflows += 1;
+                if let Some(obs) = &self.obs {
+                    obs.overflows_total.inc();
+                }
             }
             inner.stats.general_allocs += 1;
             drop(inner);
@@ -368,6 +508,9 @@ impl PredictiveAllocator {
         // All arenas pinned: degenerate to the general allocator.
         inner.stats.overflows += 1;
         inner.stats.general_allocs += 1;
+        if let Some(obs) = &self.obs {
+            obs.overflows_total.inc();
+        }
         drop(inner);
         // SAFETY: nonzero size checked above.
         unsafe { System.alloc(layout) }
@@ -405,6 +548,9 @@ impl PredictiveAllocator {
         if ptr.is_null() {
             return;
         }
+        if let Some(obs) = &self.obs {
+            obs.frees_total.inc();
+        }
         if self.is_arena_ptr(ptr) {
             let offset = ptr as usize - self.base as usize;
             let idx = offset / self.config.arena_size;
@@ -415,6 +561,9 @@ impl PredictiveAllocator {
                 // masked — decrementing would corrupt another object's
                 // accounting.
                 inner.stats.double_frees += 1;
+                if let Some(obs) = &self.obs {
+                    obs.double_frees_total.inc();
+                }
                 return;
             }
             arena.live -= 1;
@@ -841,5 +990,93 @@ mod tests {
         assert_eq!(m.general_allocs, 2);
         assert_eq!(m.double_frees, 3);
         assert_eq!(m.overflows, 5);
+    }
+
+    #[test]
+    fn checked_merge_rejects_mismatched_arena_geometry() {
+        // Regression: `merged` used to blend snapshots from different
+        // arena geometries silently — 2×1 KiB merged with 4×4 KiB gives
+        // a capacity-weighted utilization that describes neither side.
+        let small = RuntimeStats {
+            arena_count: 2,
+            arena_total_bytes: 2 * 1024,
+            arena_used_bytes: 2 * 1024, // 100% full
+            ..RuntimeStats::default()
+        };
+        let large = RuntimeStats {
+            arena_count: 4,
+            arena_total_bytes: 4 * 4096,
+            arena_used_bytes: 0, // empty
+            ..RuntimeStats::default()
+        };
+        let err = small.checked_merged(&large).expect_err("must reject");
+        assert_eq!(err.left_arena_bytes, 1024);
+        assert_eq!(err.right_arena_bytes, 4096);
+        assert!(err.to_string().contains("arena geometries"), "{err}");
+        // Same per-arena size merges fine, and the documented saturate
+        // rule applies: snapshot fields sum.
+        let twin = RuntimeStats {
+            arena_count: 8,
+            arena_total_bytes: 8 * 1024,
+            ..RuntimeStats::default()
+        };
+        let m = small.checked_merged(&twin).expect("same geometry");
+        assert_eq!(m.arena_count, 10);
+        assert_eq!(m.arena_total_bytes, 10 * 1024);
+        // A side with no arenas at all merges with anything.
+        assert!(RuntimeStats::default().checked_merged(&large).is_ok());
+        // And the unchecked merge still saturates instead of wrapping.
+        let maxed = RuntimeStats {
+            arena_allocs: u64::MAX,
+            ..RuntimeStats::default()
+        };
+        assert_eq!(maxed.merged(&maxed).arena_allocs, u64::MAX);
+    }
+
+    #[test]
+    fn stats_snapshot_carries_arena_count() {
+        let heap = PredictiveAllocator::with_config(
+            RuntimeSiteDb::default(),
+            RuntimeArenaConfig {
+                arena_count: 3,
+                arena_size: 256,
+            },
+        );
+        assert_eq!(heap.stats().arena_count, 3);
+    }
+
+    #[test]
+    fn attached_registry_sees_hot_path_traffic() {
+        use lifepred_obs::Registry;
+        let site = site_key();
+        let mut heap = PredictiveAllocator::with_database(trained_db(site, 64));
+        let registry = Registry::new();
+        heap.attach_registry(&registry);
+        let p = heap.allocate(site, layout(64));
+        assert!(heap.is_arena_ptr(p));
+        // Predicted size, but an alignment arenas cannot honour: the
+        // allocation overflows to the system path.
+        let big = Layout::from_size_align(64, 8192).expect("l");
+        let q = heap.allocate(site, big);
+        // SAFETY: the pointers came from this heap's allocate with the
+        // same layouts and are freed exactly once.
+        unsafe {
+            heap.deallocate(p, layout(64));
+            heap.deallocate(q, big);
+        }
+        heap.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("lifepred_alloc_allocs_total"), Some(2));
+        assert_eq!(snap.counter("lifepred_alloc_arena_allocs_total"), Some(1));
+        assert_eq!(snap.counter("lifepred_alloc_general_allocs_total"), Some(1));
+        assert_eq!(snap.counter("lifepred_alloc_frees_total"), Some(2));
+        assert_eq!(snap.counter("lifepred_alloc_overflows_total"), Some(1));
+        let sizes = snap.histogram("lifepred_alloc_size_bytes").expect("sizes");
+        assert_eq!(sizes.count, 2);
+        assert_eq!(sizes.sum, 128);
+        // Export-time gauges mirror RuntimeStats.
+        assert_eq!(snap.gauge("lifepred_runtime_arena_allocs"), Some(1));
+        assert_eq!(snap.gauge("lifepred_runtime_overflows"), Some(1));
+        assert_eq!(snap.gauge("lifepred_runtime_arena_count"), Some(16));
     }
 }

@@ -14,9 +14,11 @@
 //! boundaries and on (rare) mispredictions.
 
 use crate::database::RuntimeSiteDb;
+use crate::obs::{AllocObs, ObsDelta};
 use crate::runtime::{align_up, fill_arena_snapshot, ArenaState, RuntimeArenaConfig, RuntimeStats};
 use crate::site::{site_key, SiteKey};
 use lifepred_adaptive::{EpochAgg, EpochConfig, LearnerStats, SharedPredictor};
+use lifepred_obs::{EpochSample, Registry, Timer};
 use parking_lot::Mutex;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::{HashMap, HashSet};
@@ -124,6 +126,10 @@ struct ShardInner {
     /// Cached snapshot of the predicted-short set (adaptive mode).
     cached_gen: u64,
     cached: Arc<HashSet<u64>>,
+    /// Pending metric deltas (only maintained with a registry
+    /// attached): plain adds under this shard's lock, drained into the
+    /// shared atomics at epoch ticks and export time.
+    obs: ObsDelta,
 }
 
 /// A lifetime-predicting allocator with per-thread arena shards.
@@ -199,6 +205,12 @@ pub struct ShardedAllocator {
     base: *mut u8,
     shards: Vec<CacheLine<Mutex<ShardInner>>>,
     mode: Mode,
+    /// Metric handles when a registry is attached; the hot path bumps
+    /// plain per-shard deltas under the shard lock it already holds
+    /// (nothing when detached), drained into these shared handles at
+    /// epoch ticks and [`export_metrics`](Self::export_metrics). The
+    /// epoch timeline is pushed by whichever thread wins the tick CAS.
+    obs: Option<AllocObs>,
 }
 
 // SAFETY: the raw base pointer is only read concurrently; all mutable
@@ -291,6 +303,7 @@ impl ShardedAllocator {
             stats: RuntimeStats::default(),
             cached_gen: 0,
             cached: Arc::new(HashSet::new()),
+            obs: ObsDelta::default(),
         };
         let shard_bytes = geometry.total_bytes();
         ShardedAllocator {
@@ -312,12 +325,51 @@ impl ShardedAllocator {
                 .map(|_| CacheLine(Mutex::new(shard_inner())))
                 .collect(),
             mode,
+            obs: None,
         }
     }
 
     /// The per-shard arena geometry.
     pub fn config(&self) -> &RuntimeArenaConfig {
         &self.config
+    }
+
+    /// Attaches the `lifepred_alloc_*` metric set from `registry` to
+    /// this allocator's hot path (counters, size/latency histograms,
+    /// and — in adaptive mode — one `lifepred_alloc_epochs` timeline
+    /// sample per epoch tick). Call before sharing the allocator.
+    ///
+    /// The fast path accumulates plain per-shard deltas (under the
+    /// shard lock it already holds); they are folded into the registry
+    /// at every adaptive epoch tick and on
+    /// [`export_metrics`](Self::export_metrics), so take a snapshot
+    /// after an export, not mid-churn.
+    pub fn attach_registry(&mut self, registry: &Registry) {
+        self.obs = Some(AllocObs::register(registry));
+    }
+
+    /// Exports the merged [`RuntimeStats`] as `lifepred_runtime_*`
+    /// gauges — and, in adaptive mode, the [`LearnerStats`] as
+    /// `lifepred_learner_*` gauges — in `registry`, after folding the
+    /// pending per-shard counter/histogram deltas into their registry
+    /// handles. An export-time operation: call it when a report is
+    /// wanted, not per allocation.
+    pub fn export_metrics(&self, registry: &Registry) {
+        self.flush_obs();
+        self.stats().export(registry);
+        if let Some(learned) = self.adaptive_stats() {
+            learned.export(registry);
+        }
+    }
+
+    /// Drains every shard's pending [`ObsDelta`] into the shared
+    /// metric handles. No-op when no registry is attached.
+    fn flush_obs(&self) {
+        if let Some(obs) = &self.obs {
+            for shard in &self.shards {
+                shard.0.lock().obs.drain_into(obs);
+            }
+        }
     }
 
     /// Number of shards.
@@ -423,6 +475,15 @@ impl ShardedAllocator {
         if layout.size() == 0 {
             return ptr::null_mut();
         }
+        let timer = Timer::start();
+        let p = self.allocate_inner(site, layout);
+        if let Some(obs) = &self.obs {
+            timer.observe_ns(&obs.latency_ns);
+        }
+        p
+    }
+
+    fn allocate_inner(&self, site: SiteKey, layout: Layout) -> *mut u8 {
         let keyed = site.with_size(layout.size());
         let size = layout.size() as u64;
         // Advance the byte clock first: the object's birth is the clock
@@ -477,11 +538,23 @@ impl ShardedAllocator {
         predicted: bool,
         layout: Layout,
     ) -> (*mut u8, bool) {
+        // Metric deltas are plain adds on this shard's already-locked
+        // state; the attached check itself is the only per-event cost.
+        let track = self.obs.is_some();
+        if track {
+            inner.obs.sizes.record(layout.size() as u64);
+        }
         if !predicted || layout.size() > self.config.arena_size || layout.align() > self.max_align {
             if predicted {
                 inner.stats.overflows += 1;
+                if track {
+                    inner.obs.overflows += 1;
+                }
             }
             inner.stats.general_allocs += 1;
+            if track {
+                inner.obs.general_allocs += 1;
+            }
             // SAFETY: nonzero size checked by the caller.
             return (unsafe { System.alloc(layout) }, predicted);
         }
@@ -503,6 +576,10 @@ impl ShardedAllocator {
         // general allocator.
         inner.stats.overflows += 1;
         inner.stats.general_allocs += 1;
+        if track {
+            inner.obs.overflows += 1;
+            inner.obs.general_allocs += 1;
+        }
         // SAFETY: nonzero size checked by the caller.
         (unsafe { System.alloc(layout) }, predicted)
     }
@@ -585,6 +662,34 @@ impl ShardedAllocator {
             // Rolls every epoch that became due on the way to `now`.
             learner.advance_clock(now);
         });
+        // Timeline sample for the tick we just performed. Taken after
+        // the learner work so the sample reflects this tick's
+        // promotions/demotions; reads the shard stats outside any
+        // learner or meta lock. Epoch ticks are also where the pending
+        // per-shard counter deltas get folded into the registry, so a
+        // long-running program's metrics stay fresh without exports.
+        if let Some(obs) = &self.obs {
+            self.flush_obs();
+            let (learned, generation) = state
+                .predictor
+                .with_learner(|learner| (learner.stats(), learner.generation()));
+            let stats = self.stats();
+            obs.timeline.push(EpochSample {
+                epoch: learned.epochs,
+                clock_bytes: now,
+                generation,
+                short_sites: learned.short_sites,
+                sites: learned.sites,
+                live_bytes: stats.arena_used_bytes,
+                // The runtime allocator keeps no heap high-water mark;
+                // the arena area capacity is its fixed footprint.
+                max_heap_bytes: stats.arena_total_bytes,
+                utilization_pct: stats.utilization_pct(),
+                fragmentation_pct: stats.fragmentation_pct(),
+                mispredictions: learned.mispredictions,
+                demotions: learned.demotions,
+            });
+        }
     }
 
     /// Releases memory obtained from [`ShardedAllocator::allocate`].
@@ -611,12 +716,18 @@ impl ShardedAllocator {
         if ptr.is_null() {
             return;
         }
+        let track = self.obs.is_some();
         if let Mode::Adaptive(state) = &self.mode {
             let mut meta = state.meta[state.meta_index(ptr)].0.lock();
             let Some(obj) = meta.live.remove(&(ptr as usize)) else {
                 // No live record: a double free (or stray pointer).
                 drop(meta);
-                self.shards[self.shard_index()].0.lock().stats.double_frees += 1;
+                let mut inner = self.shards[self.shard_index()].0.lock();
+                inner.stats.double_frees += 1;
+                if track {
+                    inner.obs.frees += 1;
+                    inner.obs.double_frees += 1;
+                }
                 return;
             };
             let now = state.clock.load(Ordering::Relaxed);
@@ -641,6 +752,9 @@ impl ShardedAllocator {
             let offset = ptr as usize - self.base as usize;
             let (shard_idx, arena_idx) = self.locate(offset);
             let mut inner = self.shards[shard_idx].0.lock();
+            if track {
+                inner.obs.frees += 1;
+            }
             let arena = &mut inner.arenas[arena_idx];
             if arena.live == 0 {
                 // Frozen mode's best-effort detector: it only fires
@@ -648,12 +762,20 @@ impl ShardedAllocator {
                 // contract). In adaptive mode the side table catches
                 // the double free first and this is unreachable.
                 inner.stats.double_frees += 1;
+                if track {
+                    inner.obs.double_frees += 1;
+                }
                 return;
             }
             arena.live -= 1;
             inner.stats.arena_frees += 1;
         } else {
-            self.shards[self.shard_index()].0.lock().stats.general_frees += 1;
+            let mut inner = self.shards[self.shard_index()].0.lock();
+            inner.stats.general_frees += 1;
+            if track {
+                inner.obs.frees += 1;
+            }
+            drop(inner);
             // SAFETY: forwarded from `place`'s system path per the
             // caller contract; the adaptive side table has already
             // filtered repeated frees of the same block.
@@ -898,6 +1020,54 @@ mod tests {
         assert_eq!(s.total_allocs, 10, "pending allocs not absorbed");
         assert_eq!(s.total_frees, 10, "pending frees not absorbed");
         assert_eq!(s.epochs, 0, "no epoch should have rolled");
+    }
+
+    #[test]
+    fn attached_registry_sees_traffic_and_epoch_timeline() {
+        let mut heap = ShardedAllocator::adaptive(tiny_epoch(), 1, small_geometry());
+        let registry = Registry::new();
+        heap.attach_registry(&registry);
+        let site = SiteKey(0xfeed);
+        // 200 × 64 bytes pushes the byte clock well past several
+        // 2048-byte epochs, so the timeline must have samples.
+        for _ in 0..200 {
+            let p = heap.allocate(site, layout(64));
+            assert!(!p.is_null());
+            // SAFETY: the pointer came from this heap's allocate with
+            // the same layout and is freed exactly once.
+            unsafe { heap.deallocate(p, layout(64)) };
+        }
+        heap.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("lifepred_alloc_allocs_total"), Some(200));
+        assert_eq!(snap.counter("lifepred_alloc_frees_total"), Some(200));
+        assert_eq!(snap.counter("lifepred_alloc_double_frees_total"), Some(0));
+        let sizes = snap.histogram("lifepred_alloc_size_bytes").expect("sizes");
+        assert_eq!(sizes.count, 200);
+        assert_eq!(sizes.sum, 200 * 64);
+        let timeline = snap.timeline("lifepred_alloc_epochs").expect("timeline");
+        assert!(!timeline.is_empty(), "epoch ticks must leave samples");
+        let last = timeline.last().expect("sample");
+        assert!(last.epoch >= 1, "learner rolled at least one epoch");
+        assert!(last.clock_bytes >= 2048, "tick fired past the boundary");
+        assert!(
+            last.short_sites >= 1,
+            "the looping site was learned as short: {last:?}"
+        );
+        // Learner gauges came along via export_metrics.
+        assert_eq!(snap.gauge("lifepred_learner_total_allocs"), Some(200));
+        assert!(snap.gauge("lifepred_learner_epochs").unwrap_or(0) >= 1);
+        // Double frees also hit the metric layer (after the next
+        // export folds the pending per-shard deltas in).
+        let p = heap.allocate(site, layout(64));
+        // SAFETY: deliberate double free; adaptive mode filters it.
+        unsafe {
+            heap.deallocate(p, layout(64));
+            heap.deallocate(p, layout(64));
+        }
+        heap.export_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("lifepred_alloc_double_frees_total"), Some(1));
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Overhead of the observability layer on its two hot paths:
+//!
+//! 1. the `simulate` pipeline — both streaming passes `lifepred
+//!    simulate --predictor db.json` runs over an `.lpt` image (records
+//!    → prediction bitmap, then events → arena replay), with vs
+//!    without `--metrics-out` recording. Per-event metrics batch into
+//!    plain local fields and publish once at end of stream, so the
+//!    added per-event cost is a handful of arithmetic ops.
+//! 2. the sharded runtime allocator (detached vs an attached registry;
+//!    metrics are plain per-shard deltas under the shard lock the fast
+//!    path already holds).
+//!
+//! A self-timed harness (criterion adds nothing here — we want two
+//! directly comparable ops/sec numbers) times the two configurations
+//! back to back within every round, reports the median of the paired
+//! per-round overhead ratios, and writes `results/BENCH_obs.json` at
+//! the workspace root so the claimed overhead is a recorded
+//! measurement, not prose. The < 2% budget gates the allocator
+//! comparison; the simulate comparison additionally pays for exact
+//! per-object lifetime tracking (a birth-clock table the bare replay
+//! does not keep), which lands it a point or two higher.
+//!
+//! Run with `cargo bench -p lifepred-bench --bench obs`; set
+//! `LIFEPRED_BENCH_SMOKE=1` for a fast CI smoke run (it exercises the
+//! harness and prints its noisy numbers but leaves the recorded
+//! `results/BENCH_obs.json` untouched — only full runs update the
+//! trajectory).
+
+use lifepred_core::{
+    train, Profile, ShortLivedSet, SiteConfig, SiteExtractor, TrainConfig, DEFAULT_THRESHOLD,
+};
+use lifepred_heap::{
+    replay_arena_stream, replay_arena_stream_observed, ReplayConfig, ReplayEvent, ReplayMeta,
+    ReplayObs, ReplayReport,
+};
+use lifepred_obs::Registry;
+use lifepred_trace::{Trace, TraceSession};
+use lifepred_tracefile::{TraceEvent, TraceReader, TraceWriter};
+use std::alloc::Layout;
+use std::path::Path;
+use std::time::Instant;
+
+/// Alloc/free pairs in the synthetic trace (divided by 10 in smoke mode).
+const PAIRS: usize = 50_000;
+
+/// Paired measurement rounds for the simulate comparison.
+const SIM_ROUNDS: usize = 101;
+
+/// Allocate/free cycles for the runtime-allocator comparison.
+const ALLOC_OPS: usize = 100_000;
+
+/// Paired measurement rounds for the allocator comparison.
+const ALLOC_ROUNDS: usize = 201;
+
+fn smoke() -> bool {
+    // `cargo bench -- --test` asks every bench for a functional check,
+    // not a measurement — same contract as the env override.
+    std::env::var_os("LIFEPRED_BENCH_SMOKE").is_some() || std::env::args().any(|a| a == "--test")
+}
+
+/// A mostly-short-lived workload with a drizzle of long-lived objects,
+/// the shape the arena allocator is designed for.
+fn workload(pairs: usize) -> Trace {
+    let s = TraceSession::new("bench-obs");
+    let mut kept = Vec::new();
+    {
+        let _g = s.enter("short");
+        for i in 0..pairs {
+            let a = s.alloc(48);
+            let b = s.alloc(16);
+            s.free(a);
+            s.free(b);
+            if i % 100 == 0 {
+                let _g2 = s.enter("keeper");
+                kept.push(s.alloc(64));
+            }
+        }
+    }
+    for id in kept {
+        s.free(id);
+    }
+    s.finish()
+}
+
+/// Adapts the on-disk event shape to the replay layer's, as the CLI's
+/// `simulate` does.
+fn to_replay_event(e: TraceEvent) -> ReplayEvent {
+    match e {
+        TraceEvent::Alloc { record, size, .. } => ReplayEvent::Alloc {
+            record: record as usize,
+            size,
+        },
+        TraceEvent::Free { record, .. } => ReplayEvent::Free {
+            record: record as usize,
+        },
+    }
+}
+
+/// One full offline-arena `simulate` run over an in-memory `.lpt`
+/// image, mirroring `cmd_simulate` pass for pass: stream the records
+/// into a prediction bitmap, then stream the events through the arena
+/// replay — observed (the `--metrics-out` configuration) or not.
+fn simulate_once(
+    bytes: &[u8],
+    db: &ShortLivedSet,
+    meta: &ReplayMeta,
+    cfg: &ReplayConfig,
+    obs: Option<&ReplayObs>,
+) -> ReplayReport {
+    // Pass 1: records → per-object predictions.
+    let reader = TraceReader::new(bytes).expect("trace header");
+    let chains = reader.chain_table().clone();
+    let mut extractor = SiteExtractor::from_chains(&chains, *db.config());
+    let mut predicted = Vec::new();
+    for record in reader.into_records().expect("records section") {
+        let record = record.expect("record");
+        predicted.push(db.predicts(&extractor.site_of(&record)));
+    }
+    // Pass 2: events → replay.
+    let events = TraceReader::new(bytes)
+        .expect("trace header")
+        .into_events()
+        .expect("events section")
+        .map(|e| e.map(to_replay_event));
+    match obs {
+        Some(obs) => replay_arena_stream_observed(meta, events, &predicted, cfg, obs),
+        None => replay_arena_stream(meta, events, &predicted, cfg),
+    }
+    .expect("valid")
+}
+
+/// Ops/sec for baseline `a` vs observed `b`, plus the observed
+/// overhead in percent, from paired rounds.
+///
+/// Shared-machine noise here dwarfs the effect being measured — whole
+/// runs drift by double-digit percentages — so unpaired statistics
+/// (best-of or median per side) let the machine state at each side's
+/// chosen round swing the comparison by more than the overhead itself.
+/// Instead every round times both configurations back to back,
+/// flipping which goes first, and yields one overhead ratio
+/// `t_b / t_a` measured under near-identical conditions; the reported
+/// overhead is the median of those paired ratios. Throughputs are
+/// median-of-rounds, for scale.
+fn paired_overhead(
+    rounds: usize,
+    ops: u64,
+    mut a: impl FnMut(),
+    mut b: impl FnMut(),
+) -> (f64, f64, f64) {
+    let time = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        t.elapsed().as_secs_f64()
+    };
+    let (mut times_a, mut times_b, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+    for round in 0..rounds {
+        let (ta, tb) = if round % 2 == 0 {
+            let ta = time(&mut a);
+            (ta, time(&mut b))
+        } else {
+            let tb = time(&mut b);
+            (time(&mut a), tb)
+        };
+        times_a.push(ta);
+        times_b.push(tb);
+        ratios.push(tb / ta);
+    }
+    let median = |times: &mut Vec<f64>| {
+        times.sort_by(f64::total_cmp);
+        times[times.len() / 2]
+    };
+    (
+        ops as f64 / median(&mut times_a),
+        ops as f64 / median(&mut times_b),
+        100.0 * (median(&mut ratios) - 1.0),
+    )
+}
+
+fn main() {
+    // `cargo test --benches` passes harness flags; a smoke run of the
+    // real measurement is what we want there too, just shorter.
+    let pairs = if smoke() { PAIRS / 10 } else { PAIRS };
+    let alloc_ops = if smoke() { ALLOC_OPS / 10 } else { ALLOC_OPS };
+    let sim_rounds = if smoke() { SIM_ROUNDS / 10 } else { SIM_ROUNDS };
+    let alloc_rounds = if smoke() {
+        ALLOC_ROUNDS / 10
+    } else {
+        ALLOC_ROUNDS
+    };
+
+    // --- simulate pipeline ---------------------------------------------
+    // Offline training happens once, before the measured region — the
+    // CLI does it in a separate `train` invocation.
+    let trace = workload(pairs);
+    let db = train(
+        &Profile::build(&trace, &SiteConfig::default(), DEFAULT_THRESHOLD),
+        &TrainConfig::default(),
+    );
+    let meta = ReplayMeta::of(&trace);
+    let cfg = ReplayConfig::default();
+    let bytes = TraceWriter::new(Vec::new())
+        .write(&trace)
+        .expect("encode trace");
+    let n_events = trace.events().len() as u64;
+
+    let registry = Registry::new();
+    let obs = ReplayObs::register(&registry);
+    // Warm both configurations once before timing.
+    simulate_once(&bytes, &db, &meta, &cfg, None);
+    simulate_once(&bytes, &db, &meta, &cfg, Some(&obs));
+
+    let (replay_base, replay_obs, replay_overhead) = paired_overhead(
+        sim_rounds,
+        n_events,
+        || {
+            simulate_once(&bytes, &db, &meta, &cfg, None);
+        },
+        || {
+            simulate_once(&bytes, &db, &meta, &cfg, Some(&obs));
+        },
+    );
+
+    // --- runtime allocator path ----------------------------------------
+    let site = lifepred_alloc::site_key();
+    let layout = Layout::from_size_align(48, 8).expect("layout");
+    let mut db = lifepred_alloc::RuntimeSiteDb::new(32 * 1024);
+    db.insert(site.with_size(48));
+    let churn = |heap: &lifepred_alloc::ShardedAllocator| {
+        for _ in 0..alloc_ops {
+            let p = heap.allocate(site, layout);
+            // SAFETY: p came from this heap's allocate with the same
+            // layout and is freed exactly once.
+            unsafe { heap.deallocate(p, layout) };
+        }
+    };
+    let detached = lifepred_alloc::ShardedAllocator::frozen(db.clone(), 1, Default::default());
+    let mut attached = lifepred_alloc::ShardedAllocator::frozen(db, 1, Default::default());
+    let alloc_registry = Registry::new();
+    attached.attach_registry(&alloc_registry);
+    churn(&detached);
+    churn(&attached);
+    let (alloc_base, alloc_obs, alloc_overhead) = paired_overhead(
+        alloc_rounds,
+        alloc_ops as u64,
+        || churn(&detached),
+        || churn(&attached),
+    );
+
+    let json = format!(
+        "{{\n  \
+           \"schema\": \"lifepred-bench-obs-v1\",\n  \
+           \"smoke\": {},\n  \
+           \"simulate\": {{\n    \
+             \"events\": {n_events},\n    \
+             \"baseline_ops_per_sec\": {replay_base:.0},\n    \
+             \"observed_ops_per_sec\": {replay_obs:.0},\n    \
+             \"overhead_pct\": {replay_overhead:.2}\n  \
+           }},\n  \
+           \"alloc\": {{\n    \
+             \"ops\": {alloc_ops},\n    \
+             \"baseline_ops_per_sec\": {alloc_base:.0},\n    \
+             \"observed_ops_per_sec\": {alloc_obs:.0},\n    \
+             \"overhead_pct\": {alloc_overhead:.2}\n  \
+           }}\n}}\n",
+        smoke(),
+    );
+    println!("simulate: {replay_base:.0} events/s bare, {replay_obs:.0} observed ({replay_overhead:+.2}% overhead)");
+    println!("alloc:    {alloc_base:.0} ops/s bare, {alloc_obs:.0} observed ({alloc_overhead:+.2}% overhead)");
+    // A smoke run exercises the harness but is far too short to
+    // measure overhead; only full runs update the recorded trajectory.
+    if smoke() {
+        println!("smoke mode: results/BENCH_obs.json left untouched");
+    } else {
+        let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_obs.json");
+        std::fs::write(&out, &json).expect("write results/BENCH_obs.json");
+        println!("wrote {}", out.display());
+    }
+}

@@ -9,8 +9,11 @@
 //! * `train` profiles one or more traces and saves the short-lived
 //!   site database as JSON;
 //! * `simulate` streams a trace through an allocator model, consulting
-//!   a saved predictor;
-//! * `report` reruns the paper's prediction-quality analysis.
+//!   a saved predictor, optionally dumping the run's metric registry
+//!   as JSON (`--metrics-out`);
+//! * `stats` renders a saved metrics dump as Prometheus text or JSON;
+//! * `report` reruns the paper's prediction-quality analysis (online
+//!   columns sourced from the metric registry).
 //!
 //! Everything routes through [`run`], which writes to a caller-provided
 //! sink so integration tests can capture output.
@@ -24,9 +27,12 @@ use lifepred_core::{
     DEFAULT_THRESHOLD,
 };
 use lifepred_heap::{
-    replay_arena_online_stream, replay_arena_stream, replay_bsd_stream, replay_firstfit_stream,
-    ReplayConfig, ReplayEvent, ReplayMeta, ReplayReport, ReplayStreamError,
+    replay_arena_online_stream, replay_arena_online_stream_observed, replay_arena_stream,
+    replay_arena_stream_observed, replay_bsd_stream, replay_bsd_stream_observed,
+    replay_firstfit_stream, replay_firstfit_stream_observed, ReplayConfig, ReplayEvent, ReplayMeta,
+    ReplayObs, ReplayReport, ReplayStreamError,
 };
+use lifepred_obs::{Registry, Snapshot};
 use lifepred_trace::{shared_registry, Trace};
 use lifepred_tracefile::{load_trace, save_trace, TraceEvent, TraceFileError, TraceReader};
 use lifepred_workloads::{all_workloads, by_name, record as record_workload};
@@ -42,7 +48,8 @@ USAGE:
     lifepred train <file.lpt>... -o <pred.json> [--policy <p>] [--rounding <n>] [--threshold <bytes>]
     lifepred simulate <file.lpt> --predictor <pred.json|online> [--allocator <a>]
                       [--policy <p>] [--rounding <n>] [--threshold <bytes>]
-                      [--epoch <bytes>] [--requalify <k>]
+                      [--epoch <bytes>] [--requalify <k>] [--metrics-out <m.json>]
+    lifepred stats <m.json> [--format <prometheus|json>]
     lifepred report [--workload <name>]... [--policy <p>]
 
 OPTIONS:
@@ -61,6 +68,9 @@ OPTIONS:
     --epoch <bytes>       online: epoch length (default 2x threshold)
     --requalify <k>       online: clean epochs a demoted site must show
                           before re-qualifying (default 3)
+    --metrics-out <file>  simulate: dump the run's metric registry
+                          (counters, histograms, epoch timeline) as JSON
+    --format <f>          stats: prometheus (default) or json
     --functions           inspect: list the function registry
     --chains              inspect: list the interned call chains
     --verify              inspect: stream every section, checking CRCs
@@ -85,6 +95,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         Some("inspect") => cmd_inspect(&args[1..], out),
         Some("train") => cmd_train(&args[1..], out),
         Some("simulate") => cmd_simulate(&args[1..], out),
+        Some("stats") => cmd_stats(&args[1..], out),
         Some("report") => cmd_report(&args[1..], out),
         Some(other) => Err(format!("unknown command {other:?} (try `lifepred --help`)")),
     }
@@ -416,6 +427,7 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let mut threshold: u64 = DEFAULT_THRESHOLD;
     let mut epoch_bytes: Option<u64> = None;
     let mut requalify = 3u32;
+    let mut metrics_out: Option<String> = None;
     let mut s = Scanner::new(args);
     while let Some(arg) = s.next() {
         match arg {
@@ -430,6 +442,9 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             Arg::Opt("requalify", v) => {
                 requalify = parse_num("requalify", s.value("requalify", v)?)?;
             }
+            Arg::Opt("metrics-out", v) => {
+                metrics_out = Some(s.value("metrics-out", v)?.to_owned());
+            }
             Arg::Opt(o, _) => return Err(format!("simulate: unknown option --{o}")),
             Arg::Positional(p) if path.is_none() => path = Some(p.to_owned()),
             Arg::Positional(p) => return Err(format!("simulate: unexpected argument {p:?}")),
@@ -437,6 +452,10 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     }
     let path = path.ok_or("simulate: a trace file is required")?;
     let config = ReplayConfig::default();
+    // With --metrics-out, every replayed event also lands in a metric
+    // registry that is dumped as JSON once the run completes.
+    let registry = metrics_out.as_ref().map(|_| Registry::new());
+    let obs = registry.as_ref().map(ReplayObs::register);
 
     let open = |path: &str| TraceReader::open(path).map_err(|e| file_err(path, e));
 
@@ -479,8 +498,17 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             .into_events()
             .map_err(|e| file_err(&path, e))?
             .map(|e| e.map(to_replay_event));
-        let online = replay_arena_online_stream(&meta, events, &sites, &epoch, &config)
-            .map_err(|e| replay_err(&path, e))?;
+        let online = match &obs {
+            Some(obs) => {
+                replay_arena_online_stream_observed(&meta, events, &sites, &epoch, &config, obs)
+            }
+            None => replay_arena_online_stream(&meta, events, &sites, &epoch, &config),
+        }
+        .map_err(|e| replay_err(&path, e))?;
+        if let Some(registry) = &registry {
+            online.learner.export(registry);
+        }
+        write_metrics(out, metrics_out.as_deref(), registry.as_ref())?;
         write_report(out, &online.replay)?;
         return write_online_stats(out, &online.learner);
     }
@@ -511,8 +539,11 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
                 .into_events()
                 .map_err(|e| file_err(&path, e))?
                 .map(|e| e.map(to_replay_event));
-            replay_arena_stream(&meta, events, &predicted, &config)
-                .map_err(|e| replay_err(&path, e))?
+            match &obs {
+                Some(obs) => replay_arena_stream_observed(&meta, events, &predicted, &config, obs),
+                None => replay_arena_stream(&meta, events, &predicted, &config),
+            }
+            .map_err(|e| replay_err(&path, e))?
         }
         "first-fit" | "firstfit" => {
             let reader = open(&path)?;
@@ -524,7 +555,11 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
                 .into_events()
                 .map_err(|e| file_err(&path, e))?
                 .map(|e| e.map(to_replay_event));
-            replay_firstfit_stream(&meta, events, &config).map_err(|e| replay_err(&path, e))?
+            match &obs {
+                Some(obs) => replay_firstfit_stream_observed(&meta, events, &config, obs),
+                None => replay_firstfit_stream(&meta, events, &config),
+            }
+            .map_err(|e| replay_err(&path, e))?
         }
         "bsd" => {
             let reader = open(&path)?;
@@ -536,7 +571,11 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
                 .into_events()
                 .map_err(|e| file_err(&path, e))?
                 .map(|e| e.map(to_replay_event));
-            replay_bsd_stream(&meta, events, &config).map_err(|e| replay_err(&path, e))?
+            match &obs {
+                Some(obs) => replay_bsd_stream_observed(&meta, events, &config, obs),
+                None => replay_bsd_stream(&meta, events, &config),
+            }
+            .map_err(|e| replay_err(&path, e))?
         }
         other => {
             return Err(format!(
@@ -544,7 +583,63 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             ))
         }
     };
+    write_metrics(out, metrics_out.as_deref(), registry.as_ref())?;
     write_report(out, &report)
+}
+
+/// Dumps `registry` as JSON to `path` (both are set together) and
+/// notes the dump in the regular output.
+fn write_metrics(
+    out: &mut dyn Write,
+    path: Option<&str>,
+    registry: Option<&Registry>,
+) -> Result<(), String> {
+    let (Some(path), Some(registry)) = (path, registry) else {
+        return Ok(());
+    };
+    let snapshot = registry.snapshot();
+    std::fs::write(path, snapshot.to_json()).map_err(|e| file_err(path, e))?;
+    write_out(
+        out,
+        format!(
+            "metrics:        {path} ({} counters, {} histograms, {} timeline samples)\n",
+            snapshot.counters.len(),
+            snapshot.histograms.len(),
+            snapshot
+                .timelines
+                .iter()
+                .map(|(_, t)| t.len())
+                .sum::<usize>(),
+        ),
+    )
+}
+
+// ---------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------
+
+fn cmd_stats(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut path = None;
+    let mut format = "prometheus".to_owned();
+    let mut s = Scanner::new(args);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt("format", v) => format = s.value("format", v)?.to_owned(),
+            Arg::Opt(o, _) => return Err(format!("stats: unknown option --{o}")),
+            Arg::Positional(p) if path.is_none() => path = Some(p.to_owned()),
+            Arg::Positional(p) => return Err(format!("stats: unexpected argument {p:?}")),
+        }
+    }
+    let path = path.ok_or("stats: a metrics file (from simulate --metrics-out) is required")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| file_err(&path, e))?;
+    let snapshot = Snapshot::from_json(&text).map_err(|e| file_err(&path, e))?;
+    match format.as_str() {
+        "prometheus" | "prom" => write_out(out, snapshot.to_prometheus()),
+        "json" => write_out(out, snapshot.to_json()),
+        other => Err(format!(
+            "unknown format {other:?} (expected prometheus or json)"
+        )),
+    }
 }
 
 fn write_report(out: &mut dyn Write, r: &ReplayReport) -> Result<(), String> {
@@ -644,6 +739,22 @@ fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         // the online columns answer "start blind on the test input and
         // learn while it runs".
         let online = lifepred_bench::analyze_online(&entry, &config, &EpochConfig::default());
+        // The online columns go through the metric registry: the
+        // learner's counters are exported as `lifepred_learner_*`
+        // gauges and read back from the snapshot, so the table renders
+        // exactly what `simulate --metrics-out` would persist.
+        let registry = Registry::new();
+        online.learner.export(&registry);
+        let snap = registry.snapshot();
+        let gauge = |name: &str| snap.gauge(name).unwrap_or(0);
+        let ratio_pct = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                100.0 * num as f64 / den as f64
+            }
+        };
+        let total_bytes = gauge("lifepred_learner_total_bytes");
         rows.push(vec![
             name.clone(),
             a.self_report.total_sites.to_string(),
@@ -653,9 +764,15 @@ fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             format!("{:.2}", a.self_report.error_bytes_pct),
             format!("{:.1}", a.true_report.predicted_short_bytes_pct),
             format!("{:.2}", a.true_report.error_bytes_pct),
-            format!("{:.1}", online.learner.coverage_byte_pct()),
-            format!("{:.2}", online.learner.error_byte_pct()),
-            online.learner.epochs.to_string(),
+            format!(
+                "{:.1}",
+                ratio_pct(gauge("lifepred_learner_predicted_bytes"), total_bytes)
+            ),
+            format!(
+                "{:.2}",
+                ratio_pct(gauge("lifepred_learner_error_bytes"), total_bytes)
+            ),
+            gauge("lifepred_learner_epochs").to_string(),
         ]);
     }
     write_table(

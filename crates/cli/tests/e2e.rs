@@ -174,6 +174,102 @@ fn online_simulation_needs_no_predictor_file() {
 }
 
 #[test]
+fn simulate_metrics_out_dumps_registry_and_stats_renders_it() {
+    let dir = Scratch::new("metrics");
+    let trace = dir.path("cfrac.lpt");
+    let metrics = dir.path("metrics.json");
+    run(&["record", "--workload", "cfrac", "-o", &trace]).expect("record");
+
+    // Online simulate fills the epoch timeline alongside the counters
+    // and histograms.
+    let out = run(&[
+        "simulate",
+        &trace,
+        "--predictor",
+        "online",
+        "--metrics-out",
+        &metrics,
+    ])
+    .expect("observed simulate");
+    assert!(out.contains("metrics:"), "output: {out}");
+
+    let json = std::fs::read_to_string(&metrics).expect("metrics written");
+    let snap = lifepred_obs::Snapshot::from_json(&json).expect("valid metrics JSON");
+    assert!(json.contains("lifepred-metrics-v1"), "schema tag missing");
+    let allocs = snap
+        .counter("lifepred_sim_allocs_total")
+        .expect("alloc counter");
+    assert!(allocs > 0, "no allocations recorded");
+    // The three required histogram families: size, lifetime, latency.
+    for hist in [
+        "lifepred_sim_size_bytes",
+        "lifepred_sim_lifetime_bytes",
+        "lifepred_sim_event_ns",
+    ] {
+        assert!(snap.histogram(hist).is_some(), "missing histogram {hist}");
+    }
+    assert_eq!(
+        snap.histogram("lifepred_sim_size_bytes").map(|h| h.count),
+        Some(allocs)
+    );
+    // The CLI builds lifepred-obs with `timing`, so event wall times
+    // really land.
+    assert!(
+        snap.histogram("lifepred_sim_event_ns")
+            .is_some_and(|h| h.count > 0),
+        "timing feature must fill the latency histogram"
+    );
+    let timeline = snap.timeline("lifepred_sim_epochs").expect("timeline");
+    assert!(!timeline.is_empty(), "online run must sample epochs");
+    // Learner gauges ride along in the same dump.
+    assert!(snap.gauge("lifepred_learner_epochs").is_some());
+
+    // `stats` renders the same registry as Prometheus text…
+    let prom = run(&["stats", &metrics]).expect("stats");
+    assert!(
+        prom.contains("# TYPE lifepred_sim_allocs_total counter"),
+        "prometheus output: {prom}"
+    );
+    assert!(prom.contains(&format!("lifepred_sim_allocs_total {allocs}")));
+    assert!(prom.contains("lifepred_sim_size_bytes_bucket"));
+    assert!(prom.contains("lifepred_sim_epochs_samples"));
+    // …and as JSON, round-tripping exactly.
+    let json_again = run(&["stats", &metrics, "--format", "json"]).expect("stats json");
+    assert_eq!(
+        lifepred_obs::Snapshot::from_json(&json_again).expect("reparse"),
+        snap,
+        "stats --format json must round-trip the dump"
+    );
+
+    // Offline simulate dumps metrics too (empty timeline: no epochs).
+    let pred = dir.path("pred.json");
+    run(&["train", &trace, "-o", &pred]).expect("train");
+    let metrics2 = dir.path("metrics-offline.json");
+    run(&[
+        "simulate",
+        &trace,
+        "--predictor",
+        &pred,
+        "--metrics-out",
+        &metrics2,
+    ])
+    .expect("observed offline simulate");
+    let snap2 = lifepred_obs::Snapshot::from_json(
+        &std::fs::read_to_string(&metrics2).expect("metrics written"),
+    )
+    .expect("valid metrics JSON");
+    assert_eq!(snap2.counter("lifepred_sim_allocs_total"), Some(allocs));
+    assert_eq!(snap2.timeline("lifepred_sim_epochs"), Some(&[][..]));
+
+    // Error paths: bad dump file, bad format.
+    let junk = dir.path("junk.json");
+    std::fs::write(&junk, "{\"schema\": \"other\"}").expect("write");
+    assert!(run(&["stats", &junk]).is_err());
+    assert!(run(&["stats", &metrics, "--format", "xml"]).is_err());
+    assert!(run(&["stats"]).is_err(), "stats needs a file");
+}
+
+#[test]
 fn multi_input_record_trains_across_traces() {
     let dir = Scratch::new("multi-input");
     let pattern = dir.path("espresso-{}.lpt");

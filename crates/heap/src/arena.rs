@@ -190,6 +190,13 @@ impl ArenaAllocator {
         self.arenas.iter().map(|a| u64::from(a.live)).sum()
     }
 
+    /// Bytes currently consumed by arena bump pointers (dead objects
+    /// included until their arena resets) — the numerator of arena-area
+    /// utilization.
+    pub fn arena_used_bytes(&self) -> u64 {
+        self.arenas.iter().map(|a| u64::from(a.used)).sum()
+    }
+
     fn arena_fits(&self, idx: usize, aligned: u32) -> bool {
         self.config.arena_size - self.arenas[idx].used >= aligned
     }

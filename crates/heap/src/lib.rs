@@ -45,6 +45,7 @@ mod bsd;
 mod costmodel;
 mod counts;
 mod firstfit;
+mod obs;
 mod replay;
 
 pub use arena::{ArenaAllocator, ArenaConfig};
@@ -52,11 +53,13 @@ pub use bsd::BsdMalloc;
 pub use costmodel::{arena_costs, bsd_costs, firstfit_costs, CostReport, PredictorKind};
 pub use counts::OpCounts;
 pub use firstfit::FirstFit;
+pub use obs::ReplayObs;
 pub use replay::{
     prediction_bitmap, replay_arena, replay_arena_online, replay_arena_online_stream,
-    replay_arena_stream, replay_bsd, replay_bsd_stream, replay_firstfit, replay_firstfit_stream,
-    site_fingerprints, OnlineReplayReport, ReplayConfig, ReplayEvent, ReplayMeta, ReplayReport,
-    ReplayStreamError,
+    replay_arena_online_stream_observed, replay_arena_stream, replay_arena_stream_observed,
+    replay_bsd, replay_bsd_stream, replay_bsd_stream_observed, replay_firstfit,
+    replay_firstfit_stream, replay_firstfit_stream_observed, site_fingerprints, OnlineReplayReport,
+    ReplayConfig, ReplayEvent, ReplayMeta, ReplayReport, ReplayStreamError,
 };
 
 /// A simulated heap address (bytes from the bottom of the simulated

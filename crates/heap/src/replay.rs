@@ -16,9 +16,11 @@ use crate::arena::{ArenaAllocator, ArenaConfig};
 use crate::bsd::BsdMalloc;
 use crate::counts::OpCounts;
 use crate::firstfit::FirstFit;
+use crate::obs::{ObsCtx, ReplayObs};
 use crate::Addr;
 use lifepred_adaptive::{EpochConfig, LearnerStats, OnlineLearner};
 use lifepred_core::{ShortLivedSet, SiteConfig, SiteExtractor};
+use lifepred_obs::{EpochSample, Timer};
 use lifepred_trace::{EventKind, Trace};
 use std::collections::VecDeque;
 use std::convert::Infallible;
@@ -202,23 +204,57 @@ impl SlotTable {
 pub fn replay_firstfit_stream<E>(
     meta: &ReplayMeta,
     events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    config: &ReplayConfig,
+) -> Result<ReplayReport, ReplayStreamError<E>> {
+    firstfit_stream_impl(meta, events, config, None)
+}
+
+/// [`replay_firstfit_stream`], additionally recording every event into
+/// the `lifepred_sim_*` metrics of `obs`.
+///
+/// # Errors
+///
+/// See [`replay_firstfit_stream`].
+pub fn replay_firstfit_stream_observed<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    config: &ReplayConfig,
+    obs: &ReplayObs,
+) -> Result<ReplayReport, ReplayStreamError<E>> {
+    firstfit_stream_impl(meta, events, config, Some(ObsCtx::new(obs)))
+}
+
+fn firstfit_stream_impl<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
     _config: &ReplayConfig,
+    mut ctx: Option<ObsCtx<'_>>,
 ) -> Result<ReplayReport, ReplayStreamError<E>> {
     let mut heap = FirstFit::new();
     let mut slots = SlotTable::default();
     let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
     for event in events {
+        let timer = Timer::start();
         match event.map_err(ReplayStreamError::Source)? {
             ReplayEvent::Alloc { record, size } => {
                 total_allocs += 1;
                 total_bytes += u64::from(size);
                 slots.born(record, heap.alloc(size))?;
+                if let Some(ctx) = ctx.as_mut() {
+                    ctx.on_alloc(record, size, false, timer);
+                }
             }
             ReplayEvent::Free { record } => {
                 let addr = slots.died(record)?;
                 heap.free(addr);
+                if let Some(ctx) = ctx.as_mut() {
+                    ctx.on_free(record, timer);
+                }
             }
         }
+    }
+    if let Some(ctx) = ctx {
+        ctx.flush();
     }
     Ok(ReplayReport {
         program: meta.program.clone(),
@@ -242,23 +278,57 @@ pub fn replay_firstfit_stream<E>(
 pub fn replay_bsd_stream<E>(
     meta: &ReplayMeta,
     events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    config: &ReplayConfig,
+) -> Result<ReplayReport, ReplayStreamError<E>> {
+    bsd_stream_impl(meta, events, config, None)
+}
+
+/// [`replay_bsd_stream`], additionally recording every event into the
+/// `lifepred_sim_*` metrics of `obs`.
+///
+/// # Errors
+///
+/// See [`replay_firstfit_stream`].
+pub fn replay_bsd_stream_observed<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    config: &ReplayConfig,
+    obs: &ReplayObs,
+) -> Result<ReplayReport, ReplayStreamError<E>> {
+    bsd_stream_impl(meta, events, config, Some(ObsCtx::new(obs)))
+}
+
+fn bsd_stream_impl<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
     _config: &ReplayConfig,
+    mut ctx: Option<ObsCtx<'_>>,
 ) -> Result<ReplayReport, ReplayStreamError<E>> {
     let mut heap = BsdMalloc::new();
     let mut slots = SlotTable::default();
     let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
     for event in events {
+        let timer = Timer::start();
         match event.map_err(ReplayStreamError::Source)? {
             ReplayEvent::Alloc { record, size } => {
                 total_allocs += 1;
                 total_bytes += u64::from(size);
                 slots.born(record, heap.alloc(size))?;
+                if let Some(ctx) = ctx.as_mut() {
+                    ctx.on_alloc(record, size, false, timer);
+                }
             }
             ReplayEvent::Free { record } => {
                 let addr = slots.died(record)?;
                 heap.free(addr);
+                if let Some(ctx) = ctx.as_mut() {
+                    ctx.on_free(record, timer);
+                }
             }
         }
+    }
+    if let Some(ctx) = ctx {
+        ctx.flush();
     }
     Ok(ReplayReport {
         program: meta.program.clone(),
@@ -290,11 +360,39 @@ pub fn replay_arena_stream<E>(
     predicted: &[bool],
     config: &ReplayConfig,
 ) -> Result<ReplayReport, ReplayStreamError<E>> {
+    arena_stream_impl(meta, events, predicted, config, None)
+}
+
+/// [`replay_arena_stream`], additionally recording every event into
+/// the `lifepred_sim_*` metrics of `obs`.
+///
+/// # Errors
+///
+/// See [`replay_arena_stream`].
+pub fn replay_arena_stream_observed<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    predicted: &[bool],
+    config: &ReplayConfig,
+    obs: &ReplayObs,
+) -> Result<ReplayReport, ReplayStreamError<E>> {
+    let ctx = ObsCtx::with_records_hint(obs, predicted.len());
+    arena_stream_impl(meta, events, predicted, config, Some(ctx))
+}
+
+fn arena_stream_impl<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    predicted: &[bool],
+    config: &ReplayConfig,
+    mut ctx: Option<ObsCtx<'_>>,
+) -> Result<ReplayReport, ReplayStreamError<E>> {
     let mut heap = ArenaAllocator::new(config.arena);
     let mut slots = SlotTable::default();
     let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
     let (mut arena_allocs, mut arena_bytes) = (0u64, 0u64);
     for event in events {
+        let timer = Timer::start();
         match event.map_err(ReplayStreamError::Source)? {
             ReplayEvent::Alloc { record, size } => {
                 total_allocs += 1;
@@ -306,17 +404,27 @@ pub fn replay_arena_stream<E>(
                     ))
                 })?;
                 let addr = heap.alloc(size, short);
-                if heap.is_arena_addr(addr) {
+                let in_arena = heap.is_arena_addr(addr);
+                if in_arena {
                     arena_allocs += 1;
                     arena_bytes += u64::from(size);
                 }
                 slots.born(record, addr)?;
+                if let Some(ctx) = ctx.as_mut() {
+                    ctx.on_alloc(record, size, in_arena, timer);
+                }
             }
             ReplayEvent::Free { record } => {
                 let addr = slots.died(record)?;
                 heap.free(addr);
+                if let Some(ctx) = ctx.as_mut() {
+                    ctx.on_free(record, timer);
+                }
             }
         }
+    }
+    if let Some(ctx) = ctx {
+        ctx.flush();
     }
     Ok(ReplayReport {
         program: meta.program.clone(),
@@ -353,6 +461,42 @@ struct OnlineObj {
     live: bool,
 }
 
+/// Pushes one timeline sample describing the learner and arena state
+/// at an epoch boundary of an observed online replay.
+fn push_epoch_sample(
+    obs: &ReplayObs,
+    learner: &OnlineLearner,
+    heap: &ArenaAllocator,
+    live_arena_bytes: u64,
+) {
+    let stats = learner.stats();
+    let used = heap.arena_used_bytes();
+    let total = heap.config().total_bytes();
+    obs.timeline.push(EpochSample {
+        epoch: stats.epochs,
+        clock_bytes: learner.clock(),
+        generation: learner.generation(),
+        short_sites: stats.short_sites,
+        sites: stats.sites,
+        live_bytes: live_arena_bytes,
+        max_heap_bytes: heap.max_heap_bytes(),
+        utilization_pct: if total == 0 {
+            0.0
+        } else {
+            100.0 * used as f64 / total as f64
+        },
+        // Bump-pointer bytes consumed by objects that are already dead
+        // but whose arena has not drained and reset yet.
+        fragmentation_pct: if used == 0 {
+            0.0
+        } else {
+            100.0 * used.saturating_sub(live_arena_bytes) as f64 / used as f64
+        },
+        mispredictions: stats.mispredictions,
+        demotions: stats.demotions,
+    });
+}
+
 /// Replays an event stream through the arena allocator with **no
 /// offline training**: an [`OnlineLearner`] decides every prediction
 /// as the trace runs and keeps correcting itself from the lifetimes it
@@ -379,6 +523,36 @@ pub fn replay_arena_online_stream<E>(
     epoch: &EpochConfig,
     config: &ReplayConfig,
 ) -> Result<OnlineReplayReport, ReplayStreamError<E>> {
+    arena_online_stream_impl(meta, events, sites, epoch, config, None)
+}
+
+/// [`replay_arena_online_stream`], additionally recording every event
+/// into the `lifepred_sim_*` metrics of `obs` — including one
+/// `lifepred_sim_epochs` timeline sample per learner epoch tick.
+///
+/// # Errors
+///
+/// See [`replay_arena_online_stream`].
+pub fn replay_arena_online_stream_observed<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    sites: &[u64],
+    epoch: &EpochConfig,
+    config: &ReplayConfig,
+    obs: &ReplayObs,
+) -> Result<OnlineReplayReport, ReplayStreamError<E>> {
+    let ctx = ObsCtx::with_records_hint(obs, sites.len());
+    arena_online_stream_impl(meta, events, sites, epoch, config, Some(ctx))
+}
+
+fn arena_online_stream_impl<E>(
+    meta: &ReplayMeta,
+    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    sites: &[u64],
+    epoch: &EpochConfig,
+    config: &ReplayConfig,
+    mut ctx: Option<ObsCtx<'_>>,
+) -> Result<OnlineReplayReport, ReplayStreamError<E>> {
     let mut learner = OnlineLearner::new(*epoch);
     let mut heap = ArenaAllocator::new(config.arena);
     let mut slots = SlotTable::default();
@@ -389,7 +563,12 @@ pub fn replay_arena_online_stream<E>(
     let threshold = epoch.threshold;
     let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
     let (mut arena_allocs, mut arena_bytes) = (0u64, 0u64);
+    // Observed-mode timeline state: the next clock reading at which a
+    // sample is due, and the bytes currently live in the arena area.
+    let mut next_tick = epoch.epoch_bytes;
+    let mut live_arena_bytes = 0u64;
     for event in events {
+        let timer = Timer::start();
         match event.map_err(ReplayStreamError::Source)? {
             ReplayEvent::Alloc { record, size } => {
                 total_allocs += 1;
@@ -403,7 +582,8 @@ pub fn replay_arena_online_stream<E>(
                 let birth = learner.clock();
                 let predicted = learner.record_alloc(key, u64::from(size));
                 let addr = heap.alloc(size, predicted);
-                if heap.is_arena_addr(addr) {
+                let in_arena = heap.is_arena_addr(addr);
+                if in_arena {
                     arena_allocs += 1;
                     arena_bytes += u64::from(size);
                 }
@@ -435,6 +615,18 @@ pub fn replay_arena_online_stream<E>(
                         learner.note_pinned(obj.key, u64::from(obj.size));
                     }
                 }
+                if let Some(ctx) = ctx.as_mut() {
+                    if in_arena {
+                        live_arena_bytes += u64::from(size);
+                    }
+                    ctx.on_alloc(record, size, in_arena, timer);
+                    if learner.clock() >= next_tick {
+                        push_epoch_sample(ctx.obs(), &learner, &heap, live_arena_bytes);
+                        while next_tick <= learner.clock() {
+                            next_tick = next_tick.saturating_add(epoch.epoch_bytes);
+                        }
+                    }
+                }
             }
             ReplayEvent::Free { record } => {
                 let addr = slots.died(record)?;
@@ -450,8 +642,17 @@ pub fn replay_arena_online_stream<E>(
                     obj.birth,
                     counts_as_misprediction,
                 );
+                if let Some(ctx) = ctx.as_mut() {
+                    if heap.is_arena_addr(addr) {
+                        live_arena_bytes = live_arena_bytes.saturating_sub(u64::from(obj.size));
+                    }
+                    ctx.on_free(record, timer);
+                }
             }
         }
+    }
+    if let Some(ctx) = ctx {
+        ctx.flush();
     }
     Ok(OnlineReplayReport {
         replay: ReplayReport {
@@ -794,6 +995,101 @@ mod tests {
             stream,
             replay_arena_online(&t, &SiteConfig::default(), &epoch, &cfg)
         );
+    }
+
+    #[test]
+    fn observed_replay_matches_unobserved_and_fills_metrics() {
+        let t = workload();
+        let meta = ReplayMeta::of(&t);
+        let cfg = ReplayConfig::default();
+        let registry = lifepred_obs::Registry::new();
+        let obs = ReplayObs::register(&registry);
+        let db = trained(&t);
+        let predicted = prediction_bitmap(&t, &db);
+        let observed =
+            replay_arena_stream_observed(&meta, trace_events(&t), &predicted, &cfg, &obs)
+                .expect("valid");
+        assert_eq!(
+            observed,
+            replay_arena(&t, &db, &cfg),
+            "obs must not perturb"
+        );
+        let snap = registry.snapshot();
+        assert_eq!(
+            snap.counter("lifepred_sim_allocs_total"),
+            Some(observed.total_allocs)
+        );
+        assert_eq!(
+            snap.counter("lifepred_sim_arena_allocs_total"),
+            Some(observed.arena_allocs)
+        );
+        assert_eq!(
+            snap.counter("lifepred_sim_frees_total"),
+            Some(observed.total_allocs),
+            "this workload frees everything"
+        );
+        let sizes = snap.histogram("lifepred_sim_size_bytes").expect("sizes");
+        assert_eq!(sizes.count, observed.total_allocs);
+        assert_eq!(sizes.sum, observed.total_bytes);
+        let lifetimes = snap
+            .histogram("lifepred_sim_lifetime_bytes")
+            .expect("lifetimes");
+        assert_eq!(lifetimes.count, observed.total_allocs);
+        // The 4000 short-lived objects die within a few hundred bytes;
+        // the 20 keepers live across the whole 2000-iteration churn.
+        assert!(
+            lifetimes.quantile(0.5) < 4096,
+            "{}",
+            lifetimes.quantile(0.5)
+        );
+        assert!(lifetimes.max > 100_000, "{}", lifetimes.max);
+        // Offline replays have no epochs.
+        let timeline = snap.timeline("lifepred_sim_epochs").expect("timeline");
+        assert!(timeline.is_empty());
+    }
+
+    #[test]
+    fn observed_online_replay_fills_epoch_timeline() {
+        let t = workload();
+        let sites = site_fingerprints(&t, &SiteConfig::default());
+        let meta = ReplayMeta::of(&t);
+        let cfg = ReplayConfig::default();
+        let epoch = small_epoch();
+        let registry = lifepred_obs::Registry::new();
+        let obs = ReplayObs::register(&registry);
+        let observed = replay_arena_online_stream_observed(
+            &meta,
+            trace_events(&t),
+            &sites,
+            &epoch,
+            &cfg,
+            &obs,
+        )
+        .expect("valid");
+        assert_eq!(
+            observed,
+            replay_arena_online(&t, &SiteConfig::default(), &epoch, &cfg),
+            "obs must not perturb the learner"
+        );
+        let snap = registry.snapshot();
+        let timeline = snap.timeline("lifepred_sim_epochs").expect("timeline");
+        assert!(!timeline.is_empty(), "epoch ticks must leave samples");
+        let first = timeline.first().expect("sample");
+        let last = timeline.last().expect("sample");
+        assert!(last.clock_bytes > first.clock_bytes, "clock advances");
+        assert!(last.epoch >= first.epoch, "epochs only grow");
+        assert_eq!(
+            last.max_heap_bytes, observed.replay.max_heap_bytes,
+            "final sample sees the final high-water mark"
+        );
+        assert!(
+            timeline.iter().any(|s| s.short_sites > 0),
+            "the short site shows up in some sample"
+        );
+        for s in timeline {
+            assert!((0.0..=100.0).contains(&s.utilization_pct), "{s:?}");
+            assert!((0.0..=100.0).contains(&s.fragmentation_pct), "{s:?}");
+        }
     }
 
     #[test]

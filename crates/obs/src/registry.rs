@@ -1,0 +1,328 @@
+//! Metric registry: stable names → live metric handles.
+//!
+//! A [`Registry`] is the one place metric names exist. Producers ask
+//! for a handle (`registry.counter("lifepred_sim_allocs_total")`) and
+//! keep the returned `Arc` on their hot path — the registry lock is
+//! taken only at registration and export time, never per-increment.
+//! Exporters call [`Registry::snapshot`] to get a plain [`Snapshot`]
+//! that renders to JSON or Prometheus text (see the crate root docs
+//! for the naming convention).
+//!
+//! Names are validated eagerly and kind mismatches panic: both are
+//! programmer errors on compile-time string constants, and failing
+//! loudly at registration beats exporting a silently-wrong schema.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::counter::{Counter, Gauge};
+use crate::hist::{HistogramSnapshot, LogHistogram};
+use crate::timeline::{EpochSample, EpochTimeline};
+
+/// A named collection of live metrics.
+///
+/// # Examples
+///
+/// ```
+/// use lifepred_obs::Registry;
+///
+/// let reg = Registry::new();
+/// let allocs = reg.counter("demo_allocs_total");
+/// allocs.inc();
+/// // The same name returns the same underlying metric.
+/// reg.counter("demo_allocs_total").add(2);
+/// assert_eq!(reg.snapshot().counters[0].1, 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LogHistogram>),
+    Timeline(Arc<EpochTimeline>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Timeline(_) => "timeline",
+        }
+    }
+}
+
+/// Whether `name` is a valid metric name: `[a-z_][a-z0-9_]*`, the
+/// intersection of Prometheus's metric-name grammar and what reads
+/// naturally in JSON keys.
+pub fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_lowercase() || first == '_')
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Creates an empty registry behind an `Arc`, the shape every
+    /// wired component stores.
+    pub fn shared() -> Arc<Registry> {
+        Arc::new(Registry::new())
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        wrap: impl FnOnce() -> Metric,
+        unwrap: impl Fn(&Metric) -> Option<Arc<T>>,
+        want: &'static str,
+    ) -> Arc<T> {
+        assert!(
+            valid_name(name),
+            "invalid metric name `{name}` (want [a-z_][a-z0-9_]*)"
+        );
+        let mut metrics = self.metrics.lock().expect("registry lock poisoned");
+        let entry = metrics.entry(name.to_string()).or_insert_with(wrap);
+        match unwrap(entry) {
+            Some(m) => m,
+            None => panic!(
+                "metric `{name}` already registered as a {}, requested as a {want}",
+                entry.kind()
+            ),
+        }
+    }
+
+    /// Returns the counter registered under `name`, creating it on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is invalid or already registered as another kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            "counter",
+        )
+    }
+
+    /// Returns the gauge registered under `name`, creating it on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is invalid or already registered as another kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            "gauge",
+        )
+    }
+
+    /// Returns the histogram registered under `name`, creating it on
+    /// first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is invalid or already registered as another kind.
+    pub fn histogram(&self, name: &str) -> Arc<LogHistogram> {
+        self.get_or_insert(
+            name,
+            || Metric::Histogram(Arc::new(LogHistogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            "histogram",
+        )
+    }
+
+    /// Returns the epoch timeline registered under `name`, creating it
+    /// (at the default capacity) on first use.
+    ///
+    /// # Panics
+    ///
+    /// If `name` is invalid or already registered as another kind.
+    pub fn timeline(&self, name: &str) -> Arc<EpochTimeline> {
+        self.get_or_insert(
+            name,
+            || Metric::Timeline(Arc::new(EpochTimeline::new())),
+            |m| match m {
+                Metric::Timeline(t) => Some(Arc::clone(t)),
+                _ => None,
+            },
+            "timeline",
+        )
+    }
+
+    /// All registered names with their kinds, sorted by name.
+    pub fn names(&self) -> Vec<(String, &'static str)> {
+        let metrics = self.metrics.lock().expect("registry lock poisoned");
+        metrics.iter().map(|(n, m)| (n.clone(), m.kind())).collect()
+    }
+
+    /// Reads every metric into a plain, renderable snapshot. Values
+    /// are read per-metric while writers may be active, so the
+    /// snapshot is consistent per metric, not across metrics — the
+    /// same contract as the underlying counters.
+    pub fn snapshot(&self) -> Snapshot {
+        // Clone the handles out so metric reads (which may sum shards
+        // or lock a timeline) happen outside the registry lock.
+        let metrics: Vec<(String, Metric)> = {
+            let metrics = self.metrics.lock().expect("registry lock poisoned");
+            metrics
+                .iter()
+                .map(|(n, m)| (n.clone(), m.clone()))
+                .collect()
+        };
+        let mut snap = Snapshot::default();
+        for (name, metric) in metrics {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name, c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name, g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name, h.snapshot())),
+                Metric::Timeline(t) => snap.timelines.push((name, t.samples())),
+            }
+        }
+        snap
+    }
+}
+
+/// A plain point-in-time dump of a registry: sorted name/value pairs
+/// per metric kind. This is the unit of persistence — JSON written by
+/// `simulate --metrics-out` is a rendered `Snapshot`, and `lifepred
+/// stats` parses one back (see [`Snapshot::from_json`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge levels, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram states, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Timeline dumps, sorted by name.
+    pub timelines: Vec<(String, Vec<EpochSample>)>,
+}
+
+impl Snapshot {
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.timelines.is_empty()
+    }
+
+    /// Looks up a counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks up a gauge level by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Looks up a timeline by name.
+    pub fn timeline(&self, name: &str) -> Option<&[EpochSample]> {
+        self.timelines
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_validate() {
+        assert!(valid_name("lifepred_sim_allocs_total"));
+        assert!(valid_name("_private"));
+        assert!(!valid_name(""));
+        assert!(!valid_name("9lives"));
+        assert!(!valid_name("has-dash"));
+        assert!(!valid_name("Upper"));
+    }
+
+    #[test]
+    fn same_name_same_metric() {
+        let reg = Registry::new();
+        reg.counter("a_total").inc();
+        reg.counter("a_total").inc();
+        assert_eq!(reg.snapshot().counter("a_total"), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("x");
+        reg.gauge("x");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn invalid_name_panics() {
+        Registry::new().counter("not ok");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.gauge("z_gauge").set(7);
+        reg.counter("b_total").add(3);
+        reg.counter("a_total").inc();
+        reg.histogram("h_bytes").observe(42);
+        reg.timeline("t_epochs").push(EpochSample::default());
+        let snap = reg.snapshot();
+        let counter_names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(counter_names, vec!["a_total", "b_total"]);
+        assert_eq!(snap.gauge("z_gauge"), Some(7));
+        assert_eq!(snap.histogram("h_bytes").map(|h| h.count), Some(1));
+        assert_eq!(snap.timeline("t_epochs").map(<[EpochSample]>::len), Some(1));
+        assert!(!snap.is_empty());
+        assert_eq!(
+            reg.names(),
+            vec![
+                ("a_total".to_string(), "counter"),
+                ("b_total".to_string(), "counter"),
+                ("h_bytes".to_string(), "histogram"),
+                ("t_epochs".to_string(), "timeline"),
+                ("z_gauge".to_string(), "gauge"),
+            ]
+        );
+    }
+}

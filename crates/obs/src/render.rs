@@ -1,0 +1,720 @@
+//! Snapshot rendering: JSON document and Prometheus text exposition.
+//!
+//! Both renderers are deterministic — the snapshot's name-sorted
+//! vectors drive iteration order, floats use Rust's shortest-roundtrip
+//! `Display`, and histogram buckets serialize sparsely (index →
+//! count) so a 64-bucket histogram with three occupied buckets costs
+//! three entries. Determinism is load-bearing: the golden-file tests
+//! diff these strings byte-for-byte to pin the metric schema.
+//!
+//! The crate stays dependency-free, so the JSON emitter is hand-rolled
+//! (same style as `lifepred-core`'s persistence layer) and
+//! [`Snapshot::from_json`] is a minimal recursive-descent parser that
+//! accepts exactly the documents [`Snapshot::to_json`] writes — plus
+//! ordinary JSON whitespace and key reordering, so hand-edited files
+//! still load.
+
+use std::fmt::Write as _;
+
+use crate::hist::{bucket_le, HistogramSnapshot, HIST_BUCKETS};
+use crate::registry::Snapshot;
+use crate::timeline::EpochSample;
+
+/// Schema tag written into every JSON document.
+pub const JSON_SCHEMA: &str = "lifepred-metrics-v1";
+
+/// Formats an `f64` for JSON/Prometheus: shortest roundtrip form,
+/// never NaN/inf (clamped to 0, which no percentage field can
+/// legitimately produce as a lie).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn push_sample_json(out: &mut String, indent: &str, s: &EpochSample) {
+    let _ = write!(
+        out,
+        "{indent}{{\"epoch\": {}, \"clock_bytes\": {}, \"generation\": {}, \
+         \"short_sites\": {}, \"sites\": {}, \"live_bytes\": {}, \
+         \"max_heap_bytes\": {}, \"utilization_pct\": {}, \
+         \"fragmentation_pct\": {}, \"mispredictions\": {}, \"demotions\": {}}}",
+        s.epoch,
+        s.clock_bytes,
+        s.generation,
+        s.short_sites,
+        s.sites,
+        s.live_bytes,
+        s.max_heap_bytes,
+        fmt_f64(s.utilization_pct),
+        fmt_f64(s.fragmentation_pct),
+        s.mispredictions,
+        s.demotions,
+    );
+}
+
+fn push_hist_json(out: &mut String, h: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"max\": {}, \"buckets\": {{",
+        h.count, h.sum, h.max
+    );
+    let mut first = true;
+    for (i, &b) in h.buckets.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        let _ = write!(out, "\"{i}\": {b}");
+    }
+    out.push_str("}}");
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a self-describing JSON document (the
+    /// `simulate --metrics-out` format).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": \"{JSON_SCHEMA}\",");
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{name}\": {v}");
+        }
+        out.push_str(if self.counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{name}\": {v}");
+        }
+        out.push_str(if self.gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{name}\": ");
+            push_hist_json(&mut out, h);
+        }
+        out.push_str(if self.histograms.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"timelines\": {");
+        for (i, (name, samples)) in self.timelines.iter().enumerate() {
+            let sep = if i == 0 { "\n" } else { ",\n" };
+            let _ = write!(out, "{sep}    \"{name}\": [");
+            for (j, s) in samples.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_sample_json(&mut out, "      ", s);
+            }
+            out.push_str(if samples.is_empty() { "]" } else { "\n    ]" });
+        }
+        out.push_str(if self.timelines.is_empty() {
+            "}\n"
+        } else {
+            "\n  }\n"
+        });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (the `lifepred stats` default). Histogram buckets are emitted
+    /// cumulatively with power-of-two `le` bounds, trimmed after the
+    /// last occupied bucket; timelines, which have no Prometheus
+    /// analogue, export their latest sample as untyped per-field
+    /// series plus a retained-sample count.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let last = h
+                .buckets
+                .iter()
+                .rposition(|&b| b != 0)
+                .map_or(0, |i| (i + 1).min(HIST_BUCKETS - 1));
+            let mut cum = 0u64;
+            for (i, &b) in h.buckets.iter().enumerate().take(last + 1) {
+                cum += b;
+                match bucket_le(i) {
+                    Some(le) => {
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+                    }
+                    None => break,
+                }
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        for (name, samples) in &self.timelines {
+            let _ = writeln!(
+                out,
+                "# lifepred epoch timeline `{name}`: latest sample as gauges"
+            );
+            let _ = writeln!(out, "{name}_samples {}", samples.len());
+            let Some(s) = samples.last() else { continue };
+            let _ = writeln!(out, "{name}_last_epoch {}", s.epoch);
+            let _ = writeln!(out, "{name}_last_clock_bytes {}", s.clock_bytes);
+            let _ = writeln!(out, "{name}_last_generation {}", s.generation);
+            let _ = writeln!(out, "{name}_last_short_sites {}", s.short_sites);
+            let _ = writeln!(out, "{name}_last_sites {}", s.sites);
+            let _ = writeln!(out, "{name}_last_live_bytes {}", s.live_bytes);
+            let _ = writeln!(out, "{name}_last_max_heap_bytes {}", s.max_heap_bytes);
+            let _ = writeln!(
+                out,
+                "{name}_last_utilization_pct {}",
+                fmt_f64(s.utilization_pct)
+            );
+            let _ = writeln!(
+                out,
+                "{name}_last_fragmentation_pct {}",
+                fmt_f64(s.fragmentation_pct)
+            );
+            let _ = writeln!(out, "{name}_last_mispredictions {}", s.mispredictions);
+            let _ = writeln!(out, "{name}_last_demotions {}", s.demotions);
+        }
+        out
+    }
+
+    /// Parses a document written by [`Snapshot::to_json`].
+    pub fn from_json(text: &str) -> Result<Snapshot, ParseError> {
+        let value = Parser::new(text).parse_document()?;
+        let top = value
+            .as_obj()
+            .ok_or_else(|| ParseError::new("top level is not an object", 0))?;
+        let mut snap = Snapshot::default();
+        for (key, val) in top {
+            match key.as_str() {
+                "schema" => {
+                    let got = val.as_str().unwrap_or("<non-string>");
+                    if got != JSON_SCHEMA {
+                        return Err(ParseError::new(
+                            format!("unsupported schema `{got}` (want `{JSON_SCHEMA}`)"),
+                            0,
+                        ));
+                    }
+                }
+                "counters" => snap.counters = parse_u64_map(val, "counters")?,
+                "gauges" => snap.gauges = parse_u64_map(val, "gauges")?,
+                "histograms" => {
+                    for (name, hv) in obj_of(val, "histograms")? {
+                        snap.histograms.push((name.clone(), parse_hist(hv, name)?));
+                    }
+                }
+                "timelines" => {
+                    for (name, tv) in obj_of(val, "timelines")? {
+                        let arr = tv.as_arr().ok_or_else(|| {
+                            ParseError::new(format!("timeline `{name}` is not an array"), 0)
+                        })?;
+                        let samples = arr
+                            .iter()
+                            .map(|s| parse_sample(s, name))
+                            .collect::<Result<Vec<_>, _>>()?;
+                        snap.timelines.push((name.clone(), samples));
+                    }
+                }
+                _ => {} // Forward compatibility: ignore unknown sections.
+            }
+        }
+        Ok(snap)
+    }
+}
+
+fn obj_of<'v>(val: &'v Value, what: &str) -> Result<&'v [(String, Value)], ParseError> {
+    val.as_obj()
+        .ok_or_else(|| ParseError::new(format!("`{what}` is not an object"), 0))
+}
+
+fn parse_u64_map(val: &Value, what: &str) -> Result<Vec<(String, u64)>, ParseError> {
+    obj_of(val, what)?
+        .iter()
+        .map(|(name, v)| {
+            v.as_u64()
+                .map(|n| (name.clone(), n))
+                .ok_or_else(|| ParseError::new(format!("`{what}.{name}` is not a u64"), 0))
+        })
+        .collect()
+}
+
+fn field_u64(obj: &[(String, Value)], field: &str, ctx: &str) -> Result<u64, ParseError> {
+    obj.iter()
+        .find(|(k, _)| k == field)
+        .and_then(|(_, v)| v.as_u64())
+        .ok_or_else(|| ParseError::new(format!("`{ctx}` missing u64 field `{field}`"), 0))
+}
+
+fn field_f64(obj: &[(String, Value)], field: &str, ctx: &str) -> Result<f64, ParseError> {
+    obj.iter()
+        .find(|(k, _)| k == field)
+        .and_then(|(_, v)| v.as_f64())
+        .ok_or_else(|| ParseError::new(format!("`{ctx}` missing number field `{field}`"), 0))
+}
+
+fn parse_hist(val: &Value, name: &str) -> Result<HistogramSnapshot, ParseError> {
+    let obj = obj_of(val, name)?;
+    let mut h = HistogramSnapshot {
+        count: field_u64(obj, "count", name)?,
+        sum: field_u64(obj, "sum", name)?,
+        max: field_u64(obj, "max", name)?,
+        ..HistogramSnapshot::empty()
+    };
+    let buckets = obj
+        .iter()
+        .find(|(k, _)| k == "buckets")
+        .and_then(|(_, v)| v.as_obj())
+        .ok_or_else(|| ParseError::new(format!("histogram `{name}` missing buckets object"), 0))?;
+    for (idx, count) in buckets {
+        let i: usize = idx
+            .parse()
+            .ok()
+            .filter(|&i| i < HIST_BUCKETS)
+            .ok_or_else(|| {
+                ParseError::new(format!("histogram `{name}` bad bucket index `{idx}`"), 0)
+            })?;
+        h.buckets[i] = count.as_u64().ok_or_else(|| {
+            ParseError::new(format!("histogram `{name}` bucket `{idx}` not a u64"), 0)
+        })?;
+    }
+    Ok(h)
+}
+
+fn parse_sample(val: &Value, name: &str) -> Result<EpochSample, ParseError> {
+    let obj = obj_of(val, name)?;
+    Ok(EpochSample {
+        epoch: field_u64(obj, "epoch", name)?,
+        clock_bytes: field_u64(obj, "clock_bytes", name)?,
+        generation: field_u64(obj, "generation", name)?,
+        short_sites: field_u64(obj, "short_sites", name)?,
+        sites: field_u64(obj, "sites", name)?,
+        live_bytes: field_u64(obj, "live_bytes", name)?,
+        max_heap_bytes: field_u64(obj, "max_heap_bytes", name)?,
+        utilization_pct: field_f64(obj, "utilization_pct", name)?,
+        fragmentation_pct: field_f64(obj, "fragmentation_pct", name)?,
+        mispredictions: field_u64(obj, "mispredictions", name)?,
+        demotions: field_u64(obj, "demotions", name)?,
+    })
+}
+
+/// A JSON parse failure: message plus byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub msg: String,
+    /// Byte offset into the input where the failure was detected
+    /// (0 for structural errors found after parsing).
+    pub pos: usize,
+}
+
+impl ParseError {
+    fn new(msg: impl Into<String>, pos: usize) -> ParseError {
+        ParseError {
+            msg: msg.into(),
+            pos,
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "metrics JSON: {} (at byte {})", self.msg, self.pos)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Minimal JSON value tree — just enough to read back a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    /// Integers parse losslessly into `u64` when they fit...
+    Int(u64),
+    /// ...everything else (floats, negatives, exponents) lands here.
+    Float(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
+                Some(f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(n) => Some(n as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_obj(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Value, ParseError> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after document"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self
+            .peek()
+            .ok_or_else(|| self.err("unexpected end of input"))?
+        {
+            b'{' => self.parse_obj(),
+            b'[' => self.parse_arr(),
+            b'"' => Ok(Value::Str(self.parse_string()?)),
+            b't' => self.parse_lit("true", Value::Bool(true)),
+            b'f' => self.parse_lit("false", Value::Bool(false)),
+            b'n' => self.parse_lit("null", Value::Null),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_lit(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn parse_obj(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            entries.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_arr(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for metric
+                            // names; reject rather than mis-decode.
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| self.err("bad \\u code point"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence this byte starts.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let s = self
+                        .bytes
+                        .get(start..end)
+                        .and_then(|s| std::str::from_utf8(s).ok())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError::new("invalid number", start))?;
+        if text.is_empty() {
+            return Err(ParseError::new("expected a value", start));
+        }
+        if let Ok(n) = text.parse::<u64>() {
+            return Ok(Value::Int(n));
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| ParseError::new(format!("bad number `{text}`"), start))
+    }
+}
+
+/// Length in bytes of the UTF-8 sequence starting with byte `b`
+/// (1 for ASCII and for continuation bytes, which will then fail the
+/// `from_utf8` check above).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn demo_snapshot() -> Snapshot {
+        let reg = Registry::new();
+        reg.counter("sim_allocs_total").add(5);
+        reg.counter("sim_frees_total").add(4);
+        reg.gauge("live_bytes").set(96);
+        let h = reg.histogram("object_size_bytes");
+        for v in [8u64, 8, 16, 300] {
+            h.observe(v);
+        }
+        let t = reg.timeline("epochs");
+        t.push(EpochSample {
+            epoch: 0,
+            clock_bytes: 65536,
+            generation: 1,
+            short_sites: 3,
+            sites: 5,
+            live_bytes: 96,
+            max_heap_bytes: 128,
+            utilization_pct: 75.5,
+            fragmentation_pct: 2.25,
+            mispredictions: 1,
+            demotions: 0,
+        });
+        reg.snapshot()
+    }
+
+    #[test]
+    fn json_roundtrips() {
+        let snap = demo_snapshot();
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).expect("parses");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = Snapshot::default();
+        let back = Snapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn json_has_schema_tag() {
+        assert!(demo_snapshot()
+            .to_json()
+            .contains("\"schema\": \"lifepred-metrics-v1\""));
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let doc = "{\"schema\": \"other-v9\", \"counters\": {}}";
+        let err = Snapshot::from_json(doc).unwrap_err();
+        assert!(err.msg.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn malformed_json_reports_position() {
+        let err = Snapshot::from_json("{\"counters\": {").unwrap_err();
+        assert!(err.to_string().contains("at byte"), "{err}");
+    }
+
+    #[test]
+    fn prometheus_renders_all_kinds() {
+        let text = demo_snapshot().to_prometheus();
+        assert!(text.contains("# TYPE sim_allocs_total counter"));
+        assert!(text.contains("sim_allocs_total 5"));
+        assert!(text.contains("# TYPE live_bytes gauge"));
+        assert!(text.contains("live_bytes 96"));
+        assert!(text.contains("# TYPE object_size_bytes histogram"));
+        // 8,8,16 ≤ 255; cumulative bucket counts.
+        assert!(text.contains("object_size_bytes_bucket{le=\"15\"} 2"));
+        assert!(text.contains("object_size_bytes_bucket{le=\"31\"} 3"));
+        assert!(text.contains("object_size_bytes_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("object_size_bytes_sum 332"));
+        assert!(text.contains("object_size_bytes_count 4"));
+        assert!(text.contains("epochs_samples 1"));
+        assert!(text.contains("epochs_last_utilization_pct 75.5"));
+    }
+
+    #[test]
+    fn sparse_buckets_only_emit_occupied() {
+        let json = demo_snapshot().to_json();
+        // Bucket 4 covers 8..=15 (two observations), bucket 9 covers
+        // 256..=511 (one observation); empty buckets are absent.
+        assert!(json.contains("\"4\": 2"));
+        assert!(json.contains("\"9\": 1"));
+        assert!(!json.contains("\"0\": 0"));
+    }
+
+    #[test]
+    fn unknown_sections_are_ignored() {
+        let doc = format!(
+            "{{\"schema\": \"{JSON_SCHEMA}\", \"counters\": {{\"a_total\": 1}}, \"future\": [1, 2]}}"
+        );
+        let snap = Snapshot::from_json(&doc).expect("parses");
+        assert_eq!(snap.counter("a_total"), Some(1));
+    }
+}

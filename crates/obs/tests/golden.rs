@@ -1,0 +1,165 @@
+//! Golden-file tests pinning the metric schema byte-for-byte.
+//!
+//! The registry below carries every canonical metric name the
+//! workspace registers — the `lifepred_sim_*` replay set
+//! (`lifepred-heap`), the `lifepred_alloc_*` allocator set and
+//! `lifepred_runtime_*` gauges (`lifepred-alloc`), and the
+//! `lifepred_learner_*` gauges (`lifepred-adaptive`) — with fixed
+//! values, rendered to JSON and Prometheus text and diffed against
+//! `tests/golden/metrics.{json,prom}`. Renaming a metric, changing a
+//! kind, or perturbing either renderer's output is a schema change and
+//! must show up as a golden diff.
+//!
+//! To bless an intentional change:
+//!
+//! ```text
+//! LIFEPRED_REGEN_GOLDEN=1 cargo test -p lifepred-obs --test golden
+//! ```
+
+use lifepred_obs::{EpochSample, Registry, Snapshot};
+use std::path::PathBuf;
+
+/// Replay counters/histograms/timeline registered by `lifepred-heap`.
+const SIM_COUNTERS: &[&str] = &[
+    "lifepred_sim_allocs_total",
+    "lifepred_sim_arena_allocs_total",
+    "lifepred_sim_frees_total",
+];
+const SIM_HISTOGRAMS: &[&str] = &[
+    "lifepred_sim_size_bytes",
+    "lifepred_sim_lifetime_bytes",
+    "lifepred_sim_event_ns",
+];
+
+/// Allocator counters/histograms/timeline registered by `lifepred-alloc`.
+const ALLOC_COUNTERS: &[&str] = &[
+    "lifepred_alloc_allocs_total",
+    "lifepred_alloc_arena_allocs_total",
+    "lifepred_alloc_general_allocs_total",
+    "lifepred_alloc_frees_total",
+    "lifepred_alloc_overflows_total",
+    "lifepred_alloc_double_frees_total",
+];
+const ALLOC_HISTOGRAMS: &[&str] = &["lifepred_alloc_size_bytes", "lifepred_alloc_latency_ns"];
+
+/// Snapshot gauges exported by `RuntimeStats::export` (`lifepred-alloc`).
+const RUNTIME_GAUGES: &[&str] = &[
+    "lifepred_runtime_arena_allocs",
+    "lifepred_runtime_arena_count",
+    "lifepred_runtime_arena_frees",
+    "lifepred_runtime_arena_resets",
+    "lifepred_runtime_arena_total_bytes",
+    "lifepred_runtime_arena_used_bytes",
+    "lifepred_runtime_double_frees",
+    "lifepred_runtime_general_allocs",
+    "lifepred_runtime_general_frees",
+    "lifepred_runtime_overflows",
+    "lifepred_runtime_pinned_arena_bytes",
+];
+
+/// Snapshot gauges exported by `LearnerStats::export` (`lifepred-adaptive`).
+const LEARNER_GAUGES: &[&str] = &[
+    "lifepred_learner_epochs",
+    "lifepred_learner_sites",
+    "lifepred_learner_short_sites",
+    "lifepred_learner_promotions",
+    "lifepred_learner_demotions",
+    "lifepred_learner_mispredictions",
+    "lifepred_learner_total_allocs",
+    "lifepred_learner_predicted_allocs",
+    "lifepred_learner_total_bytes",
+    "lifepred_learner_predicted_bytes",
+    "lifepred_learner_error_bytes",
+    "lifepred_learner_total_frees",
+    "lifepred_learner_long_frees",
+];
+
+const TIMELINES: &[&str] = &["lifepred_sim_epochs", "lifepred_alloc_epochs"];
+
+/// Builds the full canonical registry with deterministic values: each
+/// metric's value is derived from its position so every entry is
+/// distinguishable in the rendered output.
+fn canonical_registry() -> Registry {
+    let registry = Registry::new();
+    for (i, name) in SIM_COUNTERS.iter().chain(ALLOC_COUNTERS).enumerate() {
+        registry.counter(name).add(100 + i as u64);
+    }
+    for (i, name) in RUNTIME_GAUGES.iter().chain(LEARNER_GAUGES).enumerate() {
+        registry.gauge(name).set(200 + i as u64);
+    }
+    for (i, name) in SIM_HISTOGRAMS.iter().chain(ALLOC_HISTOGRAMS).enumerate() {
+        let h = registry.histogram(name);
+        // Spread observations across buckets, including 0 and a large
+        // outlier, so sparse bucket serialization is exercised.
+        h.observe(0);
+        h.observe(1 + i as u64);
+        h.observe(48);
+        h.observe(1 << (20 + i));
+    }
+    for (i, name) in TIMELINES.iter().enumerate() {
+        let t = registry.timeline(name);
+        for epoch in 0..2u64 {
+            t.push(EpochSample {
+                epoch,
+                clock_bytes: 4096 * (epoch + 1),
+                generation: epoch,
+                short_sites: 3 + i as u64,
+                sites: 10,
+                live_bytes: 512,
+                max_heap_bytes: 8192,
+                utilization_pct: 75.5,
+                fragmentation_pct: 2.25,
+                mispredictions: epoch,
+                demotions: 0,
+            });
+        }
+    }
+    registry
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check(file: &str, rendered: &str) {
+    let path = golden_path(file);
+    if std::env::var_os("LIFEPRED_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir")).expect("mkdir golden");
+        std::fs::write(&path, rendered).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); bless with LIFEPRED_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        rendered, want,
+        "{file} drifted from its golden copy — if the schema change is \
+         intentional, bless it with LIFEPRED_REGEN_GOLDEN=1 and call it \
+         out in the changelog"
+    );
+}
+
+#[test]
+fn json_rendering_is_pinned() {
+    check("metrics.json", &canonical_registry().snapshot().to_json());
+}
+
+#[test]
+fn prometheus_rendering_is_pinned() {
+    check(
+        "metrics.prom",
+        &canonical_registry().snapshot().to_prometheus(),
+    );
+}
+
+#[test]
+fn golden_json_parses_back_to_the_same_snapshot() {
+    let snap = canonical_registry().snapshot();
+    let parsed = Snapshot::from_json(&snap.to_json()).expect("own JSON parses");
+    assert_eq!(parsed, snap);
+}

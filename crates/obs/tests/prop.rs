@@ -1,0 +1,110 @@
+//! Property-based tests for the metrics core: concurrent sharded
+//! aggregation must equal a serial oracle, and snapshots must survive
+//! a JSON round trip.
+
+use lifepred_obs::{HistogramSnapshot, LogHistogram, Registry, Snapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    /// A sharded counter incremented from many threads totals exactly
+    /// the serial sum of all contributions, regardless of how the work
+    /// is split.
+    #[test]
+    fn sharded_counter_aggregates_exactly(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..1000, 0..50),
+            1..8,
+        )
+    ) {
+        let registry = Registry::new();
+        let counter = registry.counter("lifepred_test_total");
+        let expected: u64 = per_thread.iter().flatten().sum();
+        let threads: Vec<_> = per_thread
+            .into_iter()
+            .map(|amounts| {
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for v in amounts {
+                        counter.add(v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker");
+        }
+        prop_assert_eq!(counter.get(), expected);
+        prop_assert_eq!(
+            registry.snapshot().counter("lifepred_test_total"),
+            Some(expected)
+        );
+    }
+
+    /// A histogram fed concurrently — some threads observing live, some
+    /// absorbing locally recorded batches — aggregates to exactly the
+    /// serial oracle built from every value.
+    #[test]
+    fn histogram_absorb_matches_serial_oracle(
+        per_thread in proptest::collection::vec(
+            (any::<bool>(), proptest::collection::vec(0u64..1_000_000, 0..50)),
+            1..8,
+        )
+    ) {
+        let registry = Registry::new();
+        let hist = registry.histogram("lifepred_test_values");
+        let mut oracle = HistogramSnapshot::empty();
+        for (_, values) in &per_thread {
+            for &v in values {
+                oracle.record(v);
+            }
+        }
+        let threads: Vec<_> = per_thread
+            .into_iter()
+            .map(|(batched, values)| {
+                let hist: Arc<LogHistogram> = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    if batched {
+                        let mut local = HistogramSnapshot::empty();
+                        for v in values {
+                            local.record(v);
+                        }
+                        hist.absorb(&local);
+                    } else {
+                        for v in values {
+                            hist.observe(v);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker");
+        }
+        prop_assert_eq!(hist.snapshot(), oracle);
+    }
+
+    /// `to_json` → `from_json` reproduces the snapshot bit-for-bit for
+    /// arbitrary counter/gauge/histogram contents.
+    #[test]
+    fn snapshot_json_roundtrips(
+        counters in proptest::collection::vec(0u64..u64::MAX / 2, 0..4),
+        gauges in proptest::collection::vec(0u64..u64::MAX / 2, 0..4),
+        observations in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let registry = Registry::new();
+        for (i, v) in counters.iter().enumerate() {
+            registry.counter(&format!("lifepred_c{i}_total")).add(*v);
+        }
+        for (i, v) in gauges.iter().enumerate() {
+            registry.gauge(&format!("lifepred_g{i}")).set(*v);
+        }
+        let hist = registry.histogram("lifepred_h_bytes");
+        for &v in &observations {
+            hist.observe(v);
+        }
+        let snap = registry.snapshot();
+        let parsed = Snapshot::from_json(&snap.to_json()).expect("own JSON parses");
+        prop_assert_eq!(parsed, snap);
+    }
+}

@@ -52,6 +52,7 @@ pub use lifepred_adaptive as adaptive;
 pub use lifepred_alloc as alloc;
 pub use lifepred_core as core;
 pub use lifepred_heap as heap;
+pub use lifepred_obs as obs;
 pub use lifepred_quantile as quantile;
 pub use lifepred_trace as trace;
 pub use lifepred_workloads as workloads;
