@@ -1,0 +1,414 @@
+//! The PR-5 performance ledger: measured evidence for the three
+//! optimisations of the indexed-replay stack.
+//!
+//! 1. **decode** — per-event `into_events()` iteration vs the chunked
+//!    SoA decoder (`into_event_chunks()`) over the same in-memory
+//!    `.lpt` image. Same bytes, same CRC checks; the chunked path
+//!    amortises framing and dispatch over 4096-event batches.
+//! 2. **firstfit** — the seed's linear first-fit scan
+//!    ([`LinearFirstFit`]) vs the size-segregated indexed [`FirstFit`]
+//!    on a fragmentation workload built to be the linear scan's worst
+//!    case: a lattice of small holes that every larger allocation must
+//!    walk past. Warmup asserts both heaps agree on every observable
+//!    (`OpCounts` including `search_steps`, `max_heap_bytes`) before
+//!    any timing, so the speedup is measured between *provably
+//!    equivalent* implementations.
+//! 3. **simulate** — the end-to-end `lifepred simulate` pipeline
+//!    (records → prediction bitmap, events → chunked arena replay)
+//!    over several trace images, fanned out with
+//!    [`lifepred_bench::run_jobs`] at `--jobs` 1, 2 and 4. Speedup
+//!    here is bounded by the host's core count, which is recorded in
+//!    the output.
+//!
+//! The harness mirrors `benches/obs.rs`: self-timed paired rounds,
+//! median-of-rounds throughputs, median-of-paired-ratios speedups, and
+//! `results/BENCH_replay.json` written only on full runs. Run with
+//! `cargo bench -p lifepred-bench --bench replay`; set
+//! `LIFEPRED_BENCH_SMOKE=1` (or pass `--test`) for the short CI smoke
+//! run that leaves the recorded results untouched.
+
+use lifepred_core::{
+    train, Profile, ShortLivedSet, SiteConfig, SiteExtractor, TrainConfig, DEFAULT_THRESHOLD,
+};
+use lifepred_heap::reference::LinearFirstFit;
+use lifepred_heap::{replay_arena_chunks, Addr, FirstFit, ReplayConfig, ReplayMeta, ReplayReport};
+use lifepred_trace::{EventKind, Trace, TraceSession};
+use lifepred_tracefile::{TraceReader, TraceWriter};
+use std::path::Path;
+use std::time::Instant;
+
+/// Alloc/free pairs in the decode/simulate trace (divided by 10 in
+/// smoke mode).
+const PAIRS: usize = 50_000;
+
+/// Kept blocks in the fragmentation lattice; every churn allocation
+/// forces the linear scan past all of them.
+const KEEPERS: usize = 6_000;
+
+/// Churn allocations walking the lattice.
+const CHURN: usize = 8_000;
+
+/// Trace images fanned out by the simulate-scaling section.
+const SIM_TRACES: usize = 4;
+
+/// Paired rounds for the decode comparison.
+const ROUNDS: usize = 31;
+
+/// Paired rounds for the firstfit comparison (each round replays the
+/// full quadratic linear scan, so fewer rounds keep the run bounded).
+const FF_ROUNDS: usize = 15;
+
+/// Rounds for the simulate sweep; each round runs 3 × [`SIM_TRACES`]
+/// full pipelines.
+const SIM_ROUNDS: usize = 11;
+
+fn smoke() -> bool {
+    // `cargo bench -- --test` asks every bench for a functional check,
+    // not a measurement — same contract as the env override.
+    std::env::var_os("LIFEPRED_BENCH_SMOKE").is_some() || std::env::args().any(|a| a == "--test")
+}
+
+fn rounds(full: usize) -> usize {
+    if smoke() {
+        (full / 10).max(3)
+    } else {
+        full
+    }
+}
+
+/// The obs-bench workload shape: mostly short-lived pairs with a
+/// drizzle of keepers — representative input for decode and the
+/// end-to-end pipeline.
+fn workload(pairs: usize) -> Trace {
+    let s = TraceSession::new("bench-replay");
+    let mut kept = Vec::new();
+    {
+        let _g = s.enter("short");
+        for i in 0..pairs {
+            let a = s.alloc(48);
+            let b = s.alloc(16);
+            s.free(a);
+            s.free(b);
+            if i % 100 == 0 {
+                let _g2 = s.enter("keeper");
+                kept.push(s.alloc(64));
+            }
+        }
+    }
+    for id in kept {
+        s.free(id);
+    }
+    s.finish()
+}
+
+/// The linear scan's worst case: a heap shaped
+/// `[hole lattice][victim slot][live guard][small wilderness]` where
+/// every churn allocation fits *only* the victim slot, and the roving
+/// pointer is parked just past it.
+///
+/// The lattice is `keepers` live 32-byte blocks alternating with
+/// 32-byte holes (freed fillers that cannot coalesce because both
+/// neighbours stay live). Block layout math (`HEADER = 8`, `ALIGN =
+/// 8`, `MIN_SPLIT = 16`): a 32-byte hole occupies 40 heap bytes and
+/// the 16384-byte victim 16392, so once the victim is freed and
+/// coalesces with the final hole, the slot holds 16432 bytes — exactly
+/// what a 16424-byte churn request needs. Churn placements therefore
+/// never split (any sub-`MIN_SPLIT` page-rounding slack is absorbed
+/// into the block), the rover lands on the live guard after each
+/// placement and stays there across the free (no coalesce can pull it
+/// back), and the wilderness above the guard stays under one
+/// 8192-byte page so it never satisfies a churn request. Every churn
+/// allocation thus wraps and walks the entire lattice before finding
+/// the slot; the indexed heap answers the same search from its size
+/// bins in O(log n).
+fn frag_workload(keepers: usize, churn: usize) -> Trace {
+    let s = TraceSession::new("bench-frag");
+    let mut kept = Vec::new();
+    let mut holes = Vec::new();
+    {
+        let _g = s.enter("lattice");
+        for _ in 0..keepers {
+            kept.push(s.alloc(32));
+            holes.push(s.alloc(32));
+        }
+    }
+    let victim = {
+        let _g = s.enter("victim");
+        s.alloc(16_384)
+    };
+    let guard = {
+        let _g = s.enter("guard");
+        s.alloc(32)
+    };
+    for id in holes {
+        s.free(id);
+    }
+    s.free(victim);
+    {
+        let _g = s.enter("churn");
+        for _ in 0..churn {
+            let a = s.alloc(16_424);
+            s.free(a);
+        }
+    }
+    s.free(guard);
+    for id in kept {
+        s.free(id);
+    }
+    s.finish()
+}
+
+/// Replays `trace` through the seed's linear first-fit, returning the
+/// observables the equivalence check compares.
+fn replay_linear(trace: &Trace) -> (u64, u64) {
+    let mut heap = LinearFirstFit::new();
+    let mut slots: Vec<Option<Addr>> = vec![None; trace.records().len()];
+    for event in trace.events() {
+        match event.kind {
+            EventKind::Alloc => {
+                let size = trace.records()[event.record].size;
+                slots[event.record] = Some(heap.alloc(size));
+            }
+            EventKind::Free => {
+                if let Some(addr) = slots[event.record].take() {
+                    heap.free(addr);
+                }
+            }
+        }
+    }
+    (heap.counts().search_steps, heap.max_heap_bytes())
+}
+
+/// Same loop over the indexed heap.
+fn replay_indexed(trace: &Trace) -> (u64, u64) {
+    let mut heap = FirstFit::new();
+    let mut slots: Vec<Option<Addr>> = vec![None; trace.records().len()];
+    for event in trace.events() {
+        match event.kind {
+            EventKind::Alloc => {
+                let size = trace.records()[event.record].size;
+                slots[event.record] = Some(heap.alloc(size));
+            }
+            EventKind::Free => {
+                if let Some(addr) = slots[event.record].take() {
+                    heap.free(addr);
+                }
+            }
+        }
+    }
+    (heap.counts().search_steps, heap.max_heap_bytes())
+}
+
+/// One full offline-arena `simulate` pipeline over an in-memory `.lpt`
+/// image, mirroring `cmd_simulate`'s chunked path pass for pass.
+fn simulate_once(
+    bytes: &[u8],
+    db: &ShortLivedSet,
+    meta: &ReplayMeta,
+    cfg: &ReplayConfig,
+) -> ReplayReport {
+    // Pass 1: records → per-object predictions.
+    let reader = TraceReader::new(bytes).expect("trace header");
+    let chains = reader.chain_table().clone();
+    let mut extractor = SiteExtractor::from_chains(&chains, *db.config());
+    let mut predicted = Vec::new();
+    for record in reader.into_records().expect("records section") {
+        let record = record.expect("record");
+        predicted.push(db.predicts(&extractor.site_of(&record)));
+    }
+    // Pass 2: events → chunked arena replay.
+    let chunks = TraceReader::new(bytes)
+        .expect("trace header")
+        .into_event_chunks()
+        .expect("events section");
+    replay_arena_chunks(meta, chunks, &predicted, cfg).expect("valid")
+}
+
+/// Times `before` and `after` back to back within every round (order
+/// alternating) and reports median seconds for each plus the median of
+/// the paired per-round speedups `t_before / t_after`. Pairing keeps
+/// shared-machine drift from landing on one side of the comparison.
+fn paired_speedup(
+    rounds: usize,
+    mut before: impl FnMut(),
+    mut after: impl FnMut(),
+) -> (f64, f64, f64) {
+    let time = |f: &mut dyn FnMut()| {
+        let t = Instant::now();
+        f();
+        t.elapsed().as_secs_f64()
+    };
+    let (mut tb, mut ta, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+    for round in 0..rounds {
+        let (b, a) = if round % 2 == 0 {
+            let b = time(&mut before);
+            (b, time(&mut after))
+        } else {
+            let a = time(&mut after);
+            (time(&mut before), a)
+        };
+        tb.push(b);
+        ta.push(a);
+        ratios.push(b / a);
+    }
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    (median(&mut tb), median(&mut ta), median(&mut ratios))
+}
+
+/// Median seconds of `f` over `rounds` runs.
+fn median_time(rounds: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let pairs = if smoke() { PAIRS / 10 } else { PAIRS };
+    let keepers = if smoke() { KEEPERS / 10 } else { KEEPERS };
+    let churn = if smoke() { CHURN / 10 } else { CHURN };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // --- decode: per-event iterator vs chunked SoA ----------------------
+    let trace = workload(pairs);
+    let bytes = TraceWriter::new(Vec::new())
+        .write(&trace)
+        .expect("encode trace");
+    let n_events = trace.events().len() as u64;
+    let decode_iter = || {
+        let mut n = 0u64;
+        for event in TraceReader::new(bytes.as_slice())
+            .expect("trace header")
+            .into_events()
+            .expect("events section")
+        {
+            event.expect("event");
+            n += 1;
+        }
+        assert_eq!(std::hint::black_box(n), n_events);
+    };
+    let decode_chunks = || {
+        let mut chunks = TraceReader::new(bytes.as_slice())
+            .expect("trace header")
+            .into_event_chunks()
+            .expect("events section");
+        let mut chunk = lifepred_trace::EventChunk::new();
+        let mut n = 0u64;
+        while lifepred_trace::ChunkSource::next_chunk(&mut chunks, &mut chunk).expect("chunk") {
+            n += chunk.len() as u64;
+        }
+        assert_eq!(std::hint::black_box(n), n_events);
+    };
+    decode_iter();
+    decode_chunks();
+    let (t_iter, t_chunk, decode_speedup) =
+        paired_speedup(rounds(ROUNDS), decode_iter, decode_chunks);
+
+    // --- firstfit: linear scan vs size-segregated index -----------------
+    let frag = frag_workload(keepers, churn);
+    let ff_events = frag.events().len() as u64;
+    // Equivalence before speed: both heaps must agree on every
+    // observable, or the comparison is meaningless.
+    assert_eq!(
+        replay_linear(&frag),
+        replay_indexed(&frag),
+        "linear and indexed first-fit diverged on the bench workload"
+    );
+    let (t_linear, t_indexed, ff_speedup) = paired_speedup(
+        rounds(FF_ROUNDS),
+        || {
+            std::hint::black_box(replay_linear(&frag));
+        },
+        || {
+            std::hint::black_box(replay_indexed(&frag));
+        },
+    );
+
+    // --- simulate: end-to-end pipeline scaling over --jobs --------------
+    let db = train(
+        &Profile::build(&trace, &SiteConfig::default(), DEFAULT_THRESHOLD),
+        &TrainConfig::default(),
+    );
+    let meta = ReplayMeta::of(&trace);
+    let cfg = ReplayConfig::default();
+    simulate_once(&bytes, &db, &meta, &cfg);
+    let sweep = |jobs: usize| {
+        let images: Vec<&[u8]> = vec![bytes.as_slice(); SIM_TRACES];
+        let reports = lifepred_bench::run_jobs(images, jobs, |_, image| {
+            simulate_once(image, &db, &meta, &cfg)
+        });
+        assert_eq!(reports.len(), SIM_TRACES);
+    };
+    let sim_rounds = rounds(SIM_ROUNDS);
+    let t_jobs1 = median_time(sim_rounds, || sweep(1));
+    let t_jobs2 = median_time(sim_rounds, || sweep(2));
+    let t_jobs4 = median_time(sim_rounds, || sweep(4));
+
+    let json = format!(
+        "{{\n  \
+           \"schema\": \"lifepred-bench-replay-v1\",\n  \
+           \"smoke\": {smoke},\n  \
+           \"cores\": {cores},\n  \
+           \"decode\": {{\n    \
+             \"events\": {n_events},\n    \
+             \"iter_events_per_sec\": {iter_rate:.0},\n    \
+             \"chunk_events_per_sec\": {chunk_rate:.0},\n    \
+             \"speedup\": {decode_speedup:.2}\n  \
+           }},\n  \
+           \"firstfit\": {{\n    \
+             \"events\": {ff_events},\n    \
+             \"linear_events_per_sec\": {linear_rate:.0},\n    \
+             \"indexed_events_per_sec\": {indexed_rate:.0},\n    \
+             \"speedup\": {ff_speedup:.2}\n  \
+           }},\n  \
+           \"simulate\": {{\n    \
+             \"traces\": {SIM_TRACES},\n    \
+             \"events_per_trace\": {n_events},\n    \
+             \"jobs1_secs\": {t_jobs1:.4},\n    \
+             \"jobs2_secs\": {t_jobs2:.4},\n    \
+             \"jobs4_secs\": {t_jobs4:.4},\n    \
+             \"speedup_jobs2\": {s2:.2},\n    \
+             \"speedup_jobs4\": {s4:.2}\n  \
+           }}\n}}\n",
+        smoke = smoke(),
+        iter_rate = n_events as f64 / t_iter,
+        chunk_rate = n_events as f64 / t_chunk,
+        linear_rate = ff_events as f64 / t_linear,
+        indexed_rate = ff_events as f64 / t_indexed,
+        s2 = t_jobs1 / t_jobs2,
+        s4 = t_jobs1 / t_jobs4,
+    );
+    println!(
+        "decode:   {:.0} events/s per-event, {:.0} events/s chunked ({decode_speedup:.2}x)",
+        n_events as f64 / t_iter,
+        n_events as f64 / t_chunk,
+    );
+    println!(
+        "firstfit: {:.0} events/s linear, {:.0} events/s indexed ({ff_speedup:.2}x)",
+        ff_events as f64 / t_linear,
+        ff_events as f64 / t_indexed,
+    );
+    println!(
+        "simulate: {SIM_TRACES} traces in {t_jobs1:.3}s @ jobs=1, {t_jobs2:.3}s @ jobs=2 \
+         ({:.2}x), {t_jobs4:.3}s @ jobs=4 ({:.2}x) on {cores} core(s)",
+        t_jobs1 / t_jobs2,
+        t_jobs1 / t_jobs4,
+    );
+    // A smoke run exercises the harness but is far too short to
+    // measure anything; only full runs update the recorded trajectory.
+    if smoke() {
+        println!("smoke mode: results/BENCH_replay.json left untouched");
+    } else {
+        let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_replay.json");
+        std::fs::write(&out, &json).expect("write results/BENCH_replay.json");
+        println!("wrote {}", out.display());
+    }
+}

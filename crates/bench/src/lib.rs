@@ -10,6 +10,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod driver;
+
+pub use driver::run_jobs;
+
 use lifepred_adaptive::EpochConfig;
 use lifepred_core::{
     evaluate, train, PredictionReport, Profile, ShortLivedSet, SiteConfig, TrainConfig,

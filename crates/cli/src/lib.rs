@@ -27,14 +27,14 @@ use lifepred_core::{
     DEFAULT_THRESHOLD,
 };
 use lifepred_heap::{
-    replay_arena_online_stream, replay_arena_online_stream_observed, replay_arena_stream,
-    replay_arena_stream_observed, replay_bsd_stream, replay_bsd_stream_observed,
-    replay_firstfit_stream, replay_firstfit_stream_observed, ReplayConfig, ReplayEvent, ReplayMeta,
-    ReplayObs, ReplayReport, ReplayStreamError,
+    replay_arena_chunks, replay_arena_chunks_observed, replay_arena_online_chunks,
+    replay_arena_online_chunks_observed, replay_bsd_chunks, replay_bsd_chunks_observed,
+    replay_firstfit_chunks, replay_firstfit_chunks_observed, ReplayConfig, ReplayMeta, ReplayObs,
+    ReplayReport, ReplayStreamError,
 };
 use lifepred_obs::{Registry, Snapshot};
 use lifepred_trace::{shared_registry, Trace};
-use lifepred_tracefile::{load_trace, save_trace, TraceEvent, TraceFileError, TraceReader};
+use lifepred_tracefile::{load_trace, save_trace, TraceFileError, TraceReader};
 use lifepred_workloads::{all_workloads, by_name, record as record_workload};
 use std::fmt::Display;
 use std::io::Write;
@@ -46,11 +46,12 @@ USAGE:
     lifepred record --workload <name> [--input <n>]... -o <file.lpt>
     lifepred inspect <file.lpt> [--functions] [--chains] [--verify]
     lifepred train <file.lpt>... -o <pred.json> [--policy <p>] [--rounding <n>] [--threshold <bytes>]
-    lifepred simulate <file.lpt> --predictor <pred.json|online> [--allocator <a>]
+    lifepred simulate <file.lpt>... --predictor <pred.json|online> [--allocator <a>]
                       [--policy <p>] [--rounding <n>] [--threshold <bytes>]
                       [--epoch <bytes>] [--requalify <k>] [--metrics-out <m.json>]
+                      [--jobs <n>]
     lifepred stats <m.json> [--format <prometheus|json>]
-    lifepred report [--workload <name>]... [--policy <p>]
+    lifepred report [--workload <name>]... [--policy <p>] [--jobs <n>]
 
 OPTIONS:
     --workload <name>     one of: cfrac, espresso, gawk, ghost, perl
@@ -69,7 +70,11 @@ OPTIONS:
     --requalify <k>       online: clean epochs a demoted site must show
                           before re-qualifying (default 3)
     --metrics-out <file>  simulate: dump the run's metric registry
-                          (counters, histograms, epoch timeline) as JSON
+                          (counters, histograms, epoch timeline) as JSON;
+                          with several traces, per-run registries are
+                          merged into one dump
+    --jobs <n>            simulate/report: worker threads for
+                          independent runs (default 1)
     --format <f>          stats: prometheus (default) or json
     --functions           inspect: list the function registry
     --chains              inspect: list the interned call chains
@@ -401,25 +406,146 @@ fn cmd_train(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 // simulate
 // ---------------------------------------------------------------------
 
-/// Adapts the on-disk event stream to the replay layer's shape.
-fn to_replay_event(e: TraceEvent) -> ReplayEvent {
-    match e {
-        TraceEvent::Alloc { record, size, .. } => ReplayEvent::Alloc {
-            record: record as usize,
-            size,
-        },
-        TraceEvent::Free { record, .. } => ReplayEvent::Free {
-            record: record as usize,
-        },
-    }
-}
-
 fn replay_err(path: &str, e: ReplayStreamError<TraceFileError>) -> String {
     file_err(path, e)
 }
 
+/// What `simulate` consults for lifetime predictions — resolved once,
+/// then shared read-only by every parallel job.
+enum SimPredictor {
+    /// Non-predicting allocators (first-fit, bsd).
+    None,
+    /// A database trained offline by `lifepred train`.
+    Db(ShortLivedSet),
+    /// The self-training online learner (one per trace).
+    Online {
+        sites: SiteConfig,
+        epoch: EpochConfig,
+    },
+}
+
+/// Everything one simulation job produces.
+struct SimOutput {
+    report: ReplayReport,
+    learner: Option<LearnerStats>,
+    metrics: Option<Snapshot>,
+}
+
+/// Streams one `.lpt` file through the configured allocator — the unit
+/// of work `lifepred simulate` fans out over `--jobs` threads. Each
+/// job records into its own registry; the caller merges the snapshots.
+fn simulate_one(
+    path: &str,
+    allocator: &str,
+    predictor: &SimPredictor,
+    config: &ReplayConfig,
+    want_metrics: bool,
+) -> Result<SimOutput, String> {
+    let registry = if want_metrics {
+        Some(Registry::new())
+    } else {
+        None
+    };
+    let obs = registry.as_ref().map(ReplayObs::register);
+    let open = || TraceReader::open(path).map_err(|e| file_err(path, e));
+    let meta_of = |reader: &TraceReader<_>| ReplayMeta {
+        program: reader.name().to_owned(),
+        function_calls: reader.stats().function_calls,
+    };
+
+    match predictor {
+        // The online predictor trains itself while the trace replays —
+        // no JSON database involved.
+        SimPredictor::Online {
+            sites: site_config,
+            epoch,
+        } => {
+            // Pass 1: stream the records, fingerprinting each object's
+            // allocation site. Only the (small) chain table is held in
+            // memory, plus one u64 per object.
+            let reader = open()?;
+            let chains = reader.chain_table().clone();
+            let mut extractor = SiteExtractor::from_chains(&chains, *site_config);
+            let mut sites = Vec::new();
+            for record in reader.into_records().map_err(|e| file_err(path, e))? {
+                let record = record.map_err(|e| file_err(path, e))?;
+                sites.push(extractor.site_of(&record).fingerprint());
+            }
+            // Pass 2: stream the event chunks through the allocator,
+            // with the learner predicting and correcting as they go by.
+            let reader = open()?;
+            let meta = meta_of(&reader);
+            let chunks = reader.into_event_chunks().map_err(|e| file_err(path, e))?;
+            let online = match &obs {
+                Some(obs) => {
+                    replay_arena_online_chunks_observed(&meta, chunks, &sites, epoch, config, obs)
+                }
+                None => replay_arena_online_chunks(&meta, chunks, &sites, epoch, config),
+            }
+            .map_err(|e| replay_err(path, e))?;
+            if let Some(registry) = &registry {
+                online.learner.export(registry);
+            }
+            Ok(SimOutput {
+                report: online.replay,
+                learner: Some(online.learner),
+                metrics: registry.map(|r| r.snapshot()),
+            })
+        }
+        SimPredictor::Db(db) => {
+            // Pass 1: stream the records, predicting each object from
+            // its allocation site. Only the (small) chain table is held
+            // in memory, plus one bit per object.
+            let reader = open()?;
+            let chains = reader.chain_table().clone();
+            let mut extractor = SiteExtractor::from_chains(&chains, *db.config());
+            let mut predicted = Vec::new();
+            for record in reader.into_records().map_err(|e| file_err(path, e))? {
+                let record = record.map_err(|e| file_err(path, e))?;
+                predicted.push(db.predicts(&extractor.site_of(&record)));
+            }
+            // Pass 2: stream the event chunks through the allocator.
+            let reader = open()?;
+            let meta = meta_of(&reader);
+            let chunks = reader.into_event_chunks().map_err(|e| file_err(path, e))?;
+            let report = match &obs {
+                Some(obs) => replay_arena_chunks_observed(&meta, chunks, &predicted, config, obs),
+                None => replay_arena_chunks(&meta, chunks, &predicted, config),
+            }
+            .map_err(|e| replay_err(path, e))?;
+            Ok(SimOutput {
+                report,
+                learner: None,
+                metrics: registry.map(|r| r.snapshot()),
+            })
+        }
+        SimPredictor::None => {
+            let reader = open()?;
+            let meta = meta_of(&reader);
+            let chunks = reader.into_event_chunks().map_err(|e| file_err(path, e))?;
+            let report = if allocator == "bsd" {
+                match &obs {
+                    Some(obs) => replay_bsd_chunks_observed(&meta, chunks, config, obs),
+                    None => replay_bsd_chunks(&meta, chunks, config),
+                }
+            } else {
+                match &obs {
+                    Some(obs) => replay_firstfit_chunks_observed(&meta, chunks, config, obs),
+                    None => replay_firstfit_chunks(&meta, chunks, config),
+                }
+            }
+            .map_err(|e| replay_err(path, e))?;
+            Ok(SimOutput {
+                report,
+                learner: None,
+                metrics: registry.map(|r| r.snapshot()),
+            })
+        }
+    }
+}
+
 fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
-    let mut path = None;
+    let mut paths: Vec<String> = Vec::new();
     let mut predictor = None;
     let mut allocator = "arena".to_owned();
     let mut policy = SitePolicy::Complete;
@@ -428,6 +554,7 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let mut epoch_bytes: Option<u64> = None;
     let mut requalify = 3u32;
     let mut metrics_out: Option<String> = None;
+    let mut jobs = 1usize;
     let mut s = Scanner::new(args);
     while let Some(arg) = s.next() {
         match arg {
@@ -445,30 +572,19 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             Arg::Opt("metrics-out", v) => {
                 metrics_out = Some(s.value("metrics-out", v)?.to_owned());
             }
+            Arg::Opt("jobs", v) => jobs = parse_num("jobs", s.value("jobs", v)?)?,
             Arg::Opt(o, _) => return Err(format!("simulate: unknown option --{o}")),
-            Arg::Positional(p) if path.is_none() => path = Some(p.to_owned()),
-            Arg::Positional(p) => return Err(format!("simulate: unexpected argument {p:?}")),
+            Arg::Positional(p) => paths.push(p.to_owned()),
         }
     }
-    let path = path.ok_or("simulate: a trace file is required")?;
+    if paths.is_empty() {
+        return Err("simulate: at least one trace file is required".to_owned());
+    }
     let config = ReplayConfig::default();
-    // With --metrics-out, every replayed event also lands in a metric
-    // registry that is dumped as JSON once the run completes.
-    let registry = metrics_out.as_ref().map(|_| Registry::new());
-    let obs = registry.as_ref().map(ReplayObs::register);
-
-    let open = |path: &str| TraceReader::open(path).map_err(|e| file_err(path, e));
-
-    // The online predictor trains itself while the trace replays — no
-    // JSON database involved.
-    if predictor.as_deref() == Some("online") {
+    let predictor = if predictor.as_deref() == Some("online") {
         if allocator != "arena" {
             return Err("simulate: --predictor online requires the arena allocator".to_owned());
         }
-        let site_config = SiteConfig {
-            policy,
-            size_rounding: rounding,
-        };
         let epoch = EpochConfig {
             threshold,
             epoch_bytes: epoch_bytes.unwrap_or(2 * threshold),
@@ -476,128 +592,67 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             ..EpochConfig::default()
         };
         epoch.validate().map_err(|e| format!("simulate: {e}"))?;
-        // Pass 1: stream the records, fingerprinting each object's
-        // allocation site. Only the (small) chain table is held in
-        // memory, plus one u64 per object.
-        let reader = open(&path)?;
-        let chains = reader.chain_table().clone();
-        let mut extractor = SiteExtractor::from_chains(&chains, site_config);
-        let mut sites = Vec::new();
-        for record in reader.into_records().map_err(|e| file_err(&path, e))? {
-            let record = record.map_err(|e| file_err(&path, e))?;
-            sites.push(extractor.site_of(&record).fingerprint());
+        SimPredictor::Online {
+            sites: SiteConfig {
+                policy,
+                size_rounding: rounding,
+            },
+            epoch,
         }
-        // Pass 2: stream the events through the allocator, with the
-        // learner predicting and correcting as they go by.
-        let reader = open(&path)?;
-        let meta = ReplayMeta {
-            program: reader.name().to_owned(),
-            function_calls: reader.stats().function_calls,
-        };
-        let events = reader
-            .into_events()
-            .map_err(|e| file_err(&path, e))?
-            .map(|e| e.map(to_replay_event));
-        let online = match &obs {
-            Some(obs) => {
-                replay_arena_online_stream_observed(&meta, events, &sites, &epoch, &config, obs)
+    } else {
+        match allocator.as_str() {
+            "arena" => {
+                let pred_path = predictor.ok_or("simulate: --predictor is required for arena")?;
+                let json =
+                    std::fs::read_to_string(&pred_path).map_err(|e| file_err(&pred_path, e))?;
+                SimPredictor::Db(
+                    ShortLivedSet::from_json(&json).map_err(|e| file_err(&pred_path, e))?,
+                )
             }
-            None => replay_arena_online_stream(&meta, events, &sites, &epoch, &config),
-        }
-        .map_err(|e| replay_err(&path, e))?;
-        if let Some(registry) = &registry {
-            online.learner.export(registry);
-        }
-        write_metrics(out, metrics_out.as_deref(), registry.as_ref())?;
-        write_report(out, &online.replay)?;
-        return write_online_stats(out, &online.learner);
-    }
-
-    let report = match allocator.as_str() {
-        "arena" => {
-            let pred_path = predictor.ok_or("simulate: --predictor is required for arena")?;
-            let json = std::fs::read_to_string(&pred_path).map_err(|e| file_err(&pred_path, e))?;
-            let db = ShortLivedSet::from_json(&json).map_err(|e| file_err(&pred_path, e))?;
-            // Pass 1: stream the records, predicting each object from
-            // its allocation site. Only the (small) chain table is held
-            // in memory, plus one bit per object.
-            let reader = open(&path)?;
-            let chains = reader.chain_table().clone();
-            let mut extractor = SiteExtractor::from_chains(&chains, *db.config());
-            let mut predicted = Vec::new();
-            for record in reader.into_records().map_err(|e| file_err(&path, e))? {
-                let record = record.map_err(|e| file_err(&path, e))?;
-                predicted.push(db.predicts(&extractor.site_of(&record)));
+            "first-fit" | "firstfit" | "bsd" => SimPredictor::None,
+            other => {
+                return Err(format!(
+                    "unknown allocator {other:?} (expected arena, first-fit or bsd)"
+                ))
             }
-            // Pass 2: stream the events through the allocator.
-            let reader = open(&path)?;
-            let meta = ReplayMeta {
-                program: reader.name().to_owned(),
-                function_calls: reader.stats().function_calls,
-            };
-            let events = reader
-                .into_events()
-                .map_err(|e| file_err(&path, e))?
-                .map(|e| e.map(to_replay_event));
-            match &obs {
-                Some(obs) => replay_arena_stream_observed(&meta, events, &predicted, &config, obs),
-                None => replay_arena_stream(&meta, events, &predicted, &config),
-            }
-            .map_err(|e| replay_err(&path, e))?
-        }
-        "first-fit" | "firstfit" => {
-            let reader = open(&path)?;
-            let meta = ReplayMeta {
-                program: reader.name().to_owned(),
-                function_calls: reader.stats().function_calls,
-            };
-            let events = reader
-                .into_events()
-                .map_err(|e| file_err(&path, e))?
-                .map(|e| e.map(to_replay_event));
-            match &obs {
-                Some(obs) => replay_firstfit_stream_observed(&meta, events, &config, obs),
-                None => replay_firstfit_stream(&meta, events, &config),
-            }
-            .map_err(|e| replay_err(&path, e))?
-        }
-        "bsd" => {
-            let reader = open(&path)?;
-            let meta = ReplayMeta {
-                program: reader.name().to_owned(),
-                function_calls: reader.stats().function_calls,
-            };
-            let events = reader
-                .into_events()
-                .map_err(|e| file_err(&path, e))?
-                .map(|e| e.map(to_replay_event));
-            match &obs {
-                Some(obs) => replay_bsd_stream_observed(&meta, events, &config, obs),
-                None => replay_bsd_stream(&meta, events, &config),
-            }
-            .map_err(|e| replay_err(&path, e))?
-        }
-        other => {
-            return Err(format!(
-                "unknown allocator {other:?} (expected arena, first-fit or bsd)"
-            ))
         }
     };
-    write_metrics(out, metrics_out.as_deref(), registry.as_ref())?;
-    write_report(out, &report)
+    // Fan the traces over the worker pool; results come back in input
+    // order, so the printed reports match a sequential run exactly.
+    let want_metrics = metrics_out.is_some();
+    let outcomes = lifepred_bench::run_jobs(paths, jobs, |_, path| {
+        simulate_one(&path, &allocator, &predictor, &config, want_metrics)
+    });
+    let mut results = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        results.push(outcome?);
+    }
+    if let Some(path) = metrics_out.as_deref() {
+        let mut merged = Snapshot::default();
+        for r in &results {
+            if let Some(snap) = &r.metrics {
+                merged.merge(snap);
+            }
+        }
+        write_metrics(out, path, &merged)?;
+    }
+    let mut first = true;
+    for r in &results {
+        if !first {
+            write_out(out, "\n")?;
+        }
+        first = false;
+        write_report(out, &r.report)?;
+        if let Some(learner) = &r.learner {
+            write_online_stats(out, learner)?;
+        }
+    }
+    Ok(())
 }
 
-/// Dumps `registry` as JSON to `path` (both are set together) and
-/// notes the dump in the regular output.
-fn write_metrics(
-    out: &mut dyn Write,
-    path: Option<&str>,
-    registry: Option<&Registry>,
-) -> Result<(), String> {
-    let (Some(path), Some(registry)) = (path, registry) else {
-        return Ok(());
-    };
-    let snapshot = registry.snapshot();
+/// Dumps `snapshot` as JSON to `path` and notes the dump in the
+/// regular output.
+fn write_metrics(out: &mut dyn Write, path: &str, snapshot: &Snapshot) -> Result<(), String> {
     std::fs::write(path, snapshot.to_json()).map_err(|e| file_err(path, e))?;
     write_out(
         out,
@@ -695,14 +750,72 @@ fn write_online_stats(out: &mut dyn Write, l: &LearnerStats) -> Result<(), Strin
 // report
 // ---------------------------------------------------------------------
 
+/// Builds one row of the `report` table — the per-workload unit of
+/// work `lifepred report` fans out over `--jobs` threads.
+fn report_row(name: &str, config: &SiteConfig) -> Result<Vec<String>, String> {
+    let w = by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let registry = shared_registry();
+    let n = w.inputs().len();
+    let train_trace = record_workload(w.as_ref(), 0, registry.clone());
+    let test_trace = record_workload(w.as_ref(), n - 1, registry);
+    let entry = lifepred_bench::SuiteEntry {
+        name: name.to_owned(),
+        description: String::new(),
+        train: train_trace,
+        test: test_trace,
+    };
+    let a = lifepred_bench::analyze(&entry, config);
+    // Offline columns answer "train on one input, test on another";
+    // the online columns answer "start blind on the test input and
+    // learn while it runs".
+    let online = lifepred_bench::analyze_online(&entry, config, &EpochConfig::default());
+    // The online columns go through the metric registry: the
+    // learner's counters are exported as `lifepred_learner_*`
+    // gauges and read back from the snapshot, so the table renders
+    // exactly what `simulate --metrics-out` would persist.
+    let registry = Registry::new();
+    online.learner.export(&registry);
+    let snap = registry.snapshot();
+    let gauge = |name: &str| snap.gauge(name).unwrap_or(0);
+    let ratio_pct = |num: u64, den: u64| {
+        if den == 0 {
+            0.0
+        } else {
+            100.0 * num as f64 / den as f64
+        }
+    };
+    let total_bytes = gauge("lifepred_learner_total_bytes");
+    Ok(vec![
+        name.to_owned(),
+        a.self_report.total_sites.to_string(),
+        a.true_report.sites_used.to_string(),
+        format!("{:.1}", a.self_report.actual_short_bytes_pct),
+        format!("{:.1}", a.self_report.predicted_short_bytes_pct),
+        format!("{:.2}", a.self_report.error_bytes_pct),
+        format!("{:.1}", a.true_report.predicted_short_bytes_pct),
+        format!("{:.2}", a.true_report.error_bytes_pct),
+        format!(
+            "{:.1}",
+            ratio_pct(gauge("lifepred_learner_predicted_bytes"), total_bytes)
+        ),
+        format!(
+            "{:.2}",
+            ratio_pct(gauge("lifepred_learner_error_bytes"), total_bytes)
+        ),
+        gauge("lifepred_learner_epochs").to_string(),
+    ])
+}
+
 fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let mut names: Vec<String> = Vec::new();
     let mut policy = SitePolicy::Complete;
+    let mut jobs = 1usize;
     let mut s = Scanner::new(args);
     while let Some(arg) = s.next() {
         match arg {
             Arg::Opt("workload", v) => names.push(s.value("workload", v)?.to_owned()),
             Arg::Opt("policy", v) => policy = parse_policy(s.value("policy", v)?)?,
+            Arg::Opt("jobs", v) => jobs = parse_num("jobs", s.value("jobs", v)?)?,
             Arg::Opt(o, _) => return Err(format!("report: unknown option --{o}")),
             Arg::Positional(p) => return Err(format!("report: unexpected argument {p:?}")),
         }
@@ -721,59 +834,12 @@ fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         "program", "sites", "used", "actual%", "self%", "selferr%", "true%", "trueerr%", "online%",
         "onerr%", "epochs",
     ];
-    let mut rows = Vec::new();
-    for name in &names {
-        let w = by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
-        let registry = shared_registry();
-        let n = w.inputs().len();
-        let train_trace = record_workload(w.as_ref(), 0, registry.clone());
-        let test_trace = record_workload(w.as_ref(), n - 1, registry);
-        let entry = lifepred_bench::SuiteEntry {
-            name: name.clone(),
-            description: String::new(),
-            train: train_trace,
-            test: test_trace,
-        };
-        let a = lifepred_bench::analyze(&entry, &config);
-        // Offline columns answer "train on one input, test on another";
-        // the online columns answer "start blind on the test input and
-        // learn while it runs".
-        let online = lifepred_bench::analyze_online(&entry, &config, &EpochConfig::default());
-        // The online columns go through the metric registry: the
-        // learner's counters are exported as `lifepred_learner_*`
-        // gauges and read back from the snapshot, so the table renders
-        // exactly what `simulate --metrics-out` would persist.
-        let registry = Registry::new();
-        online.learner.export(&registry);
-        let snap = registry.snapshot();
-        let gauge = |name: &str| snap.gauge(name).unwrap_or(0);
-        let ratio_pct = |num: u64, den: u64| {
-            if den == 0 {
-                0.0
-            } else {
-                100.0 * num as f64 / den as f64
-            }
-        };
-        let total_bytes = gauge("lifepred_learner_total_bytes");
-        rows.push(vec![
-            name.clone(),
-            a.self_report.total_sites.to_string(),
-            a.true_report.sites_used.to_string(),
-            format!("{:.1}", a.self_report.actual_short_bytes_pct),
-            format!("{:.1}", a.self_report.predicted_short_bytes_pct),
-            format!("{:.2}", a.self_report.error_bytes_pct),
-            format!("{:.1}", a.true_report.predicted_short_bytes_pct),
-            format!("{:.2}", a.true_report.error_bytes_pct),
-            format!(
-                "{:.1}",
-                ratio_pct(gauge("lifepred_learner_predicted_bytes"), total_bytes)
-            ),
-            format!(
-                "{:.2}",
-                ratio_pct(gauge("lifepred_learner_error_bytes"), total_bytes)
-            ),
-            gauge("lifepred_learner_epochs").to_string(),
-        ]);
+    // Row order follows the workload list regardless of which worker
+    // finishes first, so the table is reproducible at any --jobs.
+    let outcomes = lifepred_bench::run_jobs(names, jobs, |_, name| report_row(&name, &config));
+    let mut rows = Vec::with_capacity(outcomes.len());
+    for outcome in outcomes {
+        rows.push(outcome?);
     }
     write_table(
         out,

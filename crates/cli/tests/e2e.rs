@@ -120,6 +120,79 @@ fn streamed_simulation_matches_in_memory_replay() {
 }
 
 #[test]
+fn parallel_simulate_matches_sequential_and_merges_metrics() {
+    let dir = Scratch::new("parallel");
+    let t0 = dir.path("espresso0.lpt");
+    let t1 = dir.path("espresso1.lpt");
+    run(&[
+        "record",
+        "--workload",
+        "espresso",
+        "--input",
+        "0",
+        "--input",
+        "1",
+        "-o",
+        &dir.path("espresso{}.lpt"),
+    ])
+    .expect("record both inputs");
+
+    // Two traces through the first-fit model, sequentially and with a
+    // worker pool: the printed reports must be byte-identical, in input
+    // order either way.
+    let seq = run(&["simulate", &t0, &t1, "--allocator", "first-fit"]).expect("sequential");
+    let par = run(&[
+        "simulate",
+        &t0,
+        &t1,
+        "--allocator",
+        "first-fit",
+        "--jobs",
+        "4",
+    ])
+    .expect("parallel");
+    assert_eq!(seq, par, "job count must not change the output");
+    assert_eq!(
+        seq.matches("allocator:      first-fit").count(),
+        2,
+        "one report per trace: {seq}"
+    );
+
+    // Metrics from parallel jobs are merged into one dump whose totals
+    // cover both traces.
+    let metrics = dir.path("m.json");
+    run(&[
+        "simulate",
+        &t0,
+        &t1,
+        "--allocator",
+        "first-fit",
+        "--jobs",
+        "2",
+        "--metrics-out",
+        &metrics,
+    ])
+    .expect("parallel with metrics");
+    let snap = lifepred_obs::Snapshot::from_json(
+        &std::fs::read_to_string(&metrics).expect("metrics written"),
+    )
+    .expect("metrics parse");
+    let a = load_trace(&t0).expect("t0").stats().total_objects;
+    let b = load_trace(&t1).expect("t1").stats().total_objects;
+    assert_eq!(
+        snap.counter("lifepred_sim_allocs_total"),
+        Some(a + b),
+        "merged dump covers both traces"
+    );
+    assert!(
+        snap.counter("lifepred_sim_batch_refills_total")
+            .unwrap_or(0)
+            >= 2,
+        "each trace consumed at least one event batch"
+    );
+}
+
+#[test]
 fn online_simulation_needs_no_predictor_file() {
     let dir = Scratch::new("online");
     let trace = dir.path("cfrac.lpt");

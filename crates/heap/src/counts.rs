@@ -9,6 +9,10 @@ pub struct OpCounts {
     pub allocs: u64,
     /// Deallocation requests served.
     pub frees: u64,
+    /// Deallocation requests ignored because the address was not a
+    /// live allocation (never allocated, already free, or mid-block) —
+    /// a corrupted trace cannot poison the heap structures.
+    pub frees_invalid: u64,
     /// Free-list blocks examined during first-fit searches.
     pub search_steps: u64,
     /// Block splits performed.
@@ -42,6 +46,7 @@ impl OpCounts {
         OpCounts {
             allocs: self.allocs + other.allocs,
             frees: self.frees + other.frees,
+            frees_invalid: self.frees_invalid + other.frees_invalid,
             search_steps: self.search_steps + other.search_steps,
             splits: self.splits + other.splits,
             coalesces: self.coalesces + other.coalesces,

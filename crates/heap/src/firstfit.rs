@@ -1,22 +1,31 @@
 //! Knuth's first-fit allocator with boundary tags and a roving pointer.
+//!
+//! Since PR 5 the allocation path is answered by a size-segregated
+//! free-block index ([`FreeIndex`]) in O(log n) instead of the paper's
+//! linear scan, while every observable — placements, heap growth and
+//! the [`OpCounts`] the Table 9 cost model consumes — stays
+//! byte-identical to the linear implementation (retained as
+//! [`reference::LinearFirstFit`](crate::reference::LinearFirstFit) and
+//! proven equivalent by `tests/differential.rs`).
 
 use crate::counts::OpCounts;
+use crate::index::{FreeIndex, IndexStats};
 use crate::Addr;
 use std::collections::BTreeMap;
 
 /// Per-object header bytes (size + status word, boundary tag style).
 pub const HEADER: u64 = 8;
 /// Allocation alignment.
-const ALIGN: u64 = 8;
+pub(crate) const ALIGN: u64 = 8;
 /// Smallest splittable remainder (header plus one aligned word).
-const MIN_SPLIT: u64 = 16;
+pub(crate) const MIN_SPLIT: u64 = 16;
 /// Heap growth quantum — an early-90s `sbrk` page multiple.
 pub const PAGE: u64 = 8192;
 
 #[derive(Debug, Clone, Copy)]
-struct Block {
-    size: u64,
-    free: bool,
+pub(crate) struct Block {
+    pub(crate) size: u64,
+    pub(crate) free: bool,
 }
 
 /// A simulated first-fit heap (Knuth, TAOCP vol. 1 §2.5), the paper's
@@ -27,6 +36,19 @@ struct Block {
 /// time, and a *roving pointer* resumes each search where the previous
 /// one ended so small blocks don't accumulate at the front of the free
 /// list. The heap grows in `PAGE`-byte (8 KB) increments.
+///
+/// The search itself runs on a log2 size-class index with an
+/// address-order-statistic set (`src/index.rs`): placements and
+/// all [`OpCounts`] — including `search_steps`, the number of free
+/// blocks the paper's *linear* scan would have examined — are
+/// identical to the linear implementation, only the wall-clock cost
+/// per allocation drops from O(free blocks) to O(log n).
+///
+/// Freeing an address that is not a live allocation of this heap
+/// (never allocated, already freed, or pointing into the middle of a
+/// block) is a **documented no-op** counted in
+/// [`OpCounts::frees_invalid`], so a corrupted trace cannot poison the
+/// index or the boundary tags.
 ///
 /// # Examples
 ///
@@ -46,6 +68,8 @@ pub struct FirstFit {
     /// Every block (allocated and free), keyed by start address; the
     /// blocks exactly tile `[base, brk)`.
     blocks: BTreeMap<u64, Block>,
+    /// Size-segregated index over the free blocks only.
+    index: FreeIndex,
     base: u64,
     brk: u64,
     max_brk: u64,
@@ -70,6 +94,7 @@ impl FirstFit {
     pub fn with_base(base: u64) -> Self {
         FirstFit {
             blocks: BTreeMap::new(),
+            index: FreeIndex::new(),
             base,
             brk: base,
             max_brk: base,
@@ -94,22 +119,26 @@ impl FirstFit {
     /// Frees the block at `addr` (a value previously returned by
     /// [`FirstFit::alloc`]), coalescing with free neighbours.
     ///
-    /// # Panics
-    ///
-    /// Panics if `addr` is not a live allocation of this heap.
+    /// An `addr` that is not a live allocation of this heap — never
+    /// allocated, already freed, or not a block boundary — is ignored
+    /// and counted in [`OpCounts::frees_invalid`], so replaying a
+    /// corrupted trace cannot corrupt the heap structures.
     pub fn free(&mut self, addr: Addr) {
-        self.counts.frees += 1;
-        let start = addr.0 - HEADER;
-        {
-            let block = self
-                .blocks
-                .get_mut(&start)
-                .expect("free of unknown address");
-            assert!(!block.free, "double free at {addr}");
-            block.free = true;
+        let Some(start) = addr.0.checked_sub(HEADER) else {
+            self.counts.frees_invalid += 1;
+            return;
+        };
+        match self.blocks.get_mut(&start) {
+            Some(block) if !block.free => block.free = true,
+            _ => {
+                self.counts.frees_invalid += 1;
+                return;
+            }
         }
+        self.counts.frees += 1;
         let mut start = start;
         let mut size = self.blocks[&start].size;
+        self.index.insert(start, size);
 
         // Coalesce with the next block.
         let next = start + size;
@@ -119,6 +148,8 @@ impl FirstFit {
         }) = self.blocks.get(&next)
         {
             self.blocks.remove(&next);
+            self.index.remove(next, nsize);
+            self.index.resize(start, size, size + nsize);
             size += nsize;
             self.blocks.get_mut(&start).expect("block exists").size = size;
             self.counts.coalesces += 1;
@@ -137,6 +168,8 @@ impl FirstFit {
         {
             if paddr + psize == start {
                 self.blocks.remove(&start);
+                self.index.remove(start, size);
+                self.index.resize(paddr, psize, psize + size);
                 self.blocks.get_mut(&paddr).expect("block exists").size = psize + size;
                 self.counts.coalesces += 1;
                 if self.rover == start {
@@ -163,6 +196,12 @@ impl FirstFit {
         &self.counts
     }
 
+    /// Work counters of the free-block index (no linear-scan
+    /// counterpart; exported as `lifepred_sim_*` metrics).
+    pub fn index_stats(&self) -> IndexStats {
+        self.index.stats()
+    }
+
     /// Number of currently allocated blocks.
     pub fn live_blocks(&self) -> usize {
         self.blocks.values().filter(|b| !b.free).count()
@@ -177,37 +216,50 @@ impl FirstFit {
             .sum()
     }
 
-    fn block_size(size: u32) -> u64 {
+    pub(crate) fn block_size(size: u32) -> u64 {
         let need = u64::from(size) + HEADER;
         let rounded = need.div_ceil(ALIGN) * ALIGN;
         rounded.max(MIN_SPLIT)
     }
 
-    /// First-fit search from the roving pointer, wrapping once.
+    /// First-fit search from the roving pointer, wrapping once — the
+    /// indexed answer to the paper's linear scan.
+    ///
+    /// `search_steps` is charged with the number of free blocks the
+    /// linear scan *would have examined*: every free block from the
+    /// rover up to and including the found block (wrapping through the
+    /// heap top), or every free block when nothing fits. Both figures
+    /// fall out of order statistics over the free-block addresses, so
+    /// the Table 9 instruction model sees exactly the seed's numbers.
     fn search(&mut self, need: u64) -> Option<u64> {
         let rover = self.rover;
-        let mut found = None;
-        for (&addr, block) in self.blocks.range(rover..) {
-            if block.free {
-                self.counts.search_steps += 1;
-                if block.size >= need {
-                    found = Some(addr);
-                    break;
-                }
+        let (found, wrapped) = match self.index.find_at_or_after(rover, need) {
+            Some(hit) => (Some(hit), false),
+            // Nothing at or above the rover fits; wrap to the base.
+            // (A fitting block above the rover cannot exist, so the
+            // unbounded second probe finds only below-rover blocks.)
+            None => (self.index.find_at_or_after(self.base, need), true),
+        };
+        match found {
+            Some((addr, _size)) => {
+                let examined = if wrapped {
+                    // All free blocks at/above the rover failed, then
+                    // the linear scan re-starts at the base.
+                    (self.index.len() - self.index.rank(rover)) + self.index.rank(addr) + 1
+                } else {
+                    // Free blocks in [rover, addr].
+                    self.index.rank(addr) + 1 - self.index.rank(rover)
+                };
+                self.counts.search_steps += examined as u64;
+                Some(addr)
+            }
+            None => {
+                // The linear scan examines every free block once
+                // before giving up and growing the heap.
+                self.counts.search_steps += self.index.len() as u64;
+                None
             }
         }
-        if found.is_none() {
-            for (&addr, block) in self.blocks.range(..rover) {
-                if block.free {
-                    self.counts.search_steps += 1;
-                    if block.size >= need {
-                        found = Some(addr);
-                        break;
-                    }
-                }
-            }
-        }
-        found
     }
 
     /// Allocates `need` bytes from the free block at `addr`, splitting
@@ -215,6 +267,7 @@ impl FirstFit {
     fn place(&mut self, addr: u64, need: u64) -> Addr {
         let block = self.blocks[&addr];
         debug_assert!(block.free && block.size >= need);
+        self.index.remove(addr, block.size);
         if block.size - need >= MIN_SPLIT {
             self.blocks.insert(
                 addr + need,
@@ -223,6 +276,7 @@ impl FirstFit {
                     free: true,
                 },
             );
+            self.index.insert(addr + need, block.size - need);
             self.blocks.insert(
                 addr,
                 Block {
@@ -265,6 +319,11 @@ impl FirstFit {
                 free: true,
             },
         );
+        if existing > 0 {
+            self.index.resize(start, existing, existing + grow);
+        } else {
+            self.index.insert(start, grow);
+        }
         start
     }
 
@@ -272,8 +331,9 @@ impl FirstFit {
     ///
     /// # Panics
     ///
-    /// Panics if blocks do not exactly tile `[base, brk)` or two free
-    /// blocks are adjacent.
+    /// Panics if blocks do not exactly tile `[base, brk)`, two free
+    /// blocks are adjacent, or the free-block index disagrees with the
+    /// boundary-tag map.
     pub fn check_invariants(&self) {
         let mut expected = self.base;
         let mut prev_free = false;
@@ -289,6 +349,12 @@ impl FirstFit {
         }
         assert_eq!(expected, self.brk, "blocks do not reach brk");
         assert!(self.max_brk >= self.brk);
+        self.index.check_consistency(
+            self.blocks
+                .iter()
+                .filter(|(_, b)| b.free)
+                .map(|(&a, b)| (a, b.size)),
+        );
     }
 }
 
@@ -357,12 +423,35 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    fn double_free_is_a_counted_noop() {
         let mut h = FirstFit::new();
         let a = h.alloc(8);
         h.free(a);
+        let snapshot = *h.counts();
+        h.free(a); // second free: ignored, counted
+        assert_eq!(h.counts().frees, snapshot.frees);
+        assert_eq!(h.counts().frees_invalid, snapshot.frees_invalid + 1);
+        h.check_invariants();
+    }
+
+    #[test]
+    fn invalid_frees_are_counted_noops() {
+        let mut h = FirstFit::new();
+        let a = h.alloc(64);
+        // Never-allocated address way above the heap.
+        h.free(Addr(1 << 30));
+        // Mid-block address (not a block boundary).
+        h.free(Addr(a.0 + 8));
+        // Address below the header offset (would underflow).
+        h.free(Addr(HEADER - 1));
+        assert_eq!(h.counts().frees_invalid, 3);
+        assert_eq!(h.counts().frees, 0);
+        h.check_invariants();
+        // The heap still works and the live block is intact.
         h.free(a);
+        assert_eq!(h.counts().frees, 1);
+        assert_eq!(h.live_blocks(), 0);
+        h.check_invariants();
     }
 
     #[test]
@@ -372,6 +461,17 @@ mod tests {
             let a = h.alloc(size);
             assert_eq!(a.0 % ALIGN, 0, "unaligned address for size {size}");
         }
+    }
+
+    #[test]
+    fn index_counters_advance() {
+        let mut h = FirstFit::new();
+        let a = h.alloc(100);
+        h.free(a);
+        let _ = h.alloc(100); // served from the index
+        let stats = h.index_stats();
+        assert!(stats.bin_hits >= 1, "{stats:?}");
+        assert!(stats.bitmap_scans >= 1, "{stats:?}");
     }
 
     #[test]

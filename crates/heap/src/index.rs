@@ -1,0 +1,499 @@
+//! Size-segregated free-block index for the first-fit heap.
+//!
+//! The paper's first-fit allocator answers every allocation with a
+//! linear roving-pointer scan over the free list — O(free blocks) per
+//! request. [`FreeIndex`] answers the same query ("first free block at
+//! address ≥ the rover with size ≥ n, wrapping once") in O(log n):
+//!
+//! * **log2 size-class bins** — free blocks are binned by
+//!   ⌊log2(size)⌋ into 64 address-ordered maps, so a request only
+//!   inspects bins that *can* hold a fitting block;
+//! * **bin-occupancy bitmap** — one `u64` whose bit *b* says bin *b*
+//!   is non-empty, so empty bins cost one mask instruction, not a
+//!   probe;
+//! * **address order statistics** — an [`OrderSet`] (a deterministic
+//!   treap keyed by block address) over all free blocks, so the number
+//!   of free blocks the *linear* scan would have examined between the
+//!   rover and the found block is recoverable from two rank queries.
+//!   That keeps `OpCounts::search_steps` — the input to the Table 9
+//!   instruction-cost model — byte-identical to the paper's scan (see
+//!   `FirstFit::search` and DESIGN.md §11).
+//!
+//! The index is an *auxiliary* structure: the boundary-tag block map in
+//! `firstfit.rs` remains the source of truth, and
+//! `FirstFit::check_invariants` cross-checks the two on every test run.
+
+use std::collections::BTreeMap;
+
+/// Number of log2 size classes (block sizes fit in a `u64`).
+const BIN_COUNT: usize = 64;
+
+/// Sentinel child index of the treap.
+const NIL: u32 = u32::MAX;
+
+/// Counters of the index's own work, exported as `lifepred_sim_*`
+/// metrics by observed replays (they have no counterpart in the
+/// paper's linear scan and therefore live outside
+/// [`OpCounts`](crate::OpCounts)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Searches satisfied from the size-class bins (every successful
+    /// first-fit placement that did not require growing the heap).
+    pub bin_hits: u64,
+    /// Candidate size-class bins probed via the occupancy bitmap.
+    pub bitmap_scans: u64,
+}
+
+impl IndexStats {
+    /// Sums two stat sets (mirrors `OpCounts::merged`).
+    pub fn merged(&self, other: &IndexStats) -> IndexStats {
+        IndexStats {
+            bin_hits: self.bin_hits + other.bin_hits,
+            bitmap_scans: self.bitmap_scans + other.bitmap_scans,
+        }
+    }
+}
+
+/// The size class of a block: ⌊log2(size)⌋.
+#[inline]
+fn bin_of(size: u64) -> usize {
+    debug_assert!(size > 0, "free blocks are never empty");
+    (63 - size.leading_zeros()) as usize
+}
+
+/// An order-statistic set of `u64` keys: a treap whose priorities are
+/// a hash of the key, so its shape is deterministic for a given key
+/// set (replays stay reproducible) while remaining balanced in
+/// expectation for non-adversarial inputs.
+#[derive(Debug, Clone, Default)]
+struct OrderSet {
+    nodes: Vec<Node>,
+    /// Recycled node slots.
+    spare: Vec<u32>,
+    root: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    prio: u64,
+    left: u32,
+    right: u32,
+    /// Subtree size, for rank queries.
+    count: u32,
+}
+
+/// SplitMix64: the key-to-priority hash. Any fixed bijective mixer
+/// works; this one is well distributed and dependency-free.
+#[inline]
+fn priority_of(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl OrderSet {
+    fn new() -> OrderSet {
+        OrderSet {
+            nodes: Vec::new(),
+            spare: Vec::new(),
+            root: NIL,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.count(self.root) as usize
+    }
+
+    #[inline]
+    fn count(&self, t: u32) -> u32 {
+        if t == NIL {
+            0
+        } else {
+            self.nodes[t as usize].count
+        }
+    }
+
+    #[inline]
+    fn pull(&mut self, t: u32) {
+        let (l, r) = {
+            let n = &self.nodes[t as usize];
+            (n.left, n.right)
+        };
+        self.nodes[t as usize].count = 1 + self.count(l) + self.count(r);
+    }
+
+    /// Splits `t` into `(keys < key, keys >= key)`.
+    fn split(&mut self, t: u32, key: u64) -> (u32, u32) {
+        if t == NIL {
+            return (NIL, NIL);
+        }
+        if self.nodes[t as usize].key < key {
+            let right = self.nodes[t as usize].right;
+            let (l, r) = self.split(right, key);
+            self.nodes[t as usize].right = l;
+            self.pull(t);
+            (t, r)
+        } else {
+            let left = self.nodes[t as usize].left;
+            let (l, r) = self.split(left, key);
+            self.nodes[t as usize].left = r;
+            self.pull(t);
+            (l, t)
+        }
+    }
+
+    /// Merges `l` and `r`; every key of `l` is below every key of `r`.
+    fn merge(&mut self, l: u32, r: u32) -> u32 {
+        if l == NIL {
+            return r;
+        }
+        if r == NIL {
+            return l;
+        }
+        if self.nodes[l as usize].prio >= self.nodes[r as usize].prio {
+            let lr = self.nodes[l as usize].right;
+            let m = self.merge(lr, r);
+            self.nodes[l as usize].right = m;
+            self.pull(l);
+            l
+        } else {
+            let rl = self.nodes[r as usize].left;
+            let m = self.merge(l, rl);
+            self.nodes[r as usize].left = m;
+            self.pull(r);
+            r
+        }
+    }
+
+    fn alloc_node(&mut self, key: u64) -> u32 {
+        let node = Node {
+            key,
+            prio: priority_of(key),
+            left: NIL,
+            right: NIL,
+            count: 1,
+        };
+        match self.spare.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                assert!(self.nodes.len() < NIL as usize, "order set full");
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Inserts `key`; the caller guarantees it is absent (block start
+    /// addresses are unique by construction).
+    fn insert(&mut self, key: u64) {
+        let (l, r) = self.split(self.root, key);
+        debug_assert!(
+            r == NIL || self.min_key(r) != key,
+            "duplicate free address 0x{key:x}"
+        );
+        let n = self.alloc_node(key);
+        let lm = self.merge(l, n);
+        self.root = self.merge(lm, r);
+    }
+
+    /// Removes `key`; the caller guarantees it is present.
+    fn remove(&mut self, key: u64) {
+        let (l, rest) = self.split(self.root, key);
+        // `key + 1` cannot overflow: keys are block addresses far below
+        // u64::MAX (the arena base caps the simulated space at 2^40).
+        let (mid, r) = self.split(rest, key + 1);
+        debug_assert!(mid != NIL && self.nodes[mid as usize].count == 1);
+        if mid != NIL {
+            self.spare.push(mid);
+        }
+        self.root = self.merge(l, r);
+    }
+
+    /// Number of keys strictly below `key`.
+    fn rank(&self, key: u64) -> usize {
+        let mut t = self.root;
+        let mut below = 0usize;
+        while t != NIL {
+            let n = &self.nodes[t as usize];
+            if key <= n.key {
+                t = n.left;
+            } else {
+                below += self.count(n.left) as usize + 1;
+                t = n.right;
+            }
+        }
+        below
+    }
+
+    /// Smallest key in subtree `t` (debug-assertion support; the call
+    /// site is a `debug_assert!`, which still type-checks in release).
+    fn min_key(&self, mut t: u32) -> u64 {
+        loop {
+            let n = &self.nodes[t as usize];
+            if n.left == NIL {
+                return n.key;
+            }
+            t = n.left;
+        }
+    }
+}
+
+/// The size-segregated, address-ordered free-block index.
+#[derive(Debug, Clone)]
+pub(crate) struct FreeIndex {
+    /// Per size class: free blocks as address → size.
+    bins: Vec<BTreeMap<u64, u64>>,
+    /// Bit *b* set ⇔ `bins[b]` is non-empty.
+    occupancy: u64,
+    /// Address order statistics over all free blocks.
+    order: OrderSet,
+    stats: IndexStats,
+}
+
+impl FreeIndex {
+    pub(crate) fn new() -> FreeIndex {
+        FreeIndex {
+            bins: vec![BTreeMap::new(); BIN_COUNT],
+            occupancy: 0,
+            order: OrderSet::new(),
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// Total free blocks tracked.
+    pub(crate) fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Work counters (bin hits, bitmap scans).
+    pub(crate) fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// Number of free blocks at addresses strictly below `addr`.
+    pub(crate) fn rank(&self, addr: u64) -> usize {
+        self.order.rank(addr)
+    }
+
+    /// Registers the free block `[addr, addr + size)`.
+    pub(crate) fn insert(&mut self, addr: u64, size: u64) {
+        let b = bin_of(size);
+        let prev = self.bins[b].insert(addr, size);
+        debug_assert!(prev.is_none(), "re-inserted free block 0x{addr:x}");
+        self.occupancy |= 1 << b;
+        self.order.insert(addr);
+    }
+
+    /// Forgets the free block at `addr` (its current size is `size`).
+    pub(crate) fn remove(&mut self, addr: u64, size: u64) {
+        let b = bin_of(size);
+        let had = self.bins[b].remove(&addr);
+        debug_assert_eq!(had, Some(size), "index out of sync at 0x{addr:x}");
+        if self.bins[b].is_empty() {
+            self.occupancy &= !(1 << b);
+        }
+        self.order.remove(addr);
+    }
+
+    /// Re-sizes the free block at `addr` in place (coalescing and heap
+    /// growth change sizes without moving the block start).
+    pub(crate) fn resize(&mut self, addr: u64, old_size: u64, new_size: u64) {
+        let ob = bin_of(old_size);
+        let nb = bin_of(new_size);
+        if ob == nb {
+            let slot = self.bins[ob].get_mut(&addr).expect("index out of sync");
+            debug_assert_eq!(*slot, old_size);
+            *slot = new_size;
+            return;
+        }
+        let had = self.bins[ob].remove(&addr);
+        debug_assert_eq!(had, Some(old_size), "index out of sync at 0x{addr:x}");
+        if self.bins[ob].is_empty() {
+            self.occupancy &= !(1 << ob);
+        }
+        self.bins[nb].insert(addr, new_size);
+        self.occupancy |= 1 << nb;
+    }
+
+    /// First (lowest-address) free block at address ≥ `from` with size
+    /// ≥ `need`, or `None`. Cost: one bin probe per occupied class ≥
+    /// ⌊log2(need)⌋, each O(log n), plus a short bounded walk inside
+    /// `need`'s own class (whose entries are within a factor 2 of
+    /// `need`, so roughly half fit on average).
+    pub(crate) fn find_at_or_after(&mut self, from: u64, need: u64) -> Option<(u64, u64)> {
+        let nb = bin_of(need);
+        let mut best: Option<(u64, u64)> = None;
+        // Every block in a class above `need`'s fits; take each class's
+        // first block at/after `from` and keep the lowest address.
+        let mut mask = self.occupancy & (u64::MAX << nb) & !(1 << nb);
+        while mask != 0 {
+            let b = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.stats.bitmap_scans += 1;
+            if let Some((&addr, &size)) = self.bins[b].range(from..).next() {
+                if best.is_none_or(|(ba, _)| addr < ba) {
+                    best = Some((addr, size));
+                }
+            }
+        }
+        // `need`'s own class holds blocks both above and below `need`;
+        // walk it in address order, stopping at the candidate from the
+        // larger classes (beyond it, a fit can no longer win).
+        if self.occupancy & (1 << nb) != 0 {
+            self.stats.bitmap_scans += 1;
+            for (&addr, &size) in self.bins[nb].range(from..) {
+                if best.is_some_and(|(ba, _)| addr >= ba) {
+                    break;
+                }
+                if size >= need {
+                    best = Some((addr, size));
+                    break;
+                }
+            }
+        }
+        if best.is_some() {
+            self.stats.bin_hits += 1;
+        }
+        best
+    }
+
+    /// Panics unless the index exactly mirrors `free_blocks` (the
+    /// boundary-tag map's free entries); used by
+    /// `FirstFit::check_invariants`.
+    pub(crate) fn check_consistency(&self, free_blocks: impl Iterator<Item = (u64, u64)>) {
+        let mut expected = 0usize;
+        for (addr, size) in free_blocks {
+            expected += 1;
+            let b = bin_of(size);
+            assert_eq!(
+                self.bins[b].get(&addr),
+                Some(&size),
+                "free block 0x{addr:x} (size {size}) missing from bin {b}"
+            );
+            assert_eq!(
+                self.order.rank(addr + 1) - self.order.rank(addr),
+                1,
+                "free block 0x{addr:x} missing from the order set"
+            );
+        }
+        let indexed: usize = self.bins.iter().map(BTreeMap::len).sum();
+        assert_eq!(indexed, expected, "index holds stale blocks");
+        assert_eq!(self.order.len(), expected, "order set holds stale blocks");
+        for (b, bin) in self.bins.iter().enumerate() {
+            assert_eq!(
+                self.occupancy & (1 << b) != 0,
+                !bin.is_empty(),
+                "occupancy bit {b} out of sync"
+            );
+            for (&addr, &size) in bin {
+                assert_eq!(bin_of(size), b, "block 0x{addr:x} in wrong bin");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_of_is_floor_log2() {
+        assert_eq!(bin_of(1), 0);
+        assert_eq!(bin_of(16), 4);
+        assert_eq!(bin_of(31), 4);
+        assert_eq!(bin_of(32), 5);
+        assert_eq!(bin_of(u64::MAX), 63);
+    }
+
+    #[test]
+    fn order_set_ranks_match_sorted_position() {
+        let mut s = OrderSet::new();
+        let keys = [40u64, 8, 96, 16, 72, 64, 24];
+        for &k in &keys {
+            s.insert(k);
+        }
+        let mut sorted = keys.to_vec();
+        sorted.sort_unstable();
+        for (i, &k) in sorted.iter().enumerate() {
+            assert_eq!(s.rank(k), i, "rank of {k}");
+            assert_eq!(s.rank(k + 1), i + 1, "rank past {k}");
+        }
+        assert_eq!(s.len(), keys.len());
+        s.remove(64);
+        assert_eq!(s.rank(96), 5);
+        assert_eq!(s.len(), keys.len() - 1);
+    }
+
+    #[test]
+    fn order_set_recycles_slots() {
+        let mut s = OrderSet::new();
+        for k in 0..100u64 {
+            s.insert(k * 16);
+        }
+        for k in 0..100u64 {
+            s.remove(k * 16);
+        }
+        let allocated = s.nodes.len();
+        for k in 0..100u64 {
+            s.insert(k * 16 + 8);
+        }
+        assert_eq!(s.nodes.len(), allocated, "slots must be recycled");
+        assert_eq!(s.len(), 100);
+    }
+
+    #[test]
+    fn find_prefers_lowest_address_not_best_fit() {
+        let mut ix = FreeIndex::new();
+        ix.insert(0, 4096); // big block at the bottom
+        ix.insert(8192, 64); // snug block higher up
+                             // First-fit from the base takes the big low block even though
+                             // the high one fits more tightly.
+        assert_eq!(ix.find_at_or_after(0, 64), Some((0, 4096)));
+        // From above the big block, the snug one wins.
+        assert_eq!(ix.find_at_or_after(4096, 64), Some((8192, 64)));
+        assert_eq!(ix.find_at_or_after(8193, 64), None);
+    }
+
+    #[test]
+    fn same_bin_smaller_blocks_are_skipped() {
+        let mut ix = FreeIndex::new();
+        // All three share bin 5 (sizes 32..63).
+        ix.insert(0, 40);
+        ix.insert(1000, 33);
+        ix.insert(2000, 63);
+        assert_eq!(ix.find_at_or_after(0, 48), Some((2000, 63)));
+        assert_eq!(ix.find_at_or_after(0, 40), Some((0, 40)));
+        assert_eq!(ix.find_at_or_after(1, 40), Some((2000, 63)));
+    }
+
+    #[test]
+    fn resize_moves_between_bins() {
+        let mut ix = FreeIndex::new();
+        ix.insert(64, 48);
+        ix.resize(64, 48, 130); // bin 5 -> bin 7
+        assert_eq!(ix.find_at_or_after(0, 128), Some((64, 130)));
+        assert_eq!(ix.len(), 1);
+        ix.resize(64, 130, 140); // same bin
+        assert_eq!(ix.find_at_or_after(0, 140), Some((64, 140)));
+        ix.remove(64, 140);
+        assert_eq!(ix.len(), 0);
+        assert_eq!(ix.find_at_or_after(0, 1), None);
+    }
+
+    #[test]
+    fn rank_counts_free_blocks_below() {
+        let mut ix = FreeIndex::new();
+        for addr in [16u64, 48, 96, 128] {
+            ix.insert(addr, 16);
+        }
+        assert_eq!(ix.rank(0), 0);
+        assert_eq!(ix.rank(48), 1);
+        assert_eq!(ix.rank(49), 2);
+        assert_eq!(ix.rank(1000), 4);
+    }
+}

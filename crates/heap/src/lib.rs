@@ -45,7 +45,9 @@ mod bsd;
 mod costmodel;
 mod counts;
 mod firstfit;
+mod index;
 mod obs;
+pub mod reference;
 mod replay;
 
 pub use arena::{ArenaAllocator, ArenaConfig};
@@ -53,13 +55,17 @@ pub use bsd::BsdMalloc;
 pub use costmodel::{arena_costs, bsd_costs, firstfit_costs, CostReport, PredictorKind};
 pub use counts::OpCounts;
 pub use firstfit::FirstFit;
+pub use index::IndexStats;
 pub use obs::ReplayObs;
 pub use replay::{
-    prediction_bitmap, replay_arena, replay_arena_online, replay_arena_online_stream,
-    replay_arena_online_stream_observed, replay_arena_stream, replay_arena_stream_observed,
-    replay_bsd, replay_bsd_stream, replay_bsd_stream_observed, replay_firstfit,
-    replay_firstfit_stream, replay_firstfit_stream_observed, site_fingerprints, OnlineReplayReport,
-    ReplayConfig, ReplayEvent, ReplayMeta, ReplayReport, ReplayStreamError,
+    prediction_bitmap, replay_arena, replay_arena_chunks, replay_arena_chunks_observed,
+    replay_arena_online, replay_arena_online_chunks, replay_arena_online_chunks_observed,
+    replay_arena_online_stream, replay_arena_online_stream_observed, replay_arena_stream,
+    replay_arena_stream_observed, replay_bsd, replay_bsd_chunks, replay_bsd_chunks_observed,
+    replay_bsd_stream, replay_bsd_stream_observed, replay_firstfit, replay_firstfit_chunks,
+    replay_firstfit_chunks_observed, replay_firstfit_stream, replay_firstfit_stream_observed,
+    site_fingerprints, OnlineReplayReport, ReplayConfig, ReplayEvent, ReplayMeta, ReplayReport,
+    ReplayStreamError,
 };
 
 /// A simulated heap address (bytes from the bottom of the simulated

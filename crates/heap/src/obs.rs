@@ -8,6 +8,7 @@
 //! feature), and — for the online replay — one epoch-timeline sample
 //! per learner tick.
 
+use crate::index::IndexStats;
 use lifepred_obs::{
     Counter, EpochTimeline, HistogramSnapshot, LogHistogram, Registry, Timer, TIMING_ENABLED,
 };
@@ -35,6 +36,19 @@ pub struct ReplayObs {
     /// `lifepred_sim_epochs` — one sample per online-learner epoch
     /// tick (empty for the offline replays).
     pub timeline: Arc<EpochTimeline>,
+    /// `lifepred_sim_index_bin_hits_total` — free-index searches
+    /// answered from a size-class bin (first-fit heaps only; zero for
+    /// the BSD replay).
+    pub index_bin_hits_total: Arc<Counter>,
+    /// `lifepred_sim_index_bitmap_scans_total` — occupancy-bitmap
+    /// probes performed by the free index.
+    pub index_bitmap_scans_total: Arc<Counter>,
+    /// `lifepred_sim_batch_refills_total` — event-chunk refills the
+    /// replay loop consumed (one per up-to-4096-event batch).
+    pub batch_refills_total: Arc<Counter>,
+    /// `lifepred_sim_frees_invalid_total` — free events ignored because
+    /// their address was not a live allocation (corrupt traces).
+    pub frees_invalid_total: Arc<Counter>,
 }
 
 impl ReplayObs {
@@ -48,6 +62,10 @@ impl ReplayObs {
             lifetime_bytes: registry.histogram("lifepred_sim_lifetime_bytes"),
             event_ns: registry.histogram("lifepred_sim_event_ns"),
             timeline: registry.timeline("lifepred_sim_epochs"),
+            index_bin_hits_total: registry.counter("lifepred_sim_index_bin_hits_total"),
+            index_bitmap_scans_total: registry.counter("lifepred_sim_index_bitmap_scans_total"),
+            batch_refills_total: registry.counter("lifepred_sim_batch_refills_total"),
+            frees_invalid_total: registry.counter("lifepred_sim_frees_invalid_total"),
         }
     }
 }
@@ -83,6 +101,11 @@ pub(crate) struct ObsCtx<'a> {
     sizes: HistogramSnapshot,
     lifetimes: HistogramSnapshot,
     event_ns: HistogramSnapshot,
+    /// End-of-run heap counters, set once by
+    /// [`ObsCtx::set_heap_stats`] before the flush.
+    index: IndexStats,
+    frees_invalid: u64,
+    batch_refills: u64,
 }
 
 impl<'a> ObsCtx<'a> {
@@ -101,6 +124,9 @@ impl<'a> ObsCtx<'a> {
             sizes: HistogramSnapshot::empty(),
             lifetimes: HistogramSnapshot::empty(),
             event_ns: HistogramSnapshot::empty(),
+            index: IndexStats::default(),
+            frees_invalid: 0,
+            batch_refills: 0,
         }
     }
 
@@ -138,6 +164,18 @@ impl<'a> ObsCtx<'a> {
         self.obs
     }
 
+    /// Records the simulated heap's end-of-run work counters: the
+    /// free-index statistics and the invalid-free count.
+    pub(crate) fn set_heap_stats(&mut self, index: IndexStats, frees_invalid: u64) {
+        self.index = index;
+        self.frees_invalid = frees_invalid;
+    }
+
+    /// Records how many event batches the replay loop consumed.
+    pub(crate) fn set_batch_refills(&mut self, refills: u64) {
+        self.batch_refills = refills;
+    }
+
     /// Publishes the locally accumulated batch into the shared metric
     /// handles. Call exactly once, when the event stream ends.
     pub(crate) fn flush(self) {
@@ -151,6 +189,12 @@ impl<'a> ObsCtx<'a> {
         self.obs.size_bytes.absorb(&self.sizes);
         self.obs.lifetime_bytes.absorb(&self.lifetimes);
         self.obs.event_ns.absorb(&self.event_ns);
+        self.obs.index_bin_hits_total.add(self.index.bin_hits);
+        self.obs
+            .index_bitmap_scans_total
+            .add(self.index.bitmap_scans);
+        self.obs.batch_refills_total.add(self.batch_refills);
+        self.obs.frees_invalid_total.add(self.frees_invalid);
     }
 }
 

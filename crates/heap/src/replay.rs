@@ -1,16 +1,20 @@
 //! Trace-driven simulation: replaying traces through the allocators.
 //!
-//! Two entry points per allocator:
+//! Three entry points per allocator:
 //!
 //! * the [`Trace`]-based functions ([`replay_firstfit`] & co.) take a
-//!   fully materialized trace, and
+//!   fully materialized trace,
+//! * the `_chunks` variants ([`replay_firstfit_chunks`] & co.) take
+//!   any [`ChunkSource`] of structure-of-arrays event batches — e.g.
+//!   the slab-buffered chunk decoder of an `.lpt` trace file — and
+//!   are the hot path every other entry point funnels into, and
 //! * the `_stream` variants take any fallible iterator of
-//!   [`ReplayEvent`]s — e.g. the constant-memory event stream of an
-//!   `.lpt` trace file — plus a [`ReplayMeta`] describing the run.
+//!   [`ReplayEvent`]s, batching it internally.
 //!
-//! The `Trace` functions delegate to the stream functions, so both
-//! paths produce bit-identical [`ReplayReport`]s for the same event
-//! sequence.
+//! All paths produce bit-identical [`ReplayReport`]s for the same
+//! event sequence; the chunked core merely removes per-event dispatch
+//! (enum construction, `Result` wraps, iterator-adaptor calls) from
+//! the loop.
 
 use crate::arena::{ArenaAllocator, ArenaConfig};
 use crate::bsd::BsdMalloc;
@@ -21,7 +25,7 @@ use crate::Addr;
 use lifepred_adaptive::{EpochConfig, LearnerStats, OnlineLearner};
 use lifepred_core::{ShortLivedSet, SiteConfig, SiteExtractor};
 use lifepred_obs::{EpochSample, Timer};
-use lifepred_trace::{EventKind, Trace};
+use lifepred_trace::{ChunkEvent, ChunkSource, EventChunk, Trace, TraceChunks, CHUNK_EVENTS};
 use std::collections::VecDeque;
 use std::convert::Infallible;
 use std::fmt;
@@ -193,6 +197,57 @@ impl SlotTable {
     }
 }
 
+/// Adapts any fallible [`ReplayEvent`] iterator into a [`ChunkSource`]
+/// so the iterator-based `_stream` entry points share the batched
+/// replay core.
+struct IterChunks<I, E> {
+    iter: I,
+    /// An error met mid-batch; delivered on the *next* refill so the
+    /// events decoded before it are still replayed first (matching the
+    /// per-event streaming order exactly).
+    pending: Option<E>,
+}
+
+impl<I, E> IterChunks<I, E> {
+    fn new(iter: I) -> IterChunks<I, E> {
+        IterChunks {
+            iter,
+            pending: None,
+        }
+    }
+}
+
+impl<I, E> ChunkSource for IterChunks<I, E>
+where
+    I: Iterator<Item = Result<ReplayEvent, E>>,
+{
+    type Error = E;
+
+    fn next_chunk(&mut self, chunk: &mut EventChunk) -> Result<bool, E> {
+        chunk.clear();
+        if let Some(e) = self.pending.take() {
+            return Err(e);
+        }
+        while chunk.len() < CHUNK_EVENTS {
+            match self.iter.next() {
+                Some(Ok(ReplayEvent::Alloc { record, size })) => {
+                    chunk.push_alloc(record as u64, size);
+                }
+                Some(Ok(ReplayEvent::Free { record })) => chunk.push_free(record as u64),
+                Some(Err(e)) => {
+                    if chunk.is_empty() {
+                        return Err(e);
+                    }
+                    self.pending = Some(e);
+                    break;
+                }
+                None => break,
+            }
+        }
+        Ok(!chunk.is_empty())
+    }
+}
+
 /// Replays an event stream through the first-fit allocator (the
 /// paper's baseline for Table 8).
 ///
@@ -206,7 +261,36 @@ pub fn replay_firstfit_stream<E>(
     events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
     config: &ReplayConfig,
 ) -> Result<ReplayReport, ReplayStreamError<E>> {
-    firstfit_stream_impl(meta, events, config, None)
+    firstfit_stream_impl(meta, IterChunks::new(events.into_iter()), config, None)
+}
+
+/// Replays a batched event stream through the first-fit allocator —
+/// the high-throughput path behind [`replay_firstfit_stream`].
+///
+/// # Errors
+///
+/// See [`replay_firstfit_stream`].
+pub fn replay_firstfit_chunks<S: ChunkSource>(
+    meta: &ReplayMeta,
+    source: S,
+    config: &ReplayConfig,
+) -> Result<ReplayReport, ReplayStreamError<S::Error>> {
+    firstfit_stream_impl(meta, source, config, None)
+}
+
+/// [`replay_firstfit_chunks`], additionally recording every event into
+/// the `lifepred_sim_*` metrics of `obs`.
+///
+/// # Errors
+///
+/// See [`replay_firstfit_stream`].
+pub fn replay_firstfit_chunks_observed<S: ChunkSource>(
+    meta: &ReplayMeta,
+    source: S,
+    config: &ReplayConfig,
+    obs: &ReplayObs,
+) -> Result<ReplayReport, ReplayStreamError<S::Error>> {
+    firstfit_stream_impl(meta, source, config, Some(ObsCtx::new(obs)))
 }
 
 /// [`replay_firstfit_stream`], additionally recording every event into
@@ -221,39 +305,55 @@ pub fn replay_firstfit_stream_observed<E>(
     config: &ReplayConfig,
     obs: &ReplayObs,
 ) -> Result<ReplayReport, ReplayStreamError<E>> {
-    firstfit_stream_impl(meta, events, config, Some(ObsCtx::new(obs)))
+    firstfit_stream_impl(
+        meta,
+        IterChunks::new(events.into_iter()),
+        config,
+        Some(ObsCtx::new(obs)),
+    )
 }
 
-fn firstfit_stream_impl<E>(
+fn firstfit_stream_impl<S: ChunkSource>(
     meta: &ReplayMeta,
-    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    mut source: S,
     _config: &ReplayConfig,
     mut ctx: Option<ObsCtx<'_>>,
-) -> Result<ReplayReport, ReplayStreamError<E>> {
+) -> Result<ReplayReport, ReplayStreamError<S::Error>> {
     let mut heap = FirstFit::new();
     let mut slots = SlotTable::default();
     let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
-    for event in events {
-        let timer = Timer::start();
-        match event.map_err(ReplayStreamError::Source)? {
-            ReplayEvent::Alloc { record, size } => {
-                total_allocs += 1;
-                total_bytes += u64::from(size);
-                slots.born(record, heap.alloc(size))?;
-                if let Some(ctx) = ctx.as_mut() {
-                    ctx.on_alloc(record, size, false, timer);
+    let mut chunk = EventChunk::new();
+    let mut refills = 0u64;
+    loop {
+        match source.next_chunk(&mut chunk) {
+            Ok(true) => refills += 1,
+            Ok(false) => break,
+            Err(e) => return Err(ReplayStreamError::Source(e)),
+        }
+        for event in chunk.events() {
+            let timer = Timer::start();
+            match event {
+                ChunkEvent::Alloc { record, size } => {
+                    total_allocs += 1;
+                    total_bytes += u64::from(size);
+                    slots.born(record, heap.alloc(size))?;
+                    if let Some(ctx) = ctx.as_mut() {
+                        ctx.on_alloc(record, size, false, timer);
+                    }
                 }
-            }
-            ReplayEvent::Free { record } => {
-                let addr = slots.died(record)?;
-                heap.free(addr);
-                if let Some(ctx) = ctx.as_mut() {
-                    ctx.on_free(record, timer);
+                ChunkEvent::Free { record } => {
+                    let addr = slots.died(record)?;
+                    heap.free(addr);
+                    if let Some(ctx) = ctx.as_mut() {
+                        ctx.on_free(record, timer);
+                    }
                 }
             }
         }
     }
-    if let Some(ctx) = ctx {
+    if let Some(mut ctx) = ctx {
+        ctx.set_heap_stats(heap.index_stats(), heap.counts().frees_invalid);
+        ctx.set_batch_refills(refills);
         ctx.flush();
     }
     Ok(ReplayReport {
@@ -280,7 +380,36 @@ pub fn replay_bsd_stream<E>(
     events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
     config: &ReplayConfig,
 ) -> Result<ReplayReport, ReplayStreamError<E>> {
-    bsd_stream_impl(meta, events, config, None)
+    bsd_stream_impl(meta, IterChunks::new(events.into_iter()), config, None)
+}
+
+/// Replays a batched event stream through the BSD bucket allocator —
+/// the high-throughput path behind [`replay_bsd_stream`].
+///
+/// # Errors
+///
+/// See [`replay_firstfit_stream`].
+pub fn replay_bsd_chunks<S: ChunkSource>(
+    meta: &ReplayMeta,
+    source: S,
+    config: &ReplayConfig,
+) -> Result<ReplayReport, ReplayStreamError<S::Error>> {
+    bsd_stream_impl(meta, source, config, None)
+}
+
+/// [`replay_bsd_chunks`], additionally recording every event into the
+/// `lifepred_sim_*` metrics of `obs`.
+///
+/// # Errors
+///
+/// See [`replay_firstfit_stream`].
+pub fn replay_bsd_chunks_observed<S: ChunkSource>(
+    meta: &ReplayMeta,
+    source: S,
+    config: &ReplayConfig,
+    obs: &ReplayObs,
+) -> Result<ReplayReport, ReplayStreamError<S::Error>> {
+    bsd_stream_impl(meta, source, config, Some(ObsCtx::new(obs)))
 }
 
 /// [`replay_bsd_stream`], additionally recording every event into the
@@ -295,39 +424,55 @@ pub fn replay_bsd_stream_observed<E>(
     config: &ReplayConfig,
     obs: &ReplayObs,
 ) -> Result<ReplayReport, ReplayStreamError<E>> {
-    bsd_stream_impl(meta, events, config, Some(ObsCtx::new(obs)))
+    bsd_stream_impl(
+        meta,
+        IterChunks::new(events.into_iter()),
+        config,
+        Some(ObsCtx::new(obs)),
+    )
 }
 
-fn bsd_stream_impl<E>(
+fn bsd_stream_impl<S: ChunkSource>(
     meta: &ReplayMeta,
-    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    mut source: S,
     _config: &ReplayConfig,
     mut ctx: Option<ObsCtx<'_>>,
-) -> Result<ReplayReport, ReplayStreamError<E>> {
+) -> Result<ReplayReport, ReplayStreamError<S::Error>> {
     let mut heap = BsdMalloc::new();
     let mut slots = SlotTable::default();
     let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
-    for event in events {
-        let timer = Timer::start();
-        match event.map_err(ReplayStreamError::Source)? {
-            ReplayEvent::Alloc { record, size } => {
-                total_allocs += 1;
-                total_bytes += u64::from(size);
-                slots.born(record, heap.alloc(size))?;
-                if let Some(ctx) = ctx.as_mut() {
-                    ctx.on_alloc(record, size, false, timer);
+    let mut chunk = EventChunk::new();
+    let mut refills = 0u64;
+    loop {
+        match source.next_chunk(&mut chunk) {
+            Ok(true) => refills += 1,
+            Ok(false) => break,
+            Err(e) => return Err(ReplayStreamError::Source(e)),
+        }
+        for event in chunk.events() {
+            let timer = Timer::start();
+            match event {
+                ChunkEvent::Alloc { record, size } => {
+                    total_allocs += 1;
+                    total_bytes += u64::from(size);
+                    slots.born(record, heap.alloc(size))?;
+                    if let Some(ctx) = ctx.as_mut() {
+                        ctx.on_alloc(record, size, false, timer);
+                    }
                 }
-            }
-            ReplayEvent::Free { record } => {
-                let addr = slots.died(record)?;
-                heap.free(addr);
-                if let Some(ctx) = ctx.as_mut() {
-                    ctx.on_free(record, timer);
+                ChunkEvent::Free { record } => {
+                    let addr = slots.died(record)?;
+                    heap.free(addr);
+                    if let Some(ctx) = ctx.as_mut() {
+                        ctx.on_free(record, timer);
+                    }
                 }
             }
         }
     }
-    if let Some(ctx) = ctx {
+    if let Some(mut ctx) = ctx {
+        // The BSD heap has no free index; only the refill count is new.
+        ctx.set_batch_refills(refills);
         ctx.flush();
     }
     Ok(ReplayReport {
@@ -360,7 +505,45 @@ pub fn replay_arena_stream<E>(
     predicted: &[bool],
     config: &ReplayConfig,
 ) -> Result<ReplayReport, ReplayStreamError<E>> {
-    arena_stream_impl(meta, events, predicted, config, None)
+    arena_stream_impl(
+        meta,
+        IterChunks::new(events.into_iter()),
+        predicted,
+        config,
+        None,
+    )
+}
+
+/// Replays a batched event stream through the arena allocator — the
+/// high-throughput path behind [`replay_arena_stream`].
+///
+/// # Errors
+///
+/// See [`replay_arena_stream`].
+pub fn replay_arena_chunks<S: ChunkSource>(
+    meta: &ReplayMeta,
+    source: S,
+    predicted: &[bool],
+    config: &ReplayConfig,
+) -> Result<ReplayReport, ReplayStreamError<S::Error>> {
+    arena_stream_impl(meta, source, predicted, config, None)
+}
+
+/// [`replay_arena_chunks`], additionally recording every event into
+/// the `lifepred_sim_*` metrics of `obs`.
+///
+/// # Errors
+///
+/// See [`replay_arena_stream`].
+pub fn replay_arena_chunks_observed<S: ChunkSource>(
+    meta: &ReplayMeta,
+    source: S,
+    predicted: &[bool],
+    config: &ReplayConfig,
+    obs: &ReplayObs,
+) -> Result<ReplayReport, ReplayStreamError<S::Error>> {
+    let ctx = ObsCtx::with_records_hint(obs, predicted.len());
+    arena_stream_impl(meta, source, predicted, config, Some(ctx))
 }
 
 /// [`replay_arena_stream`], additionally recording every event into
@@ -377,53 +560,71 @@ pub fn replay_arena_stream_observed<E>(
     obs: &ReplayObs,
 ) -> Result<ReplayReport, ReplayStreamError<E>> {
     let ctx = ObsCtx::with_records_hint(obs, predicted.len());
-    arena_stream_impl(meta, events, predicted, config, Some(ctx))
+    arena_stream_impl(
+        meta,
+        IterChunks::new(events.into_iter()),
+        predicted,
+        config,
+        Some(ctx),
+    )
 }
 
-fn arena_stream_impl<E>(
+fn arena_stream_impl<S: ChunkSource>(
     meta: &ReplayMeta,
-    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    mut source: S,
     predicted: &[bool],
     config: &ReplayConfig,
     mut ctx: Option<ObsCtx<'_>>,
-) -> Result<ReplayReport, ReplayStreamError<E>> {
+) -> Result<ReplayReport, ReplayStreamError<S::Error>> {
     let mut heap = ArenaAllocator::new(config.arena);
     let mut slots = SlotTable::default();
     let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
     let (mut arena_allocs, mut arena_bytes) = (0u64, 0u64);
-    for event in events {
-        let timer = Timer::start();
-        match event.map_err(ReplayStreamError::Source)? {
-            ReplayEvent::Alloc { record, size } => {
-                total_allocs += 1;
-                total_bytes += u64::from(size);
-                let short = *predicted.get(record).ok_or_else(|| {
-                    ReplayStreamError::Corrupt(format!(
-                        "object {record} has no prediction ({} known)",
-                        predicted.len()
-                    ))
-                })?;
-                let addr = heap.alloc(size, short);
-                let in_arena = heap.is_arena_addr(addr);
-                if in_arena {
-                    arena_allocs += 1;
-                    arena_bytes += u64::from(size);
+    let mut chunk = EventChunk::new();
+    let mut refills = 0u64;
+    loop {
+        match source.next_chunk(&mut chunk) {
+            Ok(true) => refills += 1,
+            Ok(false) => break,
+            Err(e) => return Err(ReplayStreamError::Source(e)),
+        }
+        for event in chunk.events() {
+            let timer = Timer::start();
+            match event {
+                ChunkEvent::Alloc { record, size } => {
+                    total_allocs += 1;
+                    total_bytes += u64::from(size);
+                    let short = *predicted.get(record).ok_or_else(|| {
+                        ReplayStreamError::Corrupt(format!(
+                            "object {record} has no prediction ({} known)",
+                            predicted.len()
+                        ))
+                    })?;
+                    let addr = heap.alloc(size, short);
+                    let in_arena = heap.is_arena_addr(addr);
+                    if in_arena {
+                        arena_allocs += 1;
+                        arena_bytes += u64::from(size);
+                    }
+                    slots.born(record, addr)?;
+                    if let Some(ctx) = ctx.as_mut() {
+                        ctx.on_alloc(record, size, in_arena, timer);
+                    }
                 }
-                slots.born(record, addr)?;
-                if let Some(ctx) = ctx.as_mut() {
-                    ctx.on_alloc(record, size, in_arena, timer);
-                }
-            }
-            ReplayEvent::Free { record } => {
-                let addr = slots.died(record)?;
-                heap.free(addr);
-                if let Some(ctx) = ctx.as_mut() {
-                    ctx.on_free(record, timer);
+                ChunkEvent::Free { record } => {
+                    let addr = slots.died(record)?;
+                    heap.free(addr);
+                    if let Some(ctx) = ctx.as_mut() {
+                        ctx.on_free(record, timer);
+                    }
                 }
             }
         }
     }
-    if let Some(ctx) = ctx {
+    if let Some(mut ctx) = ctx {
+        let counts = heap.counts();
+        ctx.set_heap_stats(heap.general_heap().index_stats(), counts.frees_invalid);
+        ctx.set_batch_refills(refills);
         ctx.flush();
     }
     Ok(ReplayReport {
@@ -523,7 +724,49 @@ pub fn replay_arena_online_stream<E>(
     epoch: &EpochConfig,
     config: &ReplayConfig,
 ) -> Result<OnlineReplayReport, ReplayStreamError<E>> {
-    arena_online_stream_impl(meta, events, sites, epoch, config, None)
+    arena_online_stream_impl(
+        meta,
+        IterChunks::new(events.into_iter()),
+        sites,
+        epoch,
+        config,
+        None,
+    )
+}
+
+/// Replays a batched event stream through the arena allocator with the
+/// online learner deciding every prediction — the high-throughput path
+/// behind [`replay_arena_online_stream`].
+///
+/// # Errors
+///
+/// See [`replay_arena_online_stream`].
+pub fn replay_arena_online_chunks<S: ChunkSource>(
+    meta: &ReplayMeta,
+    source: S,
+    sites: &[u64],
+    epoch: &EpochConfig,
+    config: &ReplayConfig,
+) -> Result<OnlineReplayReport, ReplayStreamError<S::Error>> {
+    arena_online_stream_impl(meta, source, sites, epoch, config, None)
+}
+
+/// [`replay_arena_online_chunks`], additionally recording every event
+/// into the `lifepred_sim_*` metrics of `obs`.
+///
+/// # Errors
+///
+/// See [`replay_arena_online_stream`].
+pub fn replay_arena_online_chunks_observed<S: ChunkSource>(
+    meta: &ReplayMeta,
+    source: S,
+    sites: &[u64],
+    epoch: &EpochConfig,
+    config: &ReplayConfig,
+    obs: &ReplayObs,
+) -> Result<OnlineReplayReport, ReplayStreamError<S::Error>> {
+    let ctx = ObsCtx::with_records_hint(obs, sites.len());
+    arena_online_stream_impl(meta, source, sites, epoch, config, Some(ctx))
 }
 
 /// [`replay_arena_online_stream`], additionally recording every event
@@ -542,17 +785,24 @@ pub fn replay_arena_online_stream_observed<E>(
     obs: &ReplayObs,
 ) -> Result<OnlineReplayReport, ReplayStreamError<E>> {
     let ctx = ObsCtx::with_records_hint(obs, sites.len());
-    arena_online_stream_impl(meta, events, sites, epoch, config, Some(ctx))
+    arena_online_stream_impl(
+        meta,
+        IterChunks::new(events.into_iter()),
+        sites,
+        epoch,
+        config,
+        Some(ctx),
+    )
 }
 
-fn arena_online_stream_impl<E>(
+fn arena_online_stream_impl<S: ChunkSource>(
     meta: &ReplayMeta,
-    events: impl IntoIterator<Item = Result<ReplayEvent, E>>,
+    mut source: S,
     sites: &[u64],
     epoch: &EpochConfig,
     config: &ReplayConfig,
     mut ctx: Option<ObsCtx<'_>>,
-) -> Result<OnlineReplayReport, ReplayStreamError<E>> {
+) -> Result<OnlineReplayReport, ReplayStreamError<S::Error>> {
     let mut learner = OnlineLearner::new(*epoch);
     let mut heap = ArenaAllocator::new(config.arena);
     let mut slots = SlotTable::default();
@@ -567,91 +817,103 @@ fn arena_online_stream_impl<E>(
     // sample is due, and the bytes currently live in the arena area.
     let mut next_tick = epoch.epoch_bytes;
     let mut live_arena_bytes = 0u64;
-    for event in events {
-        let timer = Timer::start();
-        match event.map_err(ReplayStreamError::Source)? {
-            ReplayEvent::Alloc { record, size } => {
-                total_allocs += 1;
-                total_bytes += u64::from(size);
-                let key = *sites.get(record).ok_or_else(|| {
-                    ReplayStreamError::Corrupt(format!(
-                        "object {record} has no site fingerprint ({} known)",
-                        sites.len()
-                    ))
-                })?;
-                let birth = learner.clock();
-                let predicted = learner.record_alloc(key, u64::from(size));
-                let addr = heap.alloc(size, predicted);
-                let in_arena = heap.is_arena_addr(addr);
-                if in_arena {
-                    arena_allocs += 1;
-                    arena_bytes += u64::from(size);
-                }
-                slots.born(record, addr)?;
-                if record >= objs.len() {
-                    objs.resize(record + 1, None);
-                }
-                objs[record] = Some(OnlineObj {
-                    key,
-                    size,
-                    birth,
-                    predicted,
-                    reported: false,
-                    live: true,
-                });
-                if predicted {
-                    aging.push_back(record);
-                }
-                // Aging scan: a predicted object still live past the
-                // threshold pins its arena — report it once.
-                while let Some(&oldest) = aging.front() {
-                    let obj = objs[oldest].as_mut().expect("aging entry was allocated");
-                    if learner.clock().saturating_sub(obj.birth) < threshold {
-                        break;
-                    }
-                    aging.pop_front();
-                    if obj.live && !obj.reported {
-                        obj.reported = true;
-                        learner.note_pinned(obj.key, u64::from(obj.size));
-                    }
-                }
-                if let Some(ctx) = ctx.as_mut() {
+    let mut chunk = EventChunk::new();
+    let mut refills = 0u64;
+    loop {
+        match source.next_chunk(&mut chunk) {
+            Ok(true) => refills += 1,
+            Ok(false) => break,
+            Err(e) => return Err(ReplayStreamError::Source(e)),
+        }
+        for event in chunk.events() {
+            let timer = Timer::start();
+            match event {
+                ChunkEvent::Alloc { record, size } => {
+                    total_allocs += 1;
+                    total_bytes += u64::from(size);
+                    let key = *sites.get(record).ok_or_else(|| {
+                        ReplayStreamError::Corrupt(format!(
+                            "object {record} has no site fingerprint ({} known)",
+                            sites.len()
+                        ))
+                    })?;
+                    let birth = learner.clock();
+                    let predicted = learner.record_alloc(key, u64::from(size));
+                    let addr = heap.alloc(size, predicted);
+                    let in_arena = heap.is_arena_addr(addr);
                     if in_arena {
-                        live_arena_bytes += u64::from(size);
+                        arena_allocs += 1;
+                        arena_bytes += u64::from(size);
                     }
-                    ctx.on_alloc(record, size, in_arena, timer);
-                    if learner.clock() >= next_tick {
-                        push_epoch_sample(ctx.obs(), &learner, &heap, live_arena_bytes);
-                        while next_tick <= learner.clock() {
-                            next_tick = next_tick.saturating_add(epoch.epoch_bytes);
+                    slots.born(record, addr)?;
+                    if record >= objs.len() {
+                        objs.resize(record + 1, None);
+                    }
+                    objs[record] = Some(OnlineObj {
+                        key,
+                        size,
+                        birth,
+                        predicted,
+                        reported: false,
+                        live: true,
+                    });
+                    if predicted {
+                        aging.push_back(record);
+                    }
+                    // Aging scan: a predicted object still live past the
+                    // threshold pins its arena — report it once.
+                    while let Some(&oldest) = aging.front() {
+                        let obj = objs[oldest].as_mut().expect("aging entry was allocated");
+                        if learner.clock().saturating_sub(obj.birth) < threshold {
+                            break;
+                        }
+                        aging.pop_front();
+                        if obj.live && !obj.reported {
+                            obj.reported = true;
+                            learner.note_pinned(obj.key, u64::from(obj.size));
+                        }
+                    }
+                    if let Some(ctx) = ctx.as_mut() {
+                        if in_arena {
+                            live_arena_bytes += u64::from(size);
+                        }
+                        ctx.on_alloc(record, size, in_arena, timer);
+                        if learner.clock() >= next_tick {
+                            push_epoch_sample(ctx.obs(), &learner, &heap, live_arena_bytes);
+                            while next_tick <= learner.clock() {
+                                next_tick = next_tick.saturating_add(epoch.epoch_bytes);
+                            }
                         }
                     }
                 }
-            }
-            ReplayEvent::Free { record } => {
-                let addr = slots.died(record)?;
-                heap.free(addr);
-                let obj = objs[record].as_mut().expect("slot table guards liveness");
-                obj.live = false;
-                // A pinning misprediction was already reported by the
-                // aging scan; don't count its free a second time.
-                let counts_as_misprediction = obj.predicted && !obj.reported;
-                learner.record_free(
-                    obj.key,
-                    u64::from(obj.size),
-                    obj.birth,
-                    counts_as_misprediction,
-                );
-                if let Some(ctx) = ctx.as_mut() {
-                    if heap.is_arena_addr(addr) {
-                        live_arena_bytes = live_arena_bytes.saturating_sub(u64::from(obj.size));
+                ChunkEvent::Free { record } => {
+                    let addr = slots.died(record)?;
+                    heap.free(addr);
+                    let obj = objs[record].as_mut().expect("slot table guards liveness");
+                    obj.live = false;
+                    // A pinning misprediction was already reported by the
+                    // aging scan; don't count its free a second time.
+                    let counts_as_misprediction = obj.predicted && !obj.reported;
+                    learner.record_free(
+                        obj.key,
+                        u64::from(obj.size),
+                        obj.birth,
+                        counts_as_misprediction,
+                    );
+                    if let Some(ctx) = ctx.as_mut() {
+                        if heap.is_arena_addr(addr) {
+                            live_arena_bytes = live_arena_bytes.saturating_sub(u64::from(obj.size));
+                        }
+                        ctx.on_free(record, timer);
                     }
-                    ctx.on_free(record, timer);
                 }
             }
         }
     }
-    if let Some(ctx) = ctx {
+    if let Some(mut ctx) = ctx {
+        let counts = heap.counts();
+        ctx.set_heap_stats(heap.general_heap().index_stats(), counts.frees_invalid);
+        ctx.set_batch_refills(refills);
         ctx.flush();
     }
     Ok(OnlineReplayReport {
@@ -670,19 +932,6 @@ fn arena_online_stream_impl<E>(
     })
 }
 
-/// Adapts a materialized trace into the stream-event shape.
-fn trace_events(trace: &Trace) -> impl Iterator<Item = Result<ReplayEvent, Infallible>> + '_ {
-    trace.events().into_iter().map(|e| {
-        Ok(match e.kind {
-            EventKind::Alloc => ReplayEvent::Alloc {
-                record: e.record,
-                size: trace.records()[e.record].size,
-            },
-            EventKind::Free => ReplayEvent::Free { record: e.record },
-        })
-    })
-}
-
 /// Unwraps a stream-replay result for the in-memory path, where the
 /// source is infallible and a malformed sequence is a caller bug.
 fn expect_valid<T>(result: Result<T, ReplayStreamError<Infallible>>) -> T {
@@ -696,9 +945,9 @@ fn expect_valid<T>(result: Result<T, ReplayStreamError<Infallible>>) -> T {
 /// Replays `trace` through the first-fit allocator (the paper's
 /// baseline for Table 8).
 pub fn replay_firstfit(trace: &Trace, config: &ReplayConfig) -> ReplayReport {
-    expect_valid(replay_firstfit_stream(
+    expect_valid(replay_firstfit_chunks(
         &ReplayMeta::of(trace),
-        trace_events(trace),
+        TraceChunks::new(trace),
         config,
     ))
 }
@@ -706,9 +955,9 @@ pub fn replay_firstfit(trace: &Trace, config: &ReplayConfig) -> ReplayReport {
 /// Replays `trace` through the BSD bucket allocator (the Table 9 CPU
 /// baseline).
 pub fn replay_bsd(trace: &Trace, config: &ReplayConfig) -> ReplayReport {
-    expect_valid(replay_bsd_stream(
+    expect_valid(replay_bsd_chunks(
         &ReplayMeta::of(trace),
-        trace_events(trace),
+        TraceChunks::new(trace),
         config,
     ))
 }
@@ -729,9 +978,9 @@ pub fn prediction_bitmap(trace: &Trace, db: &ShortLivedSet) -> Vec<bool> {
 /// simulation behind Tables 7 and 8.
 pub fn replay_arena(trace: &Trace, db: &ShortLivedSet, config: &ReplayConfig) -> ReplayReport {
     let predicted = prediction_bitmap(trace, db);
-    expect_valid(replay_arena_stream(
+    expect_valid(replay_arena_chunks(
         &ReplayMeta::of(trace),
-        trace_events(trace),
+        TraceChunks::new(trace),
         &predicted,
         config,
     ))
@@ -759,9 +1008,9 @@ pub fn replay_arena_online(
     config: &ReplayConfig,
 ) -> OnlineReplayReport {
     let fingerprints = site_fingerprints(trace, sites);
-    expect_valid(replay_arena_online_stream(
+    expect_valid(replay_arena_online_chunks(
         &ReplayMeta::of(trace),
-        trace_events(trace),
+        TraceChunks::new(trace),
         &fingerprints,
         epoch,
         config,
@@ -772,7 +1021,21 @@ pub fn replay_arena_online(
 mod tests {
     use super::*;
     use lifepred_core::{train, Profile, SiteConfig, TrainConfig, DEFAULT_THRESHOLD};
-    use lifepred_trace::TraceSession;
+    use lifepred_trace::{EventKind, TraceSession};
+
+    /// Adapts a materialized trace into the stream-event shape, for
+    /// exercising the iterator-based `_stream` entry points.
+    fn trace_events(trace: &Trace) -> impl Iterator<Item = Result<ReplayEvent, Infallible>> + '_ {
+        trace.events().into_iter().map(|e| {
+            Ok(match e.kind {
+                EventKind::Alloc => ReplayEvent::Alloc {
+                    record: e.record,
+                    size: trace.records()[e.record].size,
+                },
+                EventKind::Free => ReplayEvent::Free { record: e.record },
+            })
+        })
+    }
 
     /// Mostly short-lived allocations from one site plus a set of
     /// long-lived allocations from another.

@@ -207,6 +207,18 @@ impl HistogramSnapshot {
         self.buckets[bucket_of(v)] += 1;
     }
 
+    /// Folds `other` into `self`, bucket by bucket — the result is
+    /// exactly what one histogram would hold had it seen both
+    /// observation streams.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
     /// Arithmetic mean of the observations (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

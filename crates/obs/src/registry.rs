@@ -261,6 +261,36 @@ impl Snapshot {
             .find(|(n, _)| n == name)
             .map(|(_, t)| t.as_slice())
     }
+
+    /// Folds `other` into `self`, name by name — how the parallel
+    /// simulation driver combines per-job registries into one dump.
+    ///
+    /// Counters and gauges **add** (a merged gauge is therefore a sum
+    /// across jobs — the right reading for the `lifepred_learner_*`
+    /// byte totals, the only gauges the simulator exports), histograms
+    /// merge bucketwise, and timelines concatenate in merge order.
+    /// Metrics present only in `other` are inserted; name ordering
+    /// stays sorted.
+    pub fn merge(&mut self, other: &Snapshot) {
+        fn fold<T: Clone>(
+            into: &mut Vec<(String, T)>,
+            from: &[(String, T)],
+            combine: impl Fn(&mut T, &T),
+        ) {
+            for (name, value) in from {
+                match into.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                    Ok(i) => combine(&mut into[i].1, value),
+                    Err(i) => into.insert(i, (name.clone(), value.clone())),
+                }
+            }
+        }
+        fold(&mut self.counters, &other.counters, |a, b| *a += b);
+        fold(&mut self.gauges, &other.gauges, |a, b| *a += b);
+        fold(&mut self.histograms, &other.histograms, |a, b| a.merge(b));
+        fold(&mut self.timelines, &other.timelines, |a, b| {
+            a.extend_from_slice(b);
+        });
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +327,43 @@ mod tests {
     #[should_panic(expected = "invalid metric name")]
     fn invalid_name_panics() {
         Registry::new().counter("not ok");
+    }
+
+    #[test]
+    fn merge_folds_every_metric_kind() {
+        let a = Registry::new();
+        a.counter("c_total").add(3);
+        a.gauge("g_bytes").set(10);
+        a.histogram("h_bytes").observe(4);
+        a.timeline("t_epochs").push(EpochSample {
+            epoch: 1,
+            ..EpochSample::default()
+        });
+        let b = Registry::new();
+        b.counter("c_total").add(2);
+        b.counter("only_b_total").add(7);
+        b.gauge("g_bytes").set(5);
+        b.histogram("h_bytes").observe(4096);
+        b.timeline("t_epochs").push(EpochSample {
+            epoch: 2,
+            ..EpochSample::default()
+        });
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("c_total"), Some(5));
+        assert_eq!(merged.counter("only_b_total"), Some(7));
+        assert_eq!(merged.gauge("g_bytes"), Some(15), "gauges sum");
+        let h = merged.histogram("h_bytes").expect("merged histogram");
+        assert_eq!((h.count, h.sum, h.max), (2, 4100, 4096));
+        let t = merged.timeline("t_epochs").expect("merged timeline");
+        assert_eq!(
+            t.iter().map(|s| s.epoch).collect::<Vec<_>>(),
+            vec![1, 2],
+            "timelines concatenate in merge order"
+        );
+        // Names stay sorted so a merged snapshot renders like a real one.
+        let names: Vec<&str> = merged.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["c_total", "only_b_total"]);
     }
 
     #[test]

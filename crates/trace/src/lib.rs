@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod chain;
+mod chunk;
 mod events;
 mod record;
 mod registry;
@@ -42,6 +43,7 @@ mod session;
 mod stats;
 
 pub use chain::{eliminate_cycles, CallChain, ChainId, ChainTable};
+pub use chunk::{ChunkEvent, ChunkSource, EventChunk, TraceChunks, CHUNK_EVENTS};
 pub use events::{Event, EventKind};
 pub use record::{AllocationRecord, ObjectId};
 pub use registry::{shared_registry, FnId, FunctionRegistry, SharedRegistry};

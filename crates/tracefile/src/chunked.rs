@@ -1,0 +1,387 @@
+//! Slab-buffered chunk decoding of the `.lpt` events section.
+//!
+//! [`TraceReader::into_events`](crate::TraceReader::into_events) pays a
+//! closure call, a bounds check and a CRC update **per byte**, plus a
+//! `Result` wrap per event. [`EventChunks`] removes all of that from
+//! the steady state: section payload is pulled into a 64 KB slab in
+//! bulk `read` calls (one CRC update per slab, not per byte), varints
+//! are decoded straight out of the slab with no I/O abstraction in the
+//! loop, and decoded events are pushed into the caller's reusable
+//! [`EventChunk`] in batches of up to
+//! [`CHUNK_EVENTS`](lifepred_trace::CHUNK_EVENTS).
+//!
+//! Integrity guarantees are unchanged: the section CRC is computed over
+//! every payload byte and verified — along with end-of-file — when the
+//! final chunk is delivered, and all structural checks that replay
+//! correctness depends on (free back-references, allocation-count
+//! overflow, size bounds) are still enforced per event. The only check
+//! this path drops is reconstruction of the cosmetic per-event sequence
+//! numbers, which replay never consumes; their bytes are still decoded,
+//! checksummed and length-validated.
+
+use crate::error::TraceFileError;
+use crate::reader::{expect_eof, read_exact, SectionState};
+use crate::varint::MAX_VARINT_LEN;
+use lifepred_trace::{ChunkSource, EventChunk, CHUNK_EVENTS};
+use std::io::Read;
+
+/// Slab refill size. Large enough that refill overhead vanishes, small
+/// enough to stay cache-resident alongside the chunk being filled.
+const SLAB_BYTES: usize = 64 * 1024;
+
+/// Longest possible encoding of one event: two maximal varints.
+const MAX_EVENT_BYTES: usize = 2 * MAX_VARINT_LEN;
+
+/// How decoding a varint from the slab can fail.
+enum VarintErr {
+    /// The slab ran out before the terminating byte.
+    OutOfBytes,
+    /// Over-long or overflowing encoding.
+    Invalid,
+}
+
+impl VarintErr {
+    fn into_events_error(self) -> TraceFileError {
+        TraceFileError::malformed(
+            "events",
+            match self {
+                VarintErr::OutOfBytes => "value runs past the section payload",
+                VarintErr::Invalid => "invalid varint",
+            },
+        )
+    }
+}
+
+/// Decodes one LEB128 varint from `buf` starting at `*pos`, advancing
+/// `*pos` past it. Mirrors the validation rules of
+/// [`crate::varint::read_varint`] exactly.
+#[inline]
+fn take_varint(buf: &[u8], pos: &mut usize) -> Result<u64, VarintErr> {
+    let mut value: u64 = 0;
+    for i in 0..MAX_VARINT_LEN {
+        let byte = *buf.get(*pos + i).ok_or(VarintErr::OutOfBytes)?;
+        let payload = u64::from(byte & 0x7f);
+        // The tenth byte may only contribute the single remaining bit.
+        if i == MAX_VARINT_LEN - 1 && payload > 1 {
+            return Err(VarintErr::Invalid);
+        }
+        value |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            *pos += i + 1;
+            return Ok(value);
+        }
+    }
+    Err(VarintErr::Invalid)
+}
+
+/// Chunked decoder for the events section of an `.lpt` file, created by
+/// [`TraceReader::into_event_chunks`](crate::TraceReader::into_event_chunks).
+///
+/// Implements [`ChunkSource`]; drive it with a reusable [`EventChunk`]:
+///
+/// ```
+/// use lifepred_trace::{ChunkSource, EventChunk, TraceSession};
+/// use lifepred_tracefile::{trace_to_vec, TraceReader};
+///
+/// let s = TraceSession::new("demo");
+/// let id = s.alloc(16);
+/// s.free(id);
+/// let bytes = trace_to_vec(&s.finish()).unwrap();
+///
+/// let mut src = TraceReader::new(&bytes[..])
+///     .unwrap()
+///     .into_event_chunks()
+///     .unwrap();
+/// let mut chunk = EventChunk::new();
+/// let mut events = 0;
+/// while src.next_chunk(&mut chunk).unwrap() {
+///     events += chunk.len();
+/// }
+/// assert_eq!(events, 2);
+/// ```
+///
+/// After the final chunk (section CRC and end-of-file already
+/// verified) or after any error, the source fuses: further calls
+/// return `Ok(false)`.
+#[derive(Debug)]
+pub struct EventChunks<R: Read> {
+    src: R,
+    /// `Some` while the events section is still being consumed; taken
+    /// on completion or error (fusing the source).
+    state: Option<SectionState>,
+    /// Events left per the section's declared count.
+    remaining_events: u64,
+    /// The buffer slab; `buf[start..end]` holds bytes read from the
+    /// payload but not yet decoded.
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    /// Allocation events decoded so far — the birth-order index of the
+    /// next allocation, and the base of free back-references.
+    allocs: u64,
+    /// Slab refills performed (exported by replay as a batching metric).
+    refills: u64,
+}
+
+impl<R: Read> EventChunks<R> {
+    pub(crate) fn new(src: R, state: SectionState, count: u64) -> EventChunks<R> {
+        EventChunks {
+            src,
+            state: Some(state),
+            remaining_events: count,
+            buf: vec![0; SLAB_BYTES],
+            start: 0,
+            end: 0,
+            allocs: 0,
+            refills: 0,
+        }
+    }
+
+    /// Number of slab refills performed so far.
+    pub fn refills(&self) -> u64 {
+        self.refills
+    }
+
+    /// Compacts the slab and fills it from the section payload, one
+    /// bulk read and one bulk CRC update.
+    fn refill_slab(&mut self) -> Result<(), TraceFileError> {
+        let state = self.state.as_mut().expect("refill on an open section");
+        if self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+        let room = self.buf.len() - self.end;
+        let want = u64::min(room as u64, state.remaining) as usize;
+        if want > 0 {
+            let dst = &mut self.buf[self.end..self.end + want];
+            read_exact(&mut self.src, dst, state.section)?;
+            state.crc.update(dst);
+            state.remaining -= want as u64;
+            self.end += want;
+            self.refills += 1;
+        }
+        Ok(())
+    }
+
+    /// Decodes events into `chunk` until it is full or the stream ends.
+    fn fill(&mut self, chunk: &mut EventChunk) -> Result<(), TraceFileError> {
+        let bad = |detail: &str| TraceFileError::malformed("events", detail);
+        while chunk.len() < CHUNK_EVENTS && self.remaining_events > 0 {
+            if self.end - self.start < MAX_EVENT_BYTES
+                && self.state.as_ref().expect("open section").remaining > 0
+            {
+                self.refill_slab()?;
+            }
+            // After the refill the slab holds either a whole event or
+            // the entire rest of the payload, so OutOfBytes below can
+            // only mean the payload itself ends mid-value.
+            let mut pos = self.start;
+            let window = &self.buf[..self.end];
+            // Sequence-number delta: length-validated and checksummed,
+            // but replay has no use for the reconstructed value.
+            take_varint(window, &mut pos).map_err(VarintErr::into_events_error)?;
+            let key = take_varint(window, &mut pos).map_err(VarintErr::into_events_error)?;
+            self.start = pos;
+            if key & 1 == 0 {
+                let size = u32::try_from(key >> 1).map_err(|_| bad("event size exceeds u32"))?;
+                let record = self.allocs;
+                self.allocs = self
+                    .allocs
+                    .checked_add(1)
+                    .ok_or_else(|| bad("allocation count overflows"))?;
+                chunk.push_alloc(record, size);
+            } else {
+                let back = key >> 1;
+                let record = self
+                    .allocs
+                    .checked_sub(1)
+                    .and_then(|last| last.checked_sub(back))
+                    .ok_or_else(|| bad("free references an object never allocated"))?;
+                chunk.push_free(record);
+            }
+            self.remaining_events -= 1;
+        }
+        Ok(())
+    }
+
+    /// Verifies the section CRC and end-of-file once every event has
+    /// been decoded.
+    fn finalize(&mut self) -> Result<(), TraceFileError> {
+        let state = self.state.take().expect("finalize on an open section");
+        let leftover = state.remaining + (self.end - self.start) as u64;
+        if leftover != 0 {
+            return Err(TraceFileError::malformed(
+                "events",
+                format!("{leftover} unread bytes at end of section"),
+            ));
+        }
+        state.finish(&mut self.src)?;
+        expect_eof(&mut self.src)
+    }
+}
+
+impl<R: Read> ChunkSource for EventChunks<R> {
+    type Error = TraceFileError;
+
+    fn next_chunk(&mut self, chunk: &mut EventChunk) -> Result<bool, TraceFileError> {
+        chunk.clear();
+        if self.state.is_none() {
+            return Ok(false);
+        }
+        if let Err(e) = self.fill(chunk) {
+            self.state = None;
+            chunk.clear();
+            return Err(e);
+        }
+        if self.remaining_events == 0 {
+            // The final chunk is only delivered once the whole section
+            // (CRC included) and the file trailer check out.
+            if let Err(e) = self.finalize() {
+                chunk.clear();
+                return Err(e);
+            }
+        }
+        Ok(!chunk.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{trace_to_vec, TraceEvent, TraceReader};
+    use lifepred_trace::{ChunkEvent, TraceSession};
+
+    fn sample_bytes(objects: u32) -> Vec<u8> {
+        let s = TraceSession::new("chunked");
+        let mut held = Vec::new();
+        {
+            let _g = s.enter("site");
+            for i in 0..objects {
+                let id = s.alloc(i % 700 + 1);
+                if i % 3 == 0 {
+                    held.push(id);
+                } else {
+                    s.free(id);
+                }
+            }
+        }
+        for id in held {
+            s.free(id);
+        }
+        trace_to_vec(&s.finish()).expect("encode")
+    }
+
+    fn collect_chunked(bytes: &[u8]) -> Result<Vec<ChunkEvent>, TraceFileError> {
+        let mut src = TraceReader::new(bytes)?.into_event_chunks()?;
+        let mut chunk = EventChunk::new();
+        let mut events = Vec::new();
+        while src.next_chunk(&mut chunk)? {
+            assert!(chunk.len() <= CHUNK_EVENTS);
+            events.extend(chunk.events());
+        }
+        Ok(events)
+    }
+
+    #[test]
+    fn chunked_decode_matches_the_event_iterator() {
+        // Enough events to force several chunks and slab refills.
+        let bytes = sample_bytes(20_000);
+        let chunked = collect_chunked(&bytes).expect("chunked decode");
+        let streamed: Vec<TraceEvent> = TraceReader::new(&bytes[..])
+            .expect("open")
+            .into_events()
+            .expect("events")
+            .collect::<Result<_, _>>()
+            .expect("stream");
+        assert_eq!(chunked.len(), streamed.len());
+        for (c, s) in chunked.iter().zip(&streamed) {
+            match (*c, *s) {
+                (
+                    ChunkEvent::Alloc { record, size },
+                    TraceEvent::Alloc {
+                        record: r,
+                        size: sz,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(record as u64, r);
+                    assert_eq!(size, sz);
+                }
+                (ChunkEvent::Free { record }, TraceEvent::Free { record: r, .. }) => {
+                    assert_eq!(record as u64, r);
+                }
+                other => panic!("event kind mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_yields_no_chunks_and_verifies() {
+        let bytes = trace_to_vec(&TraceSession::new("empty").finish()).expect("encode");
+        assert_eq!(collect_chunked(&bytes).expect("decode"), Vec::new());
+    }
+
+    #[test]
+    fn source_fuses_after_the_final_chunk() {
+        let bytes = sample_bytes(10);
+        let mut src = TraceReader::new(&bytes[..])
+            .expect("open")
+            .into_event_chunks()
+            .expect("chunks");
+        let mut chunk = EventChunk::new();
+        assert!(src.next_chunk(&mut chunk).expect("first"));
+        assert!(!src.next_chunk(&mut chunk).expect("fused"));
+        assert!(!src.next_chunk(&mut chunk).expect("still fused"));
+        assert!(chunk.is_empty());
+    }
+
+    #[test]
+    fn flipped_event_byte_is_detected() {
+        let bytes = sample_bytes(1000);
+        // Flip a byte near the end of the file — inside the events
+        // payload — and make sure the chunked path reports it.
+        let mut corrupt = bytes.clone();
+        let idx = corrupt.len() - 12;
+        corrupt[idx] ^= 0x40;
+        let err = collect_chunked(&corrupt).expect_err("corruption detected");
+        assert!(
+            matches!(
+                err,
+                TraceFileError::ChecksumMismatch { .. } | TraceFileError::Malformed { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = sample_bytes(100);
+        for len in 0..bytes.len() {
+            assert!(
+                collect_chunked(&bytes[..len]).is_err(),
+                "prefix of {len} bytes decoded successfully"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample_bytes(10);
+        bytes.push(0);
+        let err = collect_chunked(&bytes).expect_err("trailing byte");
+        assert!(matches!(err, TraceFileError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn refills_are_counted() {
+        let bytes = sample_bytes(50_000);
+        let mut src = TraceReader::new(&bytes[..])
+            .expect("open")
+            .into_event_chunks()
+            .expect("chunks");
+        let mut chunk = EventChunk::new();
+        while src.next_chunk(&mut chunk).expect("decode") {}
+        assert!(src.refills() >= 1, "{}", src.refills());
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`TraceReader::into_events`] streams the event stream in constant
 //!   memory — enough to drive the heap simulators without ever
 //!   materializing the trace.
+//! * [`TraceReader::into_event_chunks`] streams the same events in
+//!   structure-of-arrays batches ([`EventChunks`]) — the
+//!   high-throughput replay path.
 //! * [`TraceReader::into_records`] streams allocation records one at a
 //!   time — enough to train a predictor.
 //!
@@ -53,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chunked;
 mod crc32;
 mod error;
 mod format;
@@ -60,6 +64,7 @@ mod reader;
 mod varint;
 mod writer;
 
+pub use chunked::EventChunks;
 pub use error::TraceFileError;
 pub use reader::{EventsIter, RecordsIter, TraceEvent, TraceReader};
 pub use writer::TraceWriter;

@@ -14,6 +14,7 @@
 //! [`TraceFileError`], and allocation sizes are bounded by bytes
 //! actually read, not by counts claimed in the file.
 
+use crate::chunked::EventChunks;
 use crate::crc32::Crc32;
 use crate::error::TraceFileError;
 use crate::format::{
@@ -53,7 +54,7 @@ pub enum TraceEvent {
     },
 }
 
-fn read_exact<R: Read>(
+pub(crate) fn read_exact<R: Read>(
     src: &mut R,
     buf: &mut [u8],
     section: &'static str,
@@ -68,7 +69,7 @@ fn read_exact<R: Read>(
 }
 
 /// Errors if `src` still has bytes after the final section.
-fn expect_eof<R: Read>(src: &mut R) -> Result<(), TraceFileError> {
+pub(crate) fn expect_eof<R: Read>(src: &mut R) -> Result<(), TraceFileError> {
     let mut byte = [0u8; 1];
     match src.read(&mut byte) {
         Ok(0) => Ok(()),
@@ -83,15 +84,15 @@ fn expect_eof<R: Read>(src: &mut R) -> Result<(), TraceFileError> {
 /// Cursor state for one section body: bytes left per the declared
 /// payload length, plus the running checksum over bytes consumed.
 #[derive(Debug)]
-struct SectionState {
-    section: &'static str,
-    remaining: u64,
-    crc: Crc32,
+pub(crate) struct SectionState {
+    pub(crate) section: &'static str,
+    pub(crate) remaining: u64,
+    pub(crate) crc: Crc32,
 }
 
 impl SectionState {
     /// Reads a section header, insisting on `expected_id`.
-    fn open<R: Read>(
+    pub(crate) fn open<R: Read>(
         src: &mut R,
         expected_id: u8,
         section: &'static str,
@@ -140,7 +141,7 @@ impl SectionState {
         Ok(b[0])
     }
 
-    fn read_varint<R: Read>(&mut self, src: &mut R) -> Result<u64, TraceFileError> {
+    pub(crate) fn read_varint<R: Read>(&mut self, src: &mut R) -> Result<u64, TraceFileError> {
         match varint::read_varint(|| self.read_u8(src)) {
             Ok(Some(v)) => Ok(v),
             Ok(None) => Err(TraceFileError::malformed(self.section, "invalid varint")),
@@ -171,7 +172,7 @@ impl SectionState {
 
     /// Consumes the rest of the payload without interpreting it (the
     /// CRC is still fed, so [`SectionState::finish`] stays meaningful).
-    fn skip<R: Read>(&mut self, src: &mut R) -> Result<(), TraceFileError> {
+    pub(crate) fn skip<R: Read>(&mut self, src: &mut R) -> Result<(), TraceFileError> {
         let mut buf = [0u8; 8192];
         while self.remaining > 0 {
             let n = self.remaining.min(buf.len() as u64) as usize;
@@ -183,7 +184,7 @@ impl SectionState {
     }
 
     /// Verifies the payload was fully consumed and matches its CRC.
-    fn finish<R: Read>(self, src: &mut R) -> Result<(), TraceFileError> {
+    pub(crate) fn finish<R: Read>(self, src: &mut R) -> Result<(), TraceFileError> {
         if self.remaining != 0 {
             return Err(TraceFileError::malformed(
                 self.section,
@@ -418,6 +419,28 @@ impl<R: Read> TraceReader<R> {
             remaining: count,
             decoder: EventDecoder::new(),
         })
+    }
+
+    /// Streams the events section in structure-of-arrays batches — the
+    /// high-throughput replay path. Skips (but still checksums) the
+    /// records section.
+    ///
+    /// Unlike [`TraceReader::into_events`], the returned source decodes
+    /// straight from an internal buffer slab into reusable
+    /// [`EventChunk`](lifepred_trace::EventChunk)s: no per-event
+    /// `Result` values, no per-byte checksum calls. The events CRC and
+    /// end-of-file are verified when the final chunk is delivered.
+    ///
+    /// # Errors
+    ///
+    /// Malformed or truncated records/events section headers.
+    pub fn into_event_chunks(mut self) -> Result<EventChunks<R>, TraceFileError> {
+        let mut st = SectionState::open(&mut self.src, SECTION_RECORDS, "records")?;
+        st.skip(&mut self.src)?;
+        st.finish(&mut self.src)?;
+        let mut state = SectionState::open(&mut self.src, SECTION_EVENTS, "events")?;
+        let count = state.read_varint(&mut self.src)?;
+        Ok(EventChunks::new(self.src, state, count))
     }
 
     /// Loads the whole file into a [`Trace`], cross-validating the
