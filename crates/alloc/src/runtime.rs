@@ -91,11 +91,18 @@ impl RuntimeArenaConfig {
     /// # Errors
     ///
     /// Returns the [`RuntimeArenaConfig::parse_spec`] message when the
-    /// variable is set but malformed.
+    /// variable is set but malformed, and a dedicated message when it
+    /// is set but not valid Unicode. A set-but-broken variable must
+    /// never be silently treated as "not set": the operator asked for
+    /// specific geometry and would otherwise run with defaults.
     pub fn from_env() -> Result<Option<Self>, String> {
         match std::env::var(ARENA_ENV) {
             Ok(spec) => RuntimeArenaConfig::parse_spec(&spec).map(Some),
-            Err(_) => Ok(None),
+            Err(std::env::VarError::NotPresent) => Ok(None),
+            Err(std::env::VarError::NotUnicode(raw)) => Err(format!(
+                "{ARENA_ENV}: value is not valid Unicode ({raw:?}); \
+                 expected count,size"
+            )),
         }
     }
 
@@ -923,6 +930,61 @@ mod tests {
         if usize::BITS <= 46 {
             assert!(RuntimeArenaConfig::parse_spec(&huge).is_err());
         }
+    }
+
+    #[test]
+    fn arena_spec_errors_name_the_offending_field() {
+        let err = RuntimeArenaConfig::parse_spec("zero,4096").unwrap_err();
+        assert!(
+            err.contains(ARENA_ENV),
+            "error should name the variable: {err}"
+        );
+        assert!(err.contains("count"), "error should name the field: {err}");
+        let err = RuntimeArenaConfig::parse_spec("16,huge").unwrap_err();
+        assert!(err.contains("size"), "error should name the field: {err}");
+        let err = RuntimeArenaConfig::parse_spec("16,32").unwrap_err();
+        assert!(
+            err.contains("arena size"),
+            "error should name the field: {err}"
+        );
+        assert!(err.contains("32"), "error should echo the value: {err}");
+    }
+
+    // The from_env tests mutate process-global environment state, so
+    // they run as one test (and no sibling test reads the variable)
+    // to avoid racing parallel test threads.
+    #[test]
+    fn from_env_is_loud_about_set_but_broken_values() {
+        std::env::remove_var(ARENA_ENV);
+        assert_eq!(RuntimeArenaConfig::from_env(), Ok(None));
+
+        std::env::set_var(ARENA_ENV, "8,8192");
+        assert_eq!(
+            RuntimeArenaConfig::from_env(),
+            Ok(Some(RuntimeArenaConfig {
+                arena_count: 8,
+                arena_size: 8192,
+            }))
+        );
+
+        // Malformed geometry is an error, not a default fallback.
+        std::env::set_var(ARENA_ENV, "8x8192");
+        let err = RuntimeArenaConfig::from_env().unwrap_err();
+        assert!(err.contains(ARENA_ENV), "{err}");
+
+        // A set-but-non-Unicode value is an error too (this used to
+        // fall back to defaults silently).
+        #[cfg(unix)]
+        {
+            use std::os::unix::ffi::OsStrExt;
+            let raw = std::ffi::OsStr::from_bytes(&[b'8', 0xff, b'4']);
+            std::env::set_var(ARENA_ENV, raw);
+            let err = RuntimeArenaConfig::from_env().unwrap_err();
+            assert!(err.contains("not valid Unicode"), "{err}");
+            assert!(err.contains(ARENA_ENV), "{err}");
+        }
+
+        std::env::remove_var(ARENA_ENV);
     }
 
     #[test]

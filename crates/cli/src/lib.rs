@@ -13,7 +13,12 @@
 //!   as JSON (`--metrics-out`);
 //! * `stats` renders a saved metrics dump as Prometheus text or JSON;
 //! * `report` reruns the paper's prediction-quality analysis (online
-//!   columns sourced from the metric registry).
+//!   columns sourced from the metric registry);
+//! * `native` activates [`lifepred_galloc`]'s `LifepredGlobal` (the
+//!   binary's `#[global_allocator]`) and runs workloads through it for
+//!   real — every allocation the workload makes is served by the
+//!   lifetime-predicting allocator, and the magazine/prediction
+//!   counters are reported afterwards.
 //!
 //! Everything routes through [`run`], which writes to a caller-provided
 //! sink so integration tests can capture output.
@@ -52,6 +57,7 @@ USAGE:
                       [--jobs <n>]
     lifepred stats <m.json> [--format <prometheus|json>]
     lifepred report [--workload <name>]... [--policy <p>] [--jobs <n>]
+    lifepred native [<workload>]... [--metrics-out <m.json>]
 
 OPTIONS:
     --workload <name>     one of: cfrac, espresso, gawk, ghost, perl
@@ -102,6 +108,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         Some("simulate") => cmd_simulate(&args[1..], out),
         Some("stats") => cmd_stats(&args[1..], out),
         Some("report") => cmd_report(&args[1..], out),
+        Some("native") => cmd_native(&args[1..], out),
         Some(other) => Err(format!("unknown command {other:?} (try `lifepred --help`)")),
     }
 }
@@ -847,6 +854,119 @@ fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         &headers,
         &rows,
     )
+}
+
+// ---------------------------------------------------------------------
+// native
+// ---------------------------------------------------------------------
+
+/// Runs workloads with the binary's own global allocator switched to
+/// [`lifepred_galloc::LifepredGlobal`]: the traced programs allocate
+/// through the lifetime-predicting allocator for real, and the
+/// magazine/prediction counters tell the story afterwards.
+fn cmd_native(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut metrics_out: Option<String> = None;
+    let mut s = Scanner::new(args);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt("metrics-out", v) => {
+                metrics_out = Some(s.value("metrics-out", v)?.to_owned());
+            }
+            Arg::Opt(o, _) => return Err(format!("native: unknown option --{o}")),
+            Arg::Positional(p) => names.push(p.to_owned()),
+        }
+    }
+    let workloads = if names.is_empty() {
+        all_workloads()
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                by_name(n).ok_or_else(|| {
+                    let known: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
+                    format!("unknown workload {n:?} (known: {})", known.join(", "))
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    lifepred_galloc::activate().map_err(|e| format!("native: {e}"))?;
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let before = lifepred_galloc::stats();
+        let registry = shared_registry();
+        let inputs = w.inputs().len();
+        let train = record_workload(w.as_ref(), 0, registry.clone());
+        let test = record_workload(w.as_ref(), inputs - 1, registry);
+        let after = lifepred_galloc::stats();
+        rows.push(vec![
+            w.name().to_owned(),
+            format!("{}", train.records().len() + test.records().len()),
+            format!("{}", after.small_allocs - before.small_allocs),
+            format!("{}", after.short_allocs - before.short_allocs),
+            format!(
+                "{}",
+                (after.fallback_large + after.fallback_exhausted)
+                    - (before.fallback_large + before.fallback_exhausted)
+            ),
+        ]);
+    }
+    write_table(
+        out,
+        "native runs (allocations served by LifepredGlobal)",
+        &[
+            "workload",
+            "traced",
+            "small allocs",
+            "short-lived",
+            "fallbacks",
+        ],
+        &rows,
+    )?;
+    let stats = lifepred_galloc::stats();
+    if stats.small_allocs == 0 {
+        write_out(
+            out,
+            "\nwarning: no traffic reached the class path — this build's \
+             global allocator is not LifepredGlobal\n",
+        )?;
+    }
+    write_out(
+        out,
+        format!(
+            "\nallocator totals:\n\
+             small allocs:     {} ({} bytes)\n\
+             magazine hit rate:{:>7.2}%\n\
+             short-lived:      {} allocs, {} segment resets\n\
+             remote frees:     {} ({} drained)\n\
+             system fallbacks: {} large, {} align, {} exhausted\n\
+             sampling:         {} sampled, {} frees seen, {} mispredicted\n\
+             epoch ticks:      {}\n",
+            stats.small_allocs,
+            stats.small_bytes,
+            stats.hit_rate() * 100.0,
+            stats.short_allocs,
+            stats.seg_resets,
+            stats.remote_frees,
+            stats.remote_drained,
+            stats.fallback_large,
+            stats.fallback_align,
+            stats.fallback_exhausted,
+            stats.sampled_allocs,
+            stats.sampled_frees,
+            stats.mispredict_frees,
+            stats.epoch_ticks,
+        ),
+    )?;
+    if let Some(l) = lifepred_galloc::learner_stats() {
+        write_online_stats(out, &l)?;
+    }
+    if let Some(path) = metrics_out.as_deref() {
+        let registry = Registry::new();
+        lifepred_galloc::export_metrics(&registry);
+        std::fs::write(path, registry.snapshot().to_json()).map_err(|e| file_err(path, e))?;
+    }
+    Ok(())
 }
 
 fn write_table(

@@ -2,6 +2,13 @@
 
 use std::process::ExitCode;
 
+/// The lifetime-predicting allocator serves every allocation this
+/// binary makes — but stays a system passthrough until the `native`
+/// command activates it, so the replay/training commands measure
+/// nothing but themselves.
+#[global_allocator]
+static GLOBAL: lifepred_galloc::LifepredGlobal = lifepred_galloc::LifepredGlobal::new();
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match lifepred_cli::run(&args, &mut std::io::stdout()) {

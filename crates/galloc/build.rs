@@ -1,0 +1,6 @@
+fn main() {
+    // `--cfg loom` arrives via RUSTFLAGS, not a feature, so the
+    // compiler must be told the cfg exists or `-D warnings` builds
+    // fail on unexpected_cfgs.
+    println!("cargo::rustc-check-cfg=cfg(loom)");
+}

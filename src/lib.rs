@@ -23,7 +23,11 @@
 //!   and the sharded per-thread variant);
 //! * [`adaptive`] — the online self-correcting predictor: epoch-based
 //!   training, misprediction-driven demotion with hysteresis, and the
-//!   lock-free-reader snapshot the sharded allocator consults.
+//!   lock-free-reader snapshot the sharded allocator consults;
+//! * [`galloc`] — the deployable `#[global_allocator]`: per-thread
+//!   magazine caches over the sharded heap, return-address site
+//!   fingerprinting into the adaptive predictor, and segregated
+//!   short-lived segments that reset wholesale.
 //!
 //! # Quickstart
 //!
@@ -51,6 +55,7 @@
 pub use lifepred_adaptive as adaptive;
 pub use lifepred_alloc as alloc;
 pub use lifepred_core as core;
+pub use lifepred_galloc as galloc;
 pub use lifepred_heap as heap;
 pub use lifepred_obs as obs;
 pub use lifepred_quantile as quantile;
