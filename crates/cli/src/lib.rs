@@ -18,7 +18,12 @@
 //!   binary's `#[global_allocator]`) and runs workloads through it for
 //!   real — every allocation the workload makes is served by the
 //!   lifetime-predicting allocator, and the magazine/prediction
-//!   counters are reported afterwards.
+//!   counters are reported afterwards;
+//! * `sweep` expands a declarative grid spec into the paper's
+//!   design-space evaluation ([`lifepred_sweep`]), caching every cell
+//!   so re-runs and resumes recompute only what changed;
+//! * `serve` exposes the sweep engine and a Prometheus `/metrics`
+//!   endpoint over a dependency-free HTTP/1.1 server.
 //!
 //! Everything routes through [`run`], which writes to a caller-provided
 //! sink so integration tests can capture output.
@@ -38,6 +43,10 @@ use lifepred_heap::{
     ReplayReport, ReplayStreamError,
 };
 use lifepred_obs::{Registry, Snapshot};
+use lifepred_sweep::{
+    diff_reports, install_shutdown_handlers, render_csv, render_json, render_table, run_sweep,
+    CancelFlag, GridSpec, ResultStore, Server, ServerConfig, SweepOptions,
+};
 use lifepred_trace::{shared_registry, Trace};
 use lifepred_tracefile::{load_trace, save_trace, TraceFileError, TraceReader};
 use lifepred_workloads::{all_workloads, by_name, record as record_workload};
@@ -58,6 +67,11 @@ USAGE:
     lifepred stats <m.json> [--format <prometheus|json>]
     lifepred report [--workload <name>]... [--policy <p>] [--jobs <n>]
     lifepred native [<workload>]... [--metrics-out <m.json>]
+    lifepred sweep run|resume|render --spec <grid.json> [--store <dir>]
+                      [--jobs <n>] [--format <table|csv|json>] [--out <file>]
+    lifepred sweep diff <before.json> <after.json>
+    lifepred serve [--addr <host:port>] [--store <dir>] [--threads <n>]
+                   [--jobs <n>]
 
 OPTIONS:
     --workload <name>     one of: cfrac, espresso, gawk, ghost, perl
@@ -79,12 +93,24 @@ OPTIONS:
                           (counters, histograms, epoch timeline) as JSON;
                           with several traces, per-run registries are
                           merged into one dump
-    --jobs <n>            simulate/report: worker threads for
-                          independent runs (default 1)
-    --format <f>          stats: prometheus (default) or json
+    --force               simulate/native: allow --metrics-out to
+                          overwrite an existing file
+    --jobs <n>            simulate/report/sweep/serve: worker threads
+                          for independent runs (default 1)
+    --format <f>          stats: prometheus (default) or json;
+                          sweep: table (default), csv or json
     --functions           inspect: list the function registry
     --chains              inspect: list the interned call chains
     --verify              inspect: stream every section, checking CRCs
+    --spec <grid.json>    sweep: declarative grid spec (schema
+                          lifepred-sweep-v1; see DESIGN.md section 13)
+    --store <dir>         sweep/serve: content-addressed result cache
+                          directory (default sweep-cache)
+    --out <file>          sweep: write the rendered report to a file
+                          instead of stdout
+    --addr <host:port>    serve: listen address (default 127.0.0.1:7878;
+                          port 0 picks an ephemeral port)
+    --threads <n>         serve: HTTP worker threads (default 4)
 ";
 
 /// Entry point shared by the binary and the integration tests.
@@ -109,6 +135,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         Some("stats") => cmd_stats(&args[1..], out),
         Some("report") => cmd_report(&args[1..], out),
         Some("native") => cmd_native(&args[1..], out),
+        Some("sweep") => cmd_sweep(&args[1..], out),
+        Some("serve") => cmd_serve(&args[1..], out),
         Some(other) => Err(format!("unknown command {other:?} (try `lifepred --help`)")),
     }
 }
@@ -561,6 +589,7 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let mut epoch_bytes: Option<u64> = None;
     let mut requalify = 3u32;
     let mut metrics_out: Option<String> = None;
+    let mut force = false;
     let mut jobs = 1usize;
     let mut s = Scanner::new(args);
     while let Some(arg) = s.next() {
@@ -579,6 +608,7 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             Arg::Opt("metrics-out", v) => {
                 metrics_out = Some(s.value("metrics-out", v)?.to_owned());
             }
+            Arg::Opt("force", _) => force = true,
             Arg::Opt("jobs", v) => jobs = parse_num("jobs", s.value("jobs", v)?)?,
             Arg::Opt(o, _) => return Err(format!("simulate: unknown option --{o}")),
             Arg::Positional(p) => paths.push(p.to_owned()),
@@ -624,6 +654,11 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             }
         }
     };
+    // Refuse a doomed run up front: if the metrics dump would clobber
+    // an existing file, say so before spending time simulating.
+    if let Some(path) = metrics_out.as_deref() {
+        guard_overwrite(path, force)?;
+    }
     // Fan the traces over the worker pool; results come back in input
     // order, so the printed reports match a sequential run exactly.
     let want_metrics = metrics_out.is_some();
@@ -641,7 +676,7 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
                 merged.merge(snap);
             }
         }
-        write_metrics(out, path, &merged)?;
+        write_metrics(out, path, &merged, force)?;
     }
     let mut first = true;
     for r in &results {
@@ -657,9 +692,27 @@ fn cmd_simulate(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     Ok(())
 }
 
+/// Refuses to clobber an existing `--metrics-out` file unless the user
+/// passed `--force`: a metrics dump is a measurement, and silently
+/// replacing one hides that the numbers changed.
+fn guard_overwrite(path: &str, force: bool) -> Result<(), String> {
+    if !force && std::path::Path::new(path).exists() {
+        return Err(format!(
+            "{path}: already exists (pass --force to overwrite)"
+        ));
+    }
+    Ok(())
+}
+
 /// Dumps `snapshot` as JSON to `path` and notes the dump in the
 /// regular output.
-fn write_metrics(out: &mut dyn Write, path: &str, snapshot: &Snapshot) -> Result<(), String> {
+fn write_metrics(
+    out: &mut dyn Write,
+    path: &str,
+    snapshot: &Snapshot,
+    force: bool,
+) -> Result<(), String> {
+    guard_overwrite(path, force)?;
     std::fs::write(path, snapshot.to_json()).map_err(|e| file_err(path, e))?;
     write_out(
         out,
@@ -867,15 +920,20 @@ fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 fn cmd_native(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let mut names: Vec<String> = Vec::new();
     let mut metrics_out: Option<String> = None;
+    let mut force = false;
     let mut s = Scanner::new(args);
     while let Some(arg) = s.next() {
         match arg {
             Arg::Opt("metrics-out", v) => {
                 metrics_out = Some(s.value("metrics-out", v)?.to_owned());
             }
+            Arg::Opt("force", _) => force = true,
             Arg::Opt(o, _) => return Err(format!("native: unknown option --{o}")),
             Arg::Positional(p) => names.push(p.to_owned()),
         }
+    }
+    if let Some(path) = metrics_out.as_deref() {
+        guard_overwrite(path, force)?;
     }
     let workloads = if names.is_empty() {
         all_workloads()
@@ -964,9 +1022,181 @@ fn cmd_native(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     if let Some(path) = metrics_out.as_deref() {
         let registry = Registry::new();
         lifepred_galloc::export_metrics(&registry);
-        std::fs::write(path, registry.snapshot().to_json()).map_err(|e| file_err(path, e))?;
+        write_metrics(out, path, &registry.snapshot(), force)?;
     }
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// sweep
+// ---------------------------------------------------------------------
+
+/// Runs (or resumes, or re-renders) a design-space sweep. The three
+/// verbs share one engine — the content-addressed cache is what makes
+/// them differ in practice:
+///
+/// * `run` executes the grid, computing whatever the cache lacks;
+/// * `resume` is the same execution after a kill — only dirty cells
+///   recompute, and the summary says how much the cache answered;
+/// * `render` re-renders a fully-cached grid (instant when warm).
+fn cmd_sweep(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let verb = match args.first().map(String::as_str) {
+        Some(v @ ("run" | "resume" | "render")) => v,
+        Some("diff") => return sweep_diff(&args[1..], out),
+        Some(other) => {
+            return Err(format!(
+                "sweep: unknown subcommand {other:?} (expected run, resume, render or diff)"
+            ))
+        }
+        None => return Err("sweep: a subcommand is required (run, resume, render or diff)".into()),
+    };
+    let mut spec_path: Option<String> = None;
+    let mut store_dir = "sweep-cache".to_owned();
+    let mut jobs = 1usize;
+    let mut format = "table".to_owned();
+    let mut out_path: Option<String> = None;
+    let mut s = Scanner::new(&args[1..]);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt("spec", v) => spec_path = Some(s.value("spec", v)?.to_owned()),
+            Arg::Opt("store", v) => store_dir = s.value("store", v)?.to_owned(),
+            Arg::Opt("jobs", v) => jobs = parse_num("jobs", s.value("jobs", v)?)?,
+            Arg::Opt("format", v) => format = s.value("format", v)?.to_owned(),
+            Arg::Opt("o" | "out", v) => out_path = Some(s.value("out", v)?.to_owned()),
+            Arg::Opt(o, _) => return Err(format!("sweep {verb}: unknown option --{o}")),
+            Arg::Positional(p) => return Err(format!("sweep {verb}: unexpected argument {p:?}")),
+        }
+    }
+    let spec_path = spec_path.ok_or("sweep: --spec is required")?;
+    let text = std::fs::read_to_string(&spec_path).map_err(|e| file_err(&spec_path, e))?;
+    let spec = GridSpec::from_json(&text).map_err(|e| file_err(&spec_path, e))?;
+    let store = ResultStore::open(&store_dir).map_err(|e| file_err(&store_dir, e))?;
+    let opts = SweepOptions {
+        threads: jobs.max(1),
+        want_metrics: false,
+    };
+    // SIGTERM/ctrl-c cancels between cells: everything finished so far
+    // is already in the cache, so `sweep resume` picks up the rest.
+    let cancel = CancelFlag::new();
+    let _ = install_shutdown_handlers(&cancel);
+    // Progress goes to stderr so table/CSV/JSON on stdout stay clean.
+    let progress = |done: usize, total: usize| {
+        eprintln!("sweep: computed {done}/{total} cells");
+    };
+    let outcome = run_sweep(&spec, &store, &opts, &cancel, Some(&progress))
+        .map_err(|e| format!("sweep: {e}"))?;
+
+    let st = &outcome.stats;
+    if st.cancelled {
+        return Err(format!(
+            "sweep: cancelled after {} computed cell(s); finished cells are cached — \
+             rerun `lifepred sweep resume` to pick up the remaining {}",
+            st.computed,
+            st.unique - st.cache_hits - st.computed
+        ));
+    }
+    if st.errors > 0 {
+        for o in &outcome.outcomes {
+            if let Some(err) = &o.error {
+                write_out(
+                    out,
+                    format!("error: {}: {err}\n", o.cell.canonical_string()),
+                )?;
+            }
+        }
+        return Err(format!("sweep: {} cell(s) failed", st.errors));
+    }
+
+    let rendered = match format.as_str() {
+        "table" => render_table(&outcome),
+        "csv" => render_csv(&outcome),
+        "json" => render_json(&outcome),
+        other => {
+            return Err(format!(
+                "unknown format {other:?} (expected table, csv or json)"
+            ))
+        }
+    };
+    match out_path.as_deref() {
+        Some(path) => {
+            std::fs::write(path, &rendered).map_err(|e| file_err(path, e))?;
+            write_out(out, format!("report:         {path}\n"))?;
+        }
+        None => write_out(out, &rendered)?,
+    }
+    write_out(
+        out,
+        format!(
+            "{verb}: {} cells ({} unique), {} cached, {} computed\n",
+            st.cells, st.unique, st.cache_hits, st.computed
+        ),
+    )
+}
+
+/// `lifepred sweep diff <before.json> <after.json>` — compares two
+/// saved JSON reports (from `sweep run --format json --out ...`).
+fn sweep_diff(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut s = Scanner::new(args);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt(o, _) => return Err(format!("sweep diff: unknown option --{o}")),
+            Arg::Positional(p) => paths.push(p.to_owned()),
+        }
+    }
+    let [before, after] = paths.as_slice() else {
+        return Err("sweep diff: exactly two report files are required".to_owned());
+    };
+    let a = std::fs::read_to_string(before).map_err(|e| file_err(before, e))?;
+    let b = std::fs::read_to_string(after).map_err(|e| file_err(after, e))?;
+    write_out(out, diff_reports(&a, &b)?)
+}
+
+// ---------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------
+
+/// Binds the blocking HTTP endpoint and runs it until SIGTERM/ctrl-c.
+fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_owned();
+    let mut store = "sweep-cache".to_owned();
+    let mut threads = 4usize;
+    let mut jobs = 1usize;
+    let mut s = Scanner::new(args);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt("addr", v) => addr = s.value("addr", v)?.to_owned(),
+            Arg::Opt("store", v) => store = s.value("store", v)?.to_owned(),
+            Arg::Opt("threads", v) => threads = parse_num("threads", s.value("threads", v)?)?,
+            Arg::Opt("jobs", v) => jobs = parse_num("jobs", s.value("jobs", v)?)?,
+            Arg::Opt(o, _) => return Err(format!("serve: unknown option --{o}")),
+            Arg::Positional(p) => return Err(format!("serve: unexpected argument {p:?}")),
+        }
+    }
+    let server = Server::bind(&ServerConfig {
+        addr,
+        store: store.clone().into(),
+        threads: threads.max(1),
+        jobs: jobs.max(1),
+    })
+    .map_err(|e| format!("serve: {e}"))?;
+    let local = server.local_addr().map_err(|e| format!("serve: {e}"))?;
+    let handled = install_shutdown_handlers(&server.shutdown_handle());
+    write_out(
+        out,
+        format!(
+            "serving on http://{local}/ (store {store}, {} http threads, {} sweep jobs)\n\
+             routes: GET /healthz, GET /metrics, GET /sweeps, GET /sweeps/<id>, POST /sweeps\n",
+            threads.max(1),
+            jobs.max(1),
+        ),
+    )?;
+    if !handled {
+        write_out(out, "note: no signal handlers on this platform\n")?;
+    }
+    out.flush().map_err(|e| format!("write failed: {e}"))?;
+    server.run().map_err(|e| format!("serve: {e}"))?;
+    write_out(out, "shutdown: drained and stopped\n")
 }
 
 fn write_table(

@@ -401,6 +401,137 @@ fn corrupted_and_missing_files_error_cleanly() {
 }
 
 #[test]
+fn metrics_out_refuses_overwrite_without_force() {
+    let dir = Scratch::new("force");
+    let trace = dir.path("cfrac.lpt");
+    let metrics = dir.path("m.json");
+    run(&["record", "--workload", "cfrac", "-o", &trace]).expect("record");
+
+    run(&[
+        "simulate",
+        &trace,
+        "--allocator",
+        "first-fit",
+        "--metrics-out",
+        &metrics,
+    ])
+    .expect("first dump");
+    let first = std::fs::read_to_string(&metrics).expect("dump written");
+
+    // A second dump to the same path is refused before any simulation
+    // runs, and the original file is untouched.
+    let err = run(&[
+        "simulate",
+        &trace,
+        "--allocator",
+        "first-fit",
+        "--metrics-out",
+        &metrics,
+    ])
+    .expect_err("overwrite must be refused");
+    assert!(err.contains("already exists"), "error: {err}");
+    assert!(err.contains("--force"), "error must mention --force: {err}");
+    assert_eq!(
+        std::fs::read_to_string(&metrics).expect("still there"),
+        first,
+        "refused overwrite must not touch the file"
+    );
+
+    // --force allows it.
+    run(&[
+        "simulate",
+        &trace,
+        "--allocator",
+        "first-fit",
+        "--metrics-out",
+        &metrics,
+        "--force",
+    ])
+    .expect("forced overwrite");
+
+    // `native` honors the same guard.
+    let nm = dir.path("native.json");
+    run(&["native", "cfrac", "--metrics-out", &nm]).expect("native dump");
+    assert!(run(&["native", "cfrac", "--metrics-out", &nm]).is_err());
+    run(&["native", "cfrac", "--metrics-out", &nm, "--force"]).expect("forced native dump");
+}
+
+#[test]
+fn sweep_run_resume_render_and_diff() {
+    let dir = Scratch::new("sweep");
+    let trace = dir.path("cfrac.lpt");
+    let spec = dir.path("grid.json");
+    let store = dir.path("store");
+    run(&["record", "--workload", "cfrac", "-o", &trace]).expect("record");
+    std::fs::write(
+        &spec,
+        format!(
+            r#"{{"schema": "lifepred-sweep-v1", "name": "cli-grid",
+                "traces": [{trace:?}],
+                "backends": ["offline", "firstfit"],
+                "thresholds": [16384, 32768]}}"#
+        ),
+    )
+    .expect("write spec");
+
+    // Cold run: 4 cells, but first-fit ignores the threshold axis so
+    // only 3 unique executions happen.
+    let out = run(&["sweep", "run", "--spec", &spec, "--store", &store]).expect("cold run");
+    assert!(out.contains("backend=offline"), "table output: {out}");
+    assert!(out.contains("backend=firstfit"), "table output: {out}");
+    assert!(
+        out.contains("run: 4 cells (3 unique), 0 cached, 3 computed"),
+        "summary: {out}"
+    );
+
+    // Resume answers everything from the cache.
+    let out = run(&["sweep", "resume", "--spec", &spec, "--store", &store]).expect("resume");
+    assert!(
+        out.contains("resume: 4 cells (3 unique), 3 cached, 0 computed"),
+        "summary: {out}"
+    );
+
+    // Render to CSV and JSON files; identical JSON reports diff clean.
+    let csv = dir.path("report.csv");
+    run(&[
+        "sweep", "render", "--spec", &spec, "--store", &store, "--format", "csv", "--out", &csv,
+    ])
+    .expect("render csv");
+    let csv_text = std::fs::read_to_string(&csv).expect("csv written");
+    assert!(
+        csv_text.lines().count() >= 5,
+        "header + 4 cells: {csv_text}"
+    );
+
+    let a = dir.path("a.json");
+    let b = dir.path("b.json");
+    for path in [&a, &b] {
+        run(&[
+            "sweep", "render", "--spec", &spec, "--store", &store, "--format", "json", "--out",
+            path,
+        ])
+        .expect("render json");
+    }
+    let out = run(&["sweep", "diff", &a, &b]).expect("diff");
+    assert!(out.contains("no differences"), "diff: {out}");
+
+    // Argument and input errors surface cleanly.
+    assert!(run(&["sweep"]).is_err(), "subcommand required");
+    assert!(run(&["sweep", "frob"]).is_err(), "unknown subcommand");
+    assert!(
+        run(&["sweep", "run", "--store", &store]).is_err(),
+        "--spec required"
+    );
+    assert!(run(&["sweep", "run", "--spec", &spec, "--store", &store, "--format", "xml"]).is_err());
+    assert!(run(&["sweep", "diff", &a]).is_err(), "diff needs two files");
+    let junk = dir.path("junk.json");
+    std::fs::write(&junk, "{not json").expect("write");
+    assert!(run(&["sweep", "run", "--spec", &junk, "--store", &store]).is_err());
+    assert!(run(&["sweep", "diff", &a, &junk]).is_err());
+    assert!(run(&["serve", "--addr", "not-an-address"]).is_err());
+}
+
+#[test]
 fn argument_errors_are_reported() {
     assert!(run(&["frobnicate"]).is_err());
     assert!(run(&["record"]).is_err(), "missing --workload");

@@ -210,6 +210,14 @@ impl HistogramSnapshot {
     /// Folds `other` into `self`, bucket by bucket — the result is
     /// exactly what one histogram would hold had it seen both
     /// observation streams.
+    ///
+    /// A snapshot carries no metric name, so this cannot tell whether
+    /// the two sides describe the same metric: pairing by name is the
+    /// caller's contract. [`Snapshot::merge`](crate::Snapshot::merge)
+    /// does that pairing and flags unpaired names with the
+    /// [`MERGE_NAME_MISSES_METRIC`](crate::registry::MERGE_NAME_MISSES_METRIC)
+    /// warning counter; call sites merging bare `HistogramSnapshot`s
+    /// get no such net.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         self.count += other.count;
         self.sum = self.sum.wrapping_add(other.sum);

@@ -46,6 +46,7 @@
 
 pub mod counter;
 pub mod hist;
+pub mod json;
 pub mod registry;
 pub mod render;
 pub mod timeline;
@@ -53,7 +54,8 @@ pub mod timer;
 
 pub use counter::{Counter, Gauge, COUNTER_CELLS};
 pub use hist::{bucket_le, bucket_of, HistogramSnapshot, LogHistogram, HIST_BUCKETS};
-pub use registry::{valid_name, Registry, Snapshot};
-pub use render::{ParseError, JSON_SCHEMA};
+pub use json::ParseError;
+pub use registry::{valid_name, Registry, Snapshot, MERGE_NAME_MISSES_METRIC};
+pub use render::JSON_SCHEMA;
 pub use timeline::{EpochSample, EpochTimeline, DEFAULT_TIMELINE_CAPACITY};
 pub use timer::{Timer, TIMING_ENABLED};

@@ -263,15 +263,33 @@ impl Snapshot {
     }
 
     /// Folds `other` into `self`, name by name — how the parallel
-    /// simulation driver combines per-job registries into one dump.
+    /// simulation driver and the sweep engine combine per-job
+    /// registries into one dump.
     ///
     /// Counters and gauges **add** (a merged gauge is therefore a sum
     /// across jobs — the right reading for the `lifepred_learner_*`
     /// byte totals, the only gauges the simulator exports), histograms
     /// merge bucketwise, and timelines concatenate in merge order.
-    /// Metrics present only in `other` are inserted; name ordering
-    /// stays sorted.
+    ///
+    /// The merge is a **union**: a metric present on only one side is
+    /// carried into the result unchanged, with nothing to pair it
+    /// against on the other side. That is the right behavior for
+    /// optional metric families (the epoch timeline only exists for
+    /// online runs), but it also means a misspelled or mis-wired
+    /// metric name can never fail a merge. To keep that visible, when
+    /// two **non-empty** snapshots disagree on their name sets the
+    /// merged result carries a typed warning counter,
+    /// [`MERGE_NAME_MISSES_METRIC`], incremented once per unpaired
+    /// name (in either direction, every metric kind). Merging into a
+    /// freshly-`default()` accumulator — the standard fold loop — does
+    /// not count, and neither does the warning counter itself.
+    /// Name ordering stays sorted.
     pub fn merge(&mut self, other: &Snapshot) {
+        let misses = if self.is_empty() {
+            0
+        } else {
+            self.name_misses(other)
+        };
         fn fold<T: Clone>(
             into: &mut Vec<(String, T)>,
             from: &[(String, T)],
@@ -290,8 +308,68 @@ impl Snapshot {
         fold(&mut self.timelines, &other.timelines, |a, b| {
             a.extend_from_slice(b);
         });
+        if misses > 0 {
+            match self
+                .counters
+                .binary_search_by(|(n, _)| n.as_str().cmp(MERGE_NAME_MISSES_METRIC))
+            {
+                Ok(i) => self.counters[i].1 += misses,
+                Err(i) => self
+                    .counters
+                    .insert(i, (MERGE_NAME_MISSES_METRIC.to_string(), misses)),
+            }
+        }
+    }
+
+    /// Counts the names that would merge without a partner: present on
+    /// exactly one side, across every metric kind, excluding
+    /// [`MERGE_NAME_MISSES_METRIC`] itself (which is bookkeeping, not
+    /// a wired metric).
+    fn name_misses(&self, other: &Snapshot) -> u64 {
+        fn unpaired<T, U>(a: &[(String, T)], b: &[(String, U)]) -> u64 {
+            // Both vectors are name-sorted; walk them in lockstep.
+            let (mut i, mut j, mut misses) = (0usize, 0usize, 0u64);
+            while i < a.len() || j < b.len() {
+                let cmp = match (a.get(i), b.get(j)) {
+                    (Some((x, _)), Some((y, _))) => x.as_str().cmp(y.as_str()),
+                    (Some(_), None) => std::cmp::Ordering::Less,
+                    (None, Some(_)) => std::cmp::Ordering::Greater,
+                    (None, None) => break,
+                };
+                match cmp {
+                    std::cmp::Ordering::Equal => {
+                        i += 1;
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Less => {
+                        if a[i].0 != MERGE_NAME_MISSES_METRIC {
+                            misses += 1;
+                        }
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        if b[j].0 != MERGE_NAME_MISSES_METRIC {
+                            misses += 1;
+                        }
+                        j += 1;
+                    }
+                }
+            }
+            misses
+        }
+        unpaired(&self.counters, &other.counters)
+            + unpaired(&self.gauges, &other.gauges)
+            + unpaired(&self.histograms, &other.histograms)
+            + unpaired(&self.timelines, &other.timelines)
     }
 }
+
+/// Counter name [`Snapshot::merge`] bumps when it folds two non-empty
+/// snapshots whose metric name sets differ (see the `merge` docs).
+/// A non-zero value in a merged dump means some metric was recorded on
+/// one side of a fold but not the other — usually a wiring bug in the
+/// caller, not a property of the workload.
+pub const MERGE_NAME_MISSES_METRIC: &str = "lifepred_obs_merge_name_misses_total";
 
 #[cfg(test)]
 mod tests {
@@ -361,9 +439,66 @@ mod tests {
             vec![1, 2],
             "timelines concatenate in merge order"
         );
+        // `only_b_total` had no partner in `a`, so the union is
+        // flagged by the typed warning counter.
+        assert_eq!(merged.counter(MERGE_NAME_MISSES_METRIC), Some(1));
         // Names stay sorted so a merged snapshot renders like a real one.
         let names: Vec<&str> = merged.counters.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, vec!["c_total", "only_b_total"]);
+        assert_eq!(
+            names,
+            vec!["c_total", MERGE_NAME_MISSES_METRIC, "only_b_total"]
+        );
+    }
+
+    #[test]
+    fn merge_into_empty_accumulator_counts_no_misses() {
+        // The standard fold loop starts from `Snapshot::default()`;
+        // adopting the first job's snapshot is not a name mismatch.
+        let a = Registry::new();
+        a.counter("c_total").add(3);
+        a.gauge("g_bytes").set(1);
+        let mut merged = Snapshot::default();
+        merged.merge(&a.snapshot());
+        assert_eq!(merged.counter(MERGE_NAME_MISSES_METRIC), None);
+        // And identical name sets never trip the warning either.
+        merged.merge(&a.snapshot());
+        assert_eq!(merged.counter(MERGE_NAME_MISSES_METRIC), None);
+        assert_eq!(merged.counter("c_total"), Some(6));
+    }
+
+    #[test]
+    fn merge_counts_misses_in_both_directions_and_every_kind() {
+        let a = Registry::new();
+        a.counter("only_a_total").inc();
+        a.histogram("h_shared").observe(1);
+        let b = Registry::new();
+        b.gauge("only_b_bytes").set(2);
+        b.histogram("h_shared").observe(2);
+        b.timeline("only_b_epochs").push(EpochSample::default());
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        // only_a_total, only_b_bytes, only_b_epochs are unpaired;
+        // h_shared pairs.
+        assert_eq!(merged.counter(MERGE_NAME_MISSES_METRIC), Some(3));
+        assert_eq!(merged.histogram("h_shared").map(|h| h.count), Some(2));
+    }
+
+    #[test]
+    fn merge_miss_counter_does_not_count_itself() {
+        let a = Registry::new();
+        a.counter("c_total").inc();
+        let b = Registry::new();
+        b.counter("c_total").inc();
+        b.counter("d_total").inc();
+        // First mismatched merge plants the warning counter…
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter(MERGE_NAME_MISSES_METRIC), Some(1));
+        // …which must not itself register as a miss on later folds
+        // (nor when folding a dump that already carries one).
+        let again = merged.clone();
+        merged.merge(&again);
+        assert_eq!(merged.counter(MERGE_NAME_MISSES_METRIC), Some(2));
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use std::fmt::Write as _;
 
 use crate::hist::{bucket_le, HistogramSnapshot, HIST_BUCKETS};
+use crate::json::{parse, ParseError, Value};
 use crate::registry::Snapshot;
 use crate::timeline::EpochSample;
 
@@ -204,7 +205,7 @@ impl Snapshot {
 
     /// Parses a document written by [`Snapshot::to_json`].
     pub fn from_json(text: &str) -> Result<Snapshot, ParseError> {
-        let value = Parser::new(text).parse_document()?;
+        let value = parse(text)?;
         let top = value
             .as_obj()
             .ok_or_else(|| ParseError::new("top level is not an object", 0))?;
@@ -319,299 +320,6 @@ fn parse_sample(val: &Value, name: &str) -> Result<EpochSample, ParseError> {
         mispredictions: field_u64(obj, "mispredictions", name)?,
         demotions: field_u64(obj, "demotions", name)?,
     })
-}
-
-/// A JSON parse failure: message plus byte offset into the input.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// Human-readable description of what went wrong.
-    pub msg: String,
-    /// Byte offset into the input where the failure was detected
-    /// (0 for structural errors found after parsing).
-    pub pos: usize,
-}
-
-impl ParseError {
-    fn new(msg: impl Into<String>, pos: usize) -> ParseError {
-        ParseError {
-            msg: msg.into(),
-            pos,
-        }
-    }
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "metrics JSON: {} (at byte {})", self.msg, self.pos)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-/// Minimal JSON value tree — just enough to read back a snapshot.
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Null,
-    Bool(bool),
-    /// Integers parse losslessly into `u64` when they fit...
-    Int(u64),
-    /// ...everything else (floats, negatives, exponents) lands here.
-    Float(f64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(Vec<(String, Value)>),
-}
-
-impl Value {
-    fn as_u64(&self) -> Option<u64> {
-        match *self {
-            Value::Int(n) => Some(n),
-            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => {
-                Some(f as u64)
-            }
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match *self {
-            Value::Int(n) => Some(n as f64),
-            Value::Float(f) => Some(f),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[Value]> {
-        match self {
-            Value::Arr(a) => Some(a),
-            _ => None,
-        }
-    }
-
-    fn as_obj(&self) -> Option<&[(String, Value)]> {
-        match self {
-            Value::Obj(o) => Some(o),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Parser<'a> {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn err(&self, msg: impl Into<String>) -> ParseError {
-        ParseError::new(msg, self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn parse_document(&mut self) -> Result<Value, ParseError> {
-        let v = self.parse_value()?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(self.err("trailing characters after document"));
-        }
-        Ok(v)
-    }
-
-    fn parse_value(&mut self) -> Result<Value, ParseError> {
-        match self
-            .peek()
-            .ok_or_else(|| self.err("unexpected end of input"))?
-        {
-            b'{' => self.parse_obj(),
-            b'[' => self.parse_arr(),
-            b'"' => Ok(Value::Str(self.parse_string()?)),
-            b't' => self.parse_lit("true", Value::Bool(true)),
-            b'f' => self.parse_lit("false", Value::Bool(false)),
-            b'n' => self.parse_lit("null", Value::Null),
-            _ => self.parse_number(),
-        }
-    }
-
-    fn parse_lit(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(v)
-        } else {
-            Err(self.err(format!("expected `{lit}`")))
-        }
-    }
-
-    fn parse_obj(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'{')?;
-        let mut entries = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(entries));
-        }
-        loop {
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let val = self.parse_value()?;
-            entries.push((key, val));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(entries));
-                }
-                _ => return Err(self.err("expected `,` or `}` in object")),
-            }
-        }
-    }
-
-    fn parse_arr(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(self.err("expected `,` or `]` in array")),
-            }
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let Some(&b) = self.bytes.get(self.pos) else {
-                return Err(self.err("unterminated string"));
-            };
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let Some(&esc) = self.bytes.get(self.pos) else {
-                        return Err(self.err("unterminated escape"));
-                    };
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogate pairs are not needed for metric
-                            // names; reject rather than mis-decode.
-                            let c = char::from_u32(hex)
-                                .ok_or_else(|| self.err("bad \\u code point"))?;
-                            out.push(c);
-                        }
-                        _ => return Err(self.err("unknown escape")),
-                    }
-                }
-                _ => {
-                    // Consume the full UTF-8 sequence this byte starts.
-                    let start = self.pos - 1;
-                    let len = utf8_len(b);
-                    let end = start + len;
-                    let s = self
-                        .bytes
-                        .get(start..end)
-                        .and_then(|s| std::str::from_utf8(s).ok())
-                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
-                    out.push_str(s);
-                    self.pos = end;
-                }
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Value, ParseError> {
-        self.skip_ws();
-        let start = self.pos;
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| ParseError::new("invalid number", start))?;
-        if text.is_empty() {
-            return Err(ParseError::new("expected a value", start));
-        }
-        if let Ok(n) = text.parse::<u64>() {
-            return Ok(Value::Int(n));
-        }
-        text.parse::<f64>()
-            .map(Value::Float)
-            .map_err(|_| ParseError::new(format!("bad number `{text}`"), start))
-    }
-}
-
-/// Length in bytes of the UTF-8 sequence starting with byte `b`
-/// (1 for ASCII and for continuation bytes, which will then fail the
-/// `from_utf8` check above).
-fn utf8_len(b: u8) -> usize {
-    match b {
-        0xF0..=0xF7 => 4,
-        0xE0..=0xEF => 3,
-        0xC0..=0xDF => 2,
-        _ => 1,
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,348 @@
+//! Executing one grid cell: train (when offline), replay, measure.
+//!
+//! The execution paths mirror `lifepred simulate` exactly — streaming
+//! two-pass replays that never materialize the event stream — so a
+//! sweep cell's numbers are bit-identical to the one-off CLI run with
+//! the same knobs. Offline cells additionally share their trained
+//! database through [`TrainedDb`]: the engine trains once per
+//! (trace, policy, rounding, threshold) combination and fans the
+//! `Arc` out to every arena geometry that replays against it.
+
+use crate::spec::{Backend, CellConfig};
+use crate::store::CellResult;
+use lifepred_adaptive::EpochConfig;
+use lifepred_core::{evaluate, train, Profile, ShortLivedSet, SiteConfig, TrainConfig};
+use lifepred_heap::{
+    replay_arena_chunks, replay_arena_chunks_observed, replay_arena_online_chunks,
+    replay_arena_online_chunks_observed, replay_bsd_chunks, replay_bsd_chunks_observed,
+    replay_firstfit_chunks, replay_firstfit_chunks_observed, ReplayConfig, ReplayMeta, ReplayObs,
+    ReplayReport,
+};
+use lifepred_obs::{Registry, Snapshot};
+use lifepred_tracefile::{load_trace, TraceReader};
+use std::time::Instant;
+
+/// A database trained offline for one (trace, policy, rounding,
+/// threshold) combination, plus the self-prediction quality the
+/// training trace showed (the sweep's "Error Bytes" column).
+#[derive(Debug)]
+pub struct TrainedDb {
+    /// The trained short-lived site set.
+    pub db: ShortLivedSet,
+    /// Self-prediction error bytes percentage from
+    /// [`lifepred_core::evaluate`].
+    pub error_bytes_pct: f64,
+}
+
+/// The axes that select a training run. Offline cells differing only
+/// in arena geometry (or the ignored epoch axis) map to the same key
+/// and share one [`TrainedDb`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TrainKey {
+    /// Trace file path.
+    pub trace: String,
+    /// Site policy.
+    pub policy: lifepred_core::SitePolicy,
+    /// Site-key size rounding.
+    pub rounding: u32,
+    /// Short-lived threshold in bytes.
+    pub threshold: u64,
+}
+
+impl TrainKey {
+    /// The training key of an offline cell; `None` for backends that
+    /// do not train offline.
+    pub fn of(cell: &CellConfig) -> Option<TrainKey> {
+        (cell.backend == Backend::Offline).then(|| TrainKey {
+            trace: cell.trace.clone(),
+            policy: cell.policy,
+            rounding: cell.rounding,
+            threshold: cell.threshold,
+        })
+    }
+}
+
+fn file_err(path: &str, e: impl std::fmt::Display) -> String {
+    format!("{path}: {e}")
+}
+
+/// Trains the database `key` describes: loads the trace, profiles it,
+/// trains, and self-evaluates.
+///
+/// # Errors
+///
+/// Returns a message for an unreadable or corrupt trace file.
+pub fn train_for(key: &TrainKey) -> Result<TrainedDb, String> {
+    let trace = load_trace(&key.trace).map_err(|e| file_err(&key.trace, e))?;
+    let sites = SiteConfig {
+        policy: key.policy,
+        size_rounding: key.rounding,
+    };
+    let profile = Profile::build(&trace, &sites, key.threshold);
+    let db = train(
+        &profile,
+        &TrainConfig {
+            threshold: key.threshold,
+            ..TrainConfig::default()
+        },
+    );
+    let report = evaluate(&db, &trace);
+    Ok(TrainedDb {
+        db,
+        error_bytes_pct: report.error_bytes_pct,
+    })
+}
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+fn base_result(report: &ReplayReport, elapsed_ms: u64) -> CellResult {
+    CellResult {
+        program: report.program.clone(),
+        total_allocs: report.total_allocs,
+        total_bytes: report.total_bytes,
+        arena_allocs: report.arena_allocs,
+        arena_bytes: report.arena_bytes,
+        max_heap_bytes: report.max_heap_bytes,
+        short_alloc_pct: report.arena_alloc_pct(),
+        short_byte_pct: report.arena_byte_pct(),
+        error_byte_pct: 0.0,
+        epochs: 0,
+        elapsed_ms,
+    }
+}
+
+/// Runs one grid cell: streams the trace through the configured
+/// backend and folds the replay report into a [`CellResult`].
+///
+/// `trained` must be `Some` exactly when the backend is
+/// [`Backend::Offline`]. With `want_metrics`, the replay also records
+/// into a private registry whose snapshot is returned for the caller
+/// to merge (the serve endpoint's `lifepred_sim_*` feed).
+///
+/// # Errors
+///
+/// Returns a message for a missing/corrupt trace file, an invalid
+/// event sequence, or a `trained`/backend mismatch.
+pub fn run_cell(
+    cell: &CellConfig,
+    trained: Option<&TrainedDb>,
+    want_metrics: bool,
+) -> Result<(CellResult, Option<Snapshot>), String> {
+    let started = Instant::now();
+    let registry = want_metrics.then(Registry::new);
+    let obs = registry.as_ref().map(ReplayObs::register);
+    let path = cell.trace.as_str();
+    let open = || TraceReader::open(path).map_err(|e| file_err(path, e));
+    let meta_of = |reader: &TraceReader<std::io::BufReader<std::fs::File>>| ReplayMeta {
+        program: reader.name().to_owned(),
+        function_calls: reader.stats().function_calls,
+    };
+    let config = ReplayConfig { arena: cell.arena };
+    let elapsed = |s: Instant| s.elapsed().as_millis() as u64;
+
+    let result = match cell.backend {
+        Backend::Offline => {
+            let trained =
+                trained.ok_or_else(|| format!("{path}: offline cell ran without training"))?;
+            // Pass 1: predict every object from its allocation site.
+            let reader = open()?;
+            let chains = reader.chain_table().clone();
+            let mut extractor =
+                lifepred_core::SiteExtractor::from_chains(&chains, *trained.db.config());
+            let mut predicted = Vec::new();
+            for record in reader.into_records().map_err(|e| file_err(path, e))? {
+                let record = record.map_err(|e| file_err(path, e))?;
+                predicted.push(trained.db.predicts(&extractor.site_of(&record)));
+            }
+            // Pass 2: stream the event chunks through the arena heap.
+            let reader = open()?;
+            let meta = meta_of(&reader);
+            let chunks = reader.into_event_chunks().map_err(|e| file_err(path, e))?;
+            let report = match &obs {
+                Some(obs) => replay_arena_chunks_observed(&meta, chunks, &predicted, &config, obs),
+                None => replay_arena_chunks(&meta, chunks, &predicted, &config),
+            }
+            .map_err(|e| file_err(path, e))?;
+            CellResult {
+                error_byte_pct: trained.error_bytes_pct,
+                ..base_result(&report, elapsed(started))
+            }
+        }
+        Backend::Online => {
+            if trained.is_some() {
+                return Err(format!("{path}: online cell given an offline database"));
+            }
+            let sites_cfg = SiteConfig {
+                policy: cell.policy,
+                size_rounding: cell.rounding,
+            };
+            let epoch = EpochConfig::for_threshold(cell.threshold, Some(cell.epoch));
+            epoch.validate().map_err(|e| file_err(path, e))?;
+            // Pass 1: fingerprint every object's allocation site.
+            let reader = open()?;
+            let chains = reader.chain_table().clone();
+            let mut extractor = lifepred_core::SiteExtractor::from_chains(&chains, sites_cfg);
+            let mut sites = Vec::new();
+            for record in reader.into_records().map_err(|e| file_err(path, e))? {
+                let record = record.map_err(|e| file_err(path, e))?;
+                sites.push(extractor.site_of(&record).fingerprint());
+            }
+            // Pass 2: replay with the learner predicting as it goes.
+            let reader = open()?;
+            let meta = meta_of(&reader);
+            let chunks = reader.into_event_chunks().map_err(|e| file_err(path, e))?;
+            let online = match &obs {
+                Some(obs) => {
+                    replay_arena_online_chunks_observed(&meta, chunks, &sites, &epoch, &config, obs)
+                }
+                None => replay_arena_online_chunks(&meta, chunks, &sites, &epoch, &config),
+            }
+            .map_err(|e| file_err(path, e))?;
+            if let Some(registry) = &registry {
+                online.learner.export(registry);
+            }
+            CellResult {
+                error_byte_pct: pct(online.learner.error_bytes, online.learner.total_bytes),
+                epochs: online.learner.epochs,
+                ..base_result(&online.replay, elapsed(started))
+            }
+        }
+        Backend::FirstFit | Backend::Bsd => {
+            if trained.is_some() {
+                return Err(format!("{path}: baseline cell given a database"));
+            }
+            let reader = open()?;
+            let meta = meta_of(&reader);
+            let chunks = reader.into_event_chunks().map_err(|e| file_err(path, e))?;
+            let report = if cell.backend == Backend::Bsd {
+                match &obs {
+                    Some(obs) => replay_bsd_chunks_observed(&meta, chunks, &config, obs),
+                    None => replay_bsd_chunks(&meta, chunks, &config),
+                }
+            } else {
+                match &obs {
+                    Some(obs) => replay_firstfit_chunks_observed(&meta, chunks, &config, obs),
+                    None => replay_firstfit_chunks(&meta, chunks, &config),
+                }
+            }
+            .map_err(|e| file_err(path, e))?;
+            base_result(&report, elapsed(started))
+        }
+    };
+    Ok((result, registry.map(|r| r.snapshot())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lifepred_core::SitePolicy;
+    use lifepred_heap::ArenaConfig;
+    use std::path::PathBuf;
+
+    /// A mostly-short-lived churn workload with a few keepers.
+    fn demo_trace() -> lifepred_trace::Trace {
+        let s = lifepred_trace::TraceSession::new("demo");
+        let mut kept = Vec::new();
+        {
+            let _g = s.enter("keeper");
+            for _ in 0..20 {
+                kept.push(s.alloc(256));
+            }
+        }
+        {
+            let _g = s.enter("churn");
+            for _ in 0..800 {
+                let a = s.alloc(64);
+                let b = s.alloc(32);
+                s.free(a);
+                s.free(b);
+            }
+        }
+        for id in kept {
+            s.free(id);
+        }
+        s.finish()
+    }
+
+    fn write_demo_trace(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lifepred-sweep-cell-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tempdir");
+        let path = dir.join("demo.lpt");
+        lifepred_tracefile::save_trace(&path, &demo_trace()).expect("save");
+        path
+    }
+
+    fn cell_for(path: &std::path::Path, backend: Backend) -> CellConfig {
+        CellConfig {
+            trace: path.to_string_lossy().into_owned(),
+            backend,
+            policy: SitePolicy::Complete,
+            rounding: 4,
+            threshold: 32 * 1024,
+            epoch: 0,
+            arena: ArenaConfig::default(),
+        }
+    }
+
+    #[test]
+    fn offline_cell_matches_direct_replay() {
+        let path = write_demo_trace("offline");
+        let cell = cell_for(&path, Backend::Offline);
+        let key = TrainKey::of(&cell).expect("offline trains");
+        let trained = train_for(&key).expect("train");
+        let (result, metrics) = run_cell(&cell, Some(&trained), false).expect("run");
+        assert!(metrics.is_none());
+        assert!(result.total_allocs > 0);
+        assert!(
+            result.short_alloc_pct > 50.0,
+            "churn workload is mostly short: {result:?}"
+        );
+        // Self-prediction: training trace == replay trace, no errors.
+        assert_eq!(result.error_byte_pct, 0.0);
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn baseline_cell_runs_without_training() {
+        let path = write_demo_trace("baseline");
+        let cell = cell_for(&path, Backend::FirstFit);
+        assert_eq!(TrainKey::of(&cell), None);
+        let (result, _) = run_cell(&cell, None, false).expect("run");
+        assert_eq!(result.arena_allocs, 0);
+        assert!(result.max_heap_bytes > 0);
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn online_cell_reports_epochs_and_metrics() {
+        let path = write_demo_trace("online");
+        let mut cell = cell_for(&path, Backend::Online);
+        cell.threshold = 4096; // small epochs so the learner ticks
+        let (result, metrics) = run_cell(&cell, None, true).expect("run");
+        let snap = metrics.expect("metrics requested");
+        assert_eq!(
+            snap.counter("lifepred_sim_allocs_total"),
+            Some(result.total_allocs)
+        );
+        assert!(result.epochs > 0, "learner must tick: {result:?}");
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+
+    #[test]
+    fn mismatched_training_is_rejected() {
+        let path = write_demo_trace("mismatch");
+        let offline = cell_for(&path, Backend::Offline);
+        assert!(run_cell(&offline, None, false).is_err());
+        let trained = train_for(&TrainKey::of(&offline).expect("key")).expect("train");
+        let baseline = cell_for(&path, Backend::Bsd);
+        assert!(run_cell(&baseline, Some(&trained), false).is_err());
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+}

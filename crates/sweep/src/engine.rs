@@ -1,0 +1,711 @@
+//! The sweep engine: expand a grid, probe the cache, and fan the
+//! remaining work across a work-stealing scheduler.
+//!
+//! # Job DAG
+//!
+//! A grid expands into *unique executions* — cells deduplicated by
+//! cache key, so a first-fit baseline crossed with three thresholds
+//! runs once. Each uncached offline execution depends on a TRAIN job
+//! (one per distinct trace × policy × rounding × threshold), shared
+//! by every arena geometry replaying against the same database. Jobs
+//! carry a dependency counter; a job becomes runnable when it drops
+//! to zero.
+//!
+//! # Scheduler invariants
+//!
+//! * Every worker owns a deque. The owner pushes and pops at the
+//!   **back** (LIFO — freshly unblocked work is cache-hot); thieves
+//!   lock a victim and take half its queue from the **front** (FIFO —
+//!   the oldest, most dependency-fertile jobs migrate).
+//! * A job index appears in at most one deque at a time; it is pushed
+//!   exactly once, when its dependency counter reaches zero.
+//! * Workers park on a condvar with a short timeout when every deque
+//!   is empty; any job completion or newly-ready job notifies.
+//! * Termination: a shared done-counter reaching the job total, or
+//!   the [`CancelFlag`] firing. Cancellation is checked between jobs,
+//!   never mid-replay, so finished cells are always fully persisted —
+//!   that is what makes `sweep resume` sound after a kill.
+
+use crate::cell::{run_cell, train_for, TrainKey, TrainedDb};
+use crate::spec::{CellConfig, GridSpec};
+use crate::store::{cell_key, trace_identity, CellKey, CellResult, ResultStore};
+use lifepred_obs::Snapshot;
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Cooperative cancellation: cloned into the scheduler and flipped by
+/// a signal handler, an HTTP DELETE, or a test.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, unset flag.
+    pub fn new() -> CancelFlag {
+        CancelFlag::default()
+    }
+
+    /// Requests cancellation; workers stop between jobs.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Tuning for one [`run_sweep`] call.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+    /// Record `lifepred_sim_*` metrics for every computed cell and
+    /// merge them into [`SweepOutcome::metrics`].
+    pub want_metrics: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 1,
+            want_metrics: false,
+        }
+    }
+}
+
+/// What happened to one grid cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The cell's configuration, as the grid spelled it.
+    pub cell: CellConfig,
+    /// Its cache key (shared with every cell that collapses to the
+    /// same canonical execution).
+    pub key: CellKey,
+    /// The measurement, when available.
+    pub result: Option<CellResult>,
+    /// Whether the result came from the cache (`false` for freshly
+    /// computed cells *and* for missing results).
+    pub cached: bool,
+    /// The failure message, when the cell errored.
+    pub error: Option<String>,
+}
+
+/// Aggregate accounting for one sweep run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Grid cells in the spec.
+    pub cells: usize,
+    /// Unique executions after canonical collapse.
+    pub unique: usize,
+    /// Unique executions answered by the cache.
+    pub cache_hits: usize,
+    /// Unique executions computed this run.
+    pub computed: usize,
+    /// Unique executions that failed.
+    pub errors: usize,
+    /// Whether the run was cancelled before finishing.
+    pub cancelled: bool,
+    /// Wall-clock duration of the whole sweep in milliseconds.
+    pub elapsed_ms: u64,
+}
+
+/// Everything [`run_sweep`] produces.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// The spec that ran.
+    pub spec: GridSpec,
+    /// Per-cell outcomes, in grid order
+    /// ([`GridSpec::cells`] order — the table renderer's contract).
+    pub outcomes: Vec<CellOutcome>,
+    /// Aggregate accounting.
+    pub stats: SweepStats,
+    /// Merged `lifepred_sim_*` metrics of every *computed* cell
+    /// (empty unless [`SweepOptions::want_metrics`]; cached cells
+    /// contribute nothing — their work was never re-done).
+    pub metrics: Snapshot,
+}
+
+/// One unique execution: a representative cell plus its key.
+struct Exec {
+    cell: CellConfig,
+    key: CellKey,
+    /// Index into the train-job table, for offline cells.
+    train: Option<usize>,
+}
+
+enum JobKind {
+    Train(usize),
+    Cell(usize),
+}
+
+struct Job {
+    kind: JobKind,
+    /// Unresolved dependencies; the job is pushed when this hits 0.
+    deps: AtomicUsize,
+    /// Jobs to decrement when this one completes.
+    dependents: Vec<usize>,
+}
+
+/// Shared scheduler state.
+struct Scheduler {
+    jobs: Vec<Job>,
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Completed job count; termination at `jobs.len()`.
+    done: AtomicUsize,
+    /// Computed *cell* count, fed to the progress callback.
+    cells_done: AtomicUsize,
+    park: Mutex<()>,
+    bell: Condvar,
+}
+
+impl Scheduler {
+    /// Makes `job` runnable on worker `me`'s deque and rings the bell.
+    fn push(&self, me: usize, job: usize) {
+        self.deques[me].lock().expect("deque lock").push_back(job);
+        self.bell.notify_all();
+    }
+
+    /// Owner pop: newest first.
+    fn pop_own(&self, me: usize) -> Option<usize> {
+        self.deques[me].lock().expect("deque lock").pop_back()
+    }
+
+    /// Steal half of `victim`'s queue (front first), returning one job
+    /// to run now; the rest lands on `me`'s deque.
+    fn steal(&self, me: usize, victim: usize) -> Option<usize> {
+        let stolen: Vec<usize> = {
+            let mut v = self.deques[victim].lock().expect("deque lock");
+            let take = v.len().div_ceil(2);
+            v.drain(..take).collect()
+        };
+        let mut iter = stolen.into_iter();
+        let first = iter.next()?;
+        let rest: Vec<usize> = iter.collect();
+        if !rest.is_empty() {
+            let mut mine = self.deques[me].lock().expect("deque lock");
+            mine.extend(rest);
+            drop(mine);
+            self.bell.notify_all();
+        }
+        Some(first)
+    }
+
+    /// Marks `job` complete and wakes dependents whose counters hit 0.
+    fn complete(&self, me: usize, job: usize) {
+        for &dep in &self.jobs[job].dependents {
+            if self.jobs[dep].deps.fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.push(me, dep);
+            }
+        }
+        self.done.fetch_add(1, Ordering::AcqRel);
+        self.bell.notify_all();
+    }
+}
+
+/// Runs `spec` against `store`, recomputing only what the cache
+/// cannot answer.
+///
+/// `progress` is invoked with `(computed_cells, cells_to_compute)`
+/// after every freshly computed cell — the hook the serve endpoint's
+/// status and the resume test's cancel-after-N both build on.
+///
+/// # Errors
+///
+/// Returns a message only for spec-level failures (invalid grid).
+/// Per-cell failures — missing trace files, corrupt traces — land in
+/// that cell's [`CellOutcome::error`] and the run keeps going.
+pub fn run_sweep(
+    spec: &GridSpec,
+    store: &ResultStore,
+    opts: &SweepOptions,
+    cancel: &CancelFlag,
+    progress: Option<&(dyn Fn(usize, usize) + Sync)>,
+) -> Result<SweepOutcome, String> {
+    let started = Instant::now();
+    spec.validate()?;
+    let cells = spec.cells();
+
+    // Identify every distinct trace once. A missing file fails all of
+    // its cells, not the sweep.
+    let mut identities: HashMap<&str, Result<crate::store::TraceIdentity, String>> = HashMap::new();
+    for cell in &cells {
+        identities.entry(cell.trace.as_str()).or_insert_with(|| {
+            trace_identity(&cell.trace).map_err(|e| format!("{}: {e}", cell.trace))
+        });
+    }
+
+    // Collapse the grid into unique executions and probe the cache.
+    let mut execs: Vec<Exec> = Vec::new();
+    let mut exec_of_key: HashMap<CellKey, usize> = HashMap::new();
+    let mut trains: Vec<TrainKey> = Vec::new();
+    let mut train_of_key: HashMap<TrainKey, usize> = HashMap::new();
+    // Per grid cell: Ok(exec index) or Err(identity failure).
+    let mut cell_exec: Vec<Result<usize, String>> = Vec::with_capacity(cells.len());
+    let mut cached: Vec<Option<CellResult>> = Vec::new();
+    for cell in &cells {
+        match &identities[cell.trace.as_str()] {
+            Err(e) => cell_exec.push(Err(e.clone())),
+            Ok(identity) => {
+                let key = cell_key(*identity, cell);
+                let exec = *exec_of_key.entry(key).or_insert_with(|| {
+                    let hit = store.load(key);
+                    let train = if hit.is_none() {
+                        TrainKey::of(cell).map(|tk| {
+                            *train_of_key.entry(tk.clone()).or_insert_with(|| {
+                                trains.push(tk);
+                                trains.len() - 1
+                            })
+                        })
+                    } else {
+                        None
+                    };
+                    execs.push(Exec {
+                        cell: cell.clone(),
+                        key,
+                        train,
+                    });
+                    cached.push(hit);
+                    execs.len() - 1
+                });
+                cell_exec.push(Ok(exec));
+            }
+        }
+    }
+
+    let cache_hits = cached.iter().filter(|c| c.is_some()).count();
+    let to_compute: Vec<usize> = (0..execs.len()).filter(|&i| cached[i].is_none()).collect();
+
+    // Build the job DAG: trains first, then the uncached cells.
+    let mut jobs: Vec<Job> = Vec::with_capacity(trains.len() + to_compute.len());
+    for _ in &trains {
+        jobs.push(Job {
+            kind: JobKind::Train(jobs.len()),
+            deps: AtomicUsize::new(0),
+            dependents: Vec::new(),
+        });
+    }
+    for &exec in &to_compute {
+        let job_idx = jobs.len();
+        let deps = usize::from(execs[exec].train.is_some());
+        if let Some(train) = execs[exec].train {
+            jobs[train].dependents.push(job_idx);
+        }
+        jobs.push(Job {
+            kind: JobKind::Cell(exec),
+            deps: AtomicUsize::new(deps),
+            dependents: Vec::new(),
+        });
+    }
+
+    let threads = opts.threads.max(1).min(jobs.len().max(1));
+    let sched = Scheduler {
+        jobs,
+        deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        done: AtomicUsize::new(0),
+        cells_done: AtomicUsize::new(0),
+        park: Mutex::new(()),
+        bell: Condvar::new(),
+    };
+    // Seed the deques round-robin with the initially-ready jobs.
+    for (i, job) in sched.jobs.iter().enumerate() {
+        if job.deps.load(Ordering::Acquire) == 0 {
+            sched.deques[i % threads]
+                .lock()
+                .expect("deque lock")
+                .push_back(i);
+        }
+    }
+
+    // Shared result slots, one mutex each (jobs are milliseconds to
+    // seconds of replay; slot contention is negligible).
+    type ResultSlot<T> = Mutex<Option<Result<T, String>>>;
+    let train_results: Vec<ResultSlot<Arc<TrainedDb>>> =
+        (0..trains.len()).map(|_| Mutex::new(None)).collect();
+    let exec_results: Vec<ResultSlot<CellResult>> =
+        (0..execs.len()).map(|_| Mutex::new(None)).collect();
+    let metrics = Mutex::new(Snapshot::default());
+    let total_cells_to_compute = to_compute.len();
+
+    std::thread::scope(|scope| {
+        for me in 0..threads {
+            let sched = &sched;
+            let trains = &trains;
+            let execs = &execs;
+            let train_results = &train_results;
+            let exec_results = &exec_results;
+            let metrics = &metrics;
+            scope.spawn(move || {
+                let total = sched.jobs.len();
+                loop {
+                    if cancel.is_cancelled() || sched.done.load(Ordering::Acquire) >= total {
+                        return;
+                    }
+                    let job = sched
+                        .pop_own(me)
+                        .or_else(|| (1..threads).find_map(|d| sched.steal(me, (me + d) % threads)));
+                    let Some(job) = job else {
+                        let guard = sched.park.lock().expect("park lock");
+                        let _unused = sched
+                            .bell
+                            .wait_timeout(guard, std::time::Duration::from_millis(1))
+                            .expect("park wait");
+                        continue;
+                    };
+                    // A panicking job must still count as done: with the
+                    // unwind swallowed here, `done` keeps advancing and the
+                    // other workers cannot wedge waiting for a completion
+                    // that will never come.
+                    let body = std::panic::AssertUnwindSafe(|| match sched.jobs[job].kind {
+                        JobKind::Train(t) => {
+                            let outcome = train_for(&trains[t]).map(Arc::new);
+                            *train_results[t].lock().expect("train slot") = Some(outcome);
+                        }
+                        JobKind::Cell(e) => {
+                            let exec = &execs[e];
+                            let trained: Option<Result<Arc<TrainedDb>, String>> =
+                                exec.train.map(|t| {
+                                    train_results[t]
+                                        .lock()
+                                        .expect("train slot")
+                                        .clone()
+                                        .expect("train job completed before dependent")
+                                });
+                            let outcome = match trained {
+                                Some(Err(e)) => Err(e),
+                                Some(Ok(db)) => run_cell(&exec.cell, Some(&db), opts.want_metrics),
+                                None => run_cell(&exec.cell, None, opts.want_metrics),
+                            }
+                            .map(|(result, snap)| {
+                                if let Some(snap) = snap {
+                                    metrics.lock().expect("metrics lock").merge(&snap);
+                                }
+                                result
+                            })
+                            .and_then(|result| {
+                                store
+                                    .save(exec.key, &exec.cell, &result)
+                                    .map_err(|e| format!("cache write {}: {e}", exec.key))
+                                    .map(|()| result)
+                            });
+                            *exec_results[e].lock().expect("exec slot") = Some(outcome);
+                            let done_cells = sched.cells_done.fetch_add(1, Ordering::AcqRel) + 1;
+                            if let Some(progress) = progress {
+                                progress(done_cells, total_cells_to_compute);
+                            }
+                        }
+                    });
+                    if std::panic::catch_unwind(body).is_err() {
+                        match sched.jobs[job].kind {
+                            JobKind::Train(t) => {
+                                let mut slot = train_results[t].lock().expect("train slot");
+                                if slot.is_none() {
+                                    *slot = Some(Err("training panicked".to_owned()));
+                                }
+                            }
+                            JobKind::Cell(e) => {
+                                let mut slot = exec_results[e].lock().expect("exec slot");
+                                if slot.is_none() {
+                                    *slot = Some(Err("cell execution panicked".to_owned()));
+                                    drop(slot);
+                                    sched.cells_done.fetch_add(1, Ordering::AcqRel);
+                                }
+                            }
+                        }
+                    }
+                    sched.complete(me, job);
+                }
+            });
+        }
+    });
+
+    let cancelled = cancel.is_cancelled() && sched.done.load(Ordering::Acquire) < sched.jobs.len();
+
+    // Assemble grid-order outcomes from the cache hits and job slots.
+    let mut computed = 0usize;
+    let mut errors = 0usize;
+    let mut exec_outcome: Vec<(Option<CellResult>, bool, Option<String>)> =
+        Vec::with_capacity(execs.len());
+    for (i, hit) in cached.iter().enumerate() {
+        if let Some(result) = hit {
+            exec_outcome.push((Some(result.clone()), true, None));
+            continue;
+        }
+        match exec_results[i].lock().expect("exec slot").take() {
+            Some(Ok(result)) => {
+                computed += 1;
+                exec_outcome.push((Some(result), false, None));
+            }
+            Some(Err(e)) => {
+                errors += 1;
+                exec_outcome.push((None, false, Some(e)));
+            }
+            None => exec_outcome.push((None, false, Some("cancelled before running".to_owned()))),
+        }
+    }
+
+    let outcomes: Vec<CellOutcome> = cells
+        .into_iter()
+        .zip(cell_exec)
+        .map(|(cell, exec)| match exec {
+            Err(e) => CellOutcome {
+                cell,
+                key: CellKey(0),
+                result: None,
+                cached: false,
+                error: Some(e),
+            },
+            Ok(i) => {
+                let (result, was_cached, error) = exec_outcome[i].clone();
+                CellOutcome {
+                    cell,
+                    key: execs[i].key,
+                    result,
+                    cached: was_cached,
+                    error,
+                }
+            }
+        })
+        .collect();
+    // Cells whose trace could not even be identified never got an
+    // execution; they are errors too, on top of the per-exec ones.
+    let identity_errors = outcomes
+        .iter()
+        .filter(|o| o.key == CellKey(0) && o.error.is_some())
+        .count();
+
+    Ok(SweepOutcome {
+        spec: spec.clone(),
+        stats: SweepStats {
+            cells: outcomes.len(),
+            unique: execs.len(),
+            cache_hits,
+            computed,
+            errors: errors + identity_errors,
+            cancelled,
+            elapsed_ms: started.elapsed().as_millis() as u64,
+        },
+        outcomes,
+        metrics: metrics.into_inner().expect("metrics lock"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Backend;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lifepred-sweep-engine-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir");
+        dir
+    }
+
+    fn churn_trace(name: &str) -> lifepred_trace::Trace {
+        let s = lifepred_trace::TraceSession::new(name);
+        {
+            let _g = s.enter("churn");
+            for _ in 0..400 {
+                let a = s.alloc(64);
+                s.free(a);
+            }
+        }
+        s.finish()
+    }
+
+    fn demo_spec(dir: &std::path::Path) -> GridSpec {
+        let mut traces = Vec::new();
+        for name in ["alpha", "beta"] {
+            let path = dir.join(format!("{name}.lpt"));
+            lifepred_tracefile::save_trace(&path, &churn_trace(name)).expect("save trace");
+            traces.push(path.to_string_lossy().into_owned());
+        }
+        GridSpec {
+            name: "engine-test".into(),
+            traces,
+            backends: vec![Backend::Offline, Backend::FirstFit],
+            thresholds: vec![16 * 1024, 32 * 1024],
+            ..GridSpec::default()
+        }
+    }
+
+    #[test]
+    fn cold_run_computes_warm_run_hits() {
+        let dir = scratch("warm");
+        let spec = demo_spec(&dir);
+        let store = ResultStore::open(dir.join("store")).expect("store");
+        let opts = SweepOptions {
+            threads: 2,
+            want_metrics: false,
+        };
+        let cold = run_sweep(&spec, &store, &opts, &CancelFlag::new(), None).expect("cold run");
+        // 2 traces × (offline × 2 thresholds + firstfit collapsed) = 6
+        assert_eq!(cold.stats.cells, 8);
+        assert_eq!(cold.stats.unique, 6);
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert_eq!(cold.stats.computed, 6);
+        assert_eq!(cold.stats.errors, 0);
+        assert!(cold.outcomes.iter().all(|o| o.result.is_some()));
+
+        let warm = run_sweep(&spec, &store, &opts, &CancelFlag::new(), None).expect("warm run");
+        assert_eq!(warm.stats.cache_hits, 6, "warm run is all hits");
+        assert_eq!(warm.stats.computed, 0);
+        for (a, b) in cold.outcomes.iter().zip(&warm.outcomes) {
+            assert_eq!(a.result, b.result, "cached result identical");
+            assert!(b.cached);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_trace_fails_its_cells_only() {
+        let dir = scratch("missing");
+        let mut spec = demo_spec(&dir);
+        spec.traces
+            .push(dir.join("ghost.lpt").to_string_lossy().into_owned());
+        let store = ResultStore::open(dir.join("store")).expect("store");
+        let out = run_sweep(
+            &spec,
+            &store,
+            &SweepOptions::default(),
+            &CancelFlag::new(),
+            None,
+        )
+        .expect("sweep runs");
+        let (bad, good): (Vec<_>, Vec<_>) = out
+            .outcomes
+            .iter()
+            .partition(|o| o.cell.trace.ends_with("ghost.lpt"));
+        assert!(bad.iter().all(|o| o.error.is_some() && o.result.is_none()));
+        assert!(good.iter().all(|o| o.result.is_some()));
+        assert_eq!(out.stats.errors, 4, "one trace × 4 grid cells");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancel_mid_run_keeps_finished_cells() {
+        let dir = scratch("cancel");
+        let spec = demo_spec(&dir);
+        let store = ResultStore::open(dir.join("store")).expect("store");
+        let cancel = CancelFlag::new();
+        let cancel_at = 2usize;
+        let hook = {
+            let cancel = cancel.clone();
+            move |done: usize, _total: usize| {
+                if done >= cancel_at {
+                    cancel.cancel();
+                }
+            }
+        };
+        let out = run_sweep(
+            &spec,
+            &store,
+            &SweepOptions::default(),
+            &cancel,
+            Some(&hook),
+        )
+        .expect("sweep runs");
+        assert!(out.stats.cancelled);
+        assert!(out.stats.computed >= cancel_at);
+        assert!(out.stats.computed < out.stats.unique, "cancel left work");
+        // Everything computed before the cancel is persisted.
+        let resumed = run_sweep(
+            &spec,
+            &store,
+            &SweepOptions::default(),
+            &CancelFlag::new(),
+            None,
+        )
+        .expect("resume");
+        assert_eq!(resumed.stats.cache_hits, out.stats.computed);
+        assert_eq!(
+            resumed.stats.computed,
+            resumed.stats.unique - out.stats.computed
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn progress_reports_monotonic_counts() {
+        let dir = scratch("progress");
+        let spec = demo_spec(&dir);
+        let store = ResultStore::open(dir.join("store")).expect("store");
+        let seen = Mutex::new(Vec::new());
+        let hook = |done: usize, total: usize| {
+            seen.lock().expect("seen").push((done, total));
+        };
+        let out = run_sweep(
+            &spec,
+            &store,
+            &SweepOptions {
+                threads: 3,
+                want_metrics: false,
+            },
+            &CancelFlag::new(),
+            Some(&hook),
+        )
+        .expect("sweep");
+        let seen = seen.into_inner().expect("seen");
+        assert_eq!(seen.len(), out.stats.computed);
+        assert!(seen.iter().all(|&(_, t)| t == out.stats.unique));
+        let mut counts: Vec<usize> = seen.iter().map(|&(d, _)| d).collect();
+        counts.sort_unstable();
+        assert_eq!(counts, (1..=out.stats.computed).collect::<Vec<_>>());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_merge_across_computed_cells() {
+        let dir = scratch("metrics");
+        let spec = demo_spec(&dir);
+        let store = ResultStore::open(dir.join("store")).expect("store");
+        let out = run_sweep(
+            &spec,
+            &store,
+            &SweepOptions {
+                threads: 2,
+                want_metrics: true,
+            },
+            &CancelFlag::new(),
+            None,
+        )
+        .expect("sweep");
+        let total: u64 = {
+            // Each unique execution replays every alloc of its trace.
+            let mut sum = 0;
+            let mut seen = std::collections::HashSet::new();
+            for o in &out.outcomes {
+                if seen.insert(o.key) {
+                    sum += o.result.as_ref().expect("result").total_allocs;
+                }
+            }
+            sum
+        };
+        assert_eq!(
+            out.metrics.counter("lifepred_sim_allocs_total"),
+            Some(total)
+        );
+        // A warm re-run does no work, so no metrics either.
+        let warm = run_sweep(
+            &spec,
+            &store,
+            &SweepOptions {
+                threads: 2,
+                want_metrics: true,
+            },
+            &CancelFlag::new(),
+            None,
+        )
+        .expect("warm");
+        assert_eq!(warm.metrics.counter("lifepred_sim_allocs_total"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,244 @@
+//! A minimal, dependency-free HTTP/1.1 layer for the serve endpoint.
+//!
+//! Scope is deliberately tiny: parse one request (line + headers +
+//! `Content-Length` body) off a blocking stream, write one response,
+//! always `Connection: close`. No keep-alive, no chunked encoding, no
+//! TLS — the endpoint is a localhost metrics/control port, not a web
+//! server. Limits (header block ≤ 8 KiB, body ≤ 1 MiB) and the socket
+//! timeouts the caller sets bound every read so a stuck client cannot
+//! wedge a worker.
+
+use std::io::{Read, Write};
+
+/// Maximum accepted request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Maximum accepted request body.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target as sent (path + optional query).
+    pub path: String,
+    /// Raw body bytes (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// One response to write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A `200 OK` plain-text response.
+    pub fn text(body: impl Into<String>) -> Response {
+        Response {
+            status: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// An error response with a plain-text message line.
+    pub fn error(status: u16, msg: impl std::fmt::Display) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{msg}\n").into_bytes(),
+        }
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Reads one request off `stream`.
+///
+/// # Errors
+///
+/// Returns the response that should be sent back (`400`, `408`,
+/// `413`) when the request is malformed, times out, or exceeds the
+/// size limits.
+pub fn read_request(stream: &mut impl Read) -> Result<Request, Response> {
+    // Accumulate until the blank line ending the head.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    let head_end = loop {
+        match stream.read(&mut byte) {
+            Ok(0) => return Err(Response::error(400, "connection closed mid-request")),
+            Ok(_) => head.push(byte[0]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return Err(Response::error(408, "request timed out"))
+            }
+            Err(e) => return Err(Response::error(400, format!("read failed: {e}"))),
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break head.len();
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(Response::error(413, "request head too large"));
+        }
+    };
+    let head_text = std::str::from_utf8(&head[..head_end])
+        .map_err(|_| Response::error(400, "request head is not UTF-8"))?;
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (Some(method), Some(path), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(Response::error(400, "malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(Response::error(400, "unsupported protocol version"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(Response::error(400, "malformed header line"));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| Response::error(400, "bad Content-Length"))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(Response::error(413, "request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        stream.read_exact(&mut body).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut
+            {
+                Response::error(408, "request body timed out")
+            } else {
+                Response::error(400, format!("short body: {e}"))
+            }
+        })?;
+    }
+    Ok(Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        body,
+    })
+}
+
+/// Writes `response` to `stream` (always `Connection: close`).
+///
+/// # Errors
+///
+/// Any I/O error on the write.
+pub fn write_response(stream: &mut impl Write, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, Response> {
+        let mut cursor = std::io::Cursor::new(bytes.to_vec());
+        read_request(&mut cursor)
+    }
+
+    #[test]
+    fn parses_get_request() {
+        let req = parse(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("parses");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse(
+            b"POST /sweeps HTTP/1.1\r\nContent-Length: 7\r\nContent-Type: application/json\r\n\r\n{\"a\":1}",
+        )
+        .expect("parses");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert_eq!(parse(b"NOT HTTP\r\n\r\n").expect_err("garbage").status, 400);
+        let huge_head = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "a".repeat(MAX_HEAD_BYTES)
+        );
+        assert_eq!(
+            parse(huge_head.as_bytes()).expect_err("huge head").status,
+            413
+        );
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert_eq!(
+            parse(huge_body.as_bytes()).expect_err("huge body").status,
+            413
+        );
+    }
+
+    #[test]
+    fn truncated_body_is_a_bad_request() {
+        let err = parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort").expect_err("short");
+        assert_eq!(err.status, 400);
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::text("ok\n")).expect("write");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Length: 3\r\n"), "{text}");
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(text.ends_with("\r\n\r\nok\n"), "{text}");
+    }
+}

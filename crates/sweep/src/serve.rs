@@ -1,0 +1,547 @@
+//! `lifepred serve`: a blocking HTTP/1.1 metrics and sweep-control
+//! endpoint on `std::net` alone.
+//!
+//! # Endpoints
+//!
+//! | Route            | Method | Behaviour                              |
+//! |------------------|--------|----------------------------------------|
+//! | `/healthz`       | GET    | `200 ok` liveness probe                |
+//! | `/metrics`       | GET    | Prometheus text: server counters plus  |
+//! |                  |        | the merged `lifepred_sim_*` metrics of |
+//! |                  |        | every cell computed by this process    |
+//! | `/sweeps`        | GET    | JSON list of submitted sweeps          |
+//! | `/sweeps`        | POST   | Submit a [`GridSpec`] body → `202 {id}`|
+//! | `/sweeps/{id}`   | GET    | Status, stats and rendered table       |
+//!
+//! # Shape
+//!
+//! One nonblocking accept loop polls the listener (~25 ms) so it can
+//! observe shutdown, and feeds a bounded queue drained by a small
+//! fixed pool of connection workers (one request per connection,
+//! `Connection: close`, read/write timeouts on every socket). When
+//! the queue is full the acceptor answers `503` inline and drops the
+//! connection — backpressure, not unbounded memory. Sweeps run on
+//! their own threads via [`run_sweep`], so a long grid never starves
+//! the metrics endpoint.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown_handle`] returns the flag that stops the
+//! accept loop; [`install_shutdown_handlers`] wires SIGINT/SIGTERM to
+//! it (Unix only, via a raw `signal(2)` registration — the handler
+//! only stores an atomic, the only thing a signal handler may do).
+//! On shutdown the server cancels running sweeps, joins them, and
+//! returns. Every finished cell was already persisted atomically by
+//! the result store, so nothing is lost.
+
+use crate::engine::{run_sweep, CancelFlag, SweepOptions, SweepStats};
+use crate::http::{read_request, write_response, Request, Response};
+use crate::spec::GridSpec;
+use crate::store::ResultStore;
+use crate::table::{render_json, render_table};
+use lifepred_obs::json;
+use lifepred_obs::{Registry, Snapshot};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Tuning for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:9100`. Port 0 picks a free
+    /// port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Result-store directory for submitted sweeps.
+    pub store: PathBuf,
+    /// Connection-handling threads.
+    pub threads: usize,
+    /// Worker threads per submitted sweep.
+    pub jobs: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:9100".to_owned(),
+            store: PathBuf::from("sweep-store"),
+            threads: 2,
+            jobs: 1,
+        }
+    }
+}
+
+/// Lifecycle of one submitted sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotStatus {
+    Running,
+    Done,
+    Failed,
+    Cancelled,
+}
+
+impl SlotStatus {
+    fn name(self) -> &'static str {
+        match self {
+            SlotStatus::Running => "running",
+            SlotStatus::Done => "done",
+            SlotStatus::Failed => "failed",
+            SlotStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// Book-keeping for one submitted sweep.
+struct SweepSlot {
+    id: usize,
+    name: String,
+    status: SlotStatus,
+    /// Cells computed so far / cells this run must compute.
+    progress: (usize, usize),
+    cancel: CancelFlag,
+    stats: Option<SweepStats>,
+    /// Rendered outputs, present once finished.
+    table: Option<String>,
+    report: Option<String>,
+    error: Option<String>,
+}
+
+/// State shared by the acceptor, connection workers and sweep threads.
+struct ServerState {
+    registry: Registry,
+    /// Merged `lifepred_sim_*` metrics of every computed cell.
+    sim: Mutex<Snapshot>,
+    slots: Mutex<Vec<SweepSlot>>,
+    sweep_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    store_root: PathBuf,
+    jobs: usize,
+    stop: CancelFlag,
+    /// Bounded connection queue + its condvar.
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_bell: Condvar,
+    queue_cap: usize,
+}
+
+/// The serve endpoint. [`Server::bind`] then [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds the listener and opens the result store.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the address cannot be bound or the
+    /// store directory cannot be created.
+    pub fn bind(config: &ServerConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("bind {}: {e}", config.addr))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("listener nonblocking: {e}"))?;
+        // Open (and thereby validate) the store now, not per request.
+        ResultStore::open(&config.store)
+            .map_err(|e| format!("result store {}: {e}", config.store.display()))?;
+        let threads = config.threads.max(1);
+        let registry = Registry::new();
+        // Touch the golden names so /metrics always exposes them,
+        // even before the first request.
+        for name in [
+            "lifepred_serve_http_requests_total",
+            "lifepred_serve_http_rejected_total",
+            "lifepred_serve_sweeps_started_total",
+            "lifepred_serve_sweeps_completed_total",
+            "lifepred_serve_cells_computed_total",
+            "lifepred_serve_cache_hits_total",
+        ] {
+            registry.counter(name);
+        }
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                registry,
+                sim: Mutex::new(Snapshot::default()),
+                slots: Mutex::new(Vec::new()),
+                sweep_threads: Mutex::new(Vec::new()),
+                store_root: config.store.clone(),
+                jobs: config.jobs.max(1),
+                stop: CancelFlag::new(),
+                queue: Mutex::new(VecDeque::new()),
+                queue_bell: Condvar::new(),
+                queue_cap: threads * 8,
+            }),
+            threads,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error querying the socket.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The flag that stops [`Server::run`]; clone it into a signal
+    /// handler ([`install_shutdown_handlers`]) or a test.
+    pub fn shutdown_handle(&self) -> CancelFlag {
+        self.state.stop.clone()
+    }
+
+    /// Serves until the shutdown flag fires, then drains: cancels
+    /// running sweeps, joins every worker, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unrecoverable listener failures.
+    pub fn run(self) -> Result<(), String> {
+        let state = &self.state;
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                let state = Arc::clone(state);
+                scope.spawn(move || connection_worker(&state));
+            }
+            // Accept loop: poll so shutdown is observed promptly.
+            while !state.stop.is_cancelled() {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => enqueue_connection(state, stream),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        state.stop.cancel();
+                        state.queue_bell.notify_all();
+                        return Err(format!("accept failed: {e}"));
+                    }
+                }
+            }
+            state.queue_bell.notify_all();
+            Ok(())
+        })?;
+        // Workers are joined (scope end). Now stop the sweeps.
+        for slot in self.state.slots.lock().expect("slots lock").iter() {
+            slot.cancel.cancel();
+        }
+        let threads = std::mem::take(&mut *self.state.sweep_threads.lock().expect("sweep threads"));
+        for handle in threads {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Pushes an accepted connection onto the bounded queue, or answers
+/// `503` inline when the queue is full.
+fn enqueue_connection(state: &ServerState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let mut queue = state.queue.lock().expect("queue lock");
+    if queue.len() >= state.queue_cap {
+        drop(queue);
+        state
+            .registry
+            .counter("lifepred_serve_http_rejected_total")
+            .inc();
+        let mut stream = stream;
+        let _ = write_response(&mut stream, &Response::error(503, "connection queue full"));
+        return;
+    }
+    queue.push_back(stream);
+    drop(queue);
+    state.queue_bell.notify_one();
+}
+
+/// One connection worker: pop, handle one request, close.
+fn connection_worker(state: &Arc<ServerState>) {
+    loop {
+        let stream = {
+            let mut queue = state.queue.lock().expect("queue lock");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if state.stop.is_cancelled() {
+                    break None;
+                }
+                let (guard, _timeout) = state
+                    .queue_bell
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("queue wait");
+                queue = guard;
+            }
+        };
+        let Some(mut stream) = stream else { return };
+        let response = match read_request(&mut stream) {
+            Ok(request) => handle_request(state, &request),
+            Err(response) => response,
+        };
+        let _ = write_response(&mut stream, &response);
+    }
+}
+
+/// Routes one request. Takes the `Arc` because `POST /sweeps` hands
+/// an owning handle to the sweep thread it spawns.
+fn handle_request(state: &Arc<ServerState>, request: &Request) -> Response {
+    state
+        .registry
+        .counter("lifepred_serve_http_requests_total")
+        .inc();
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Response::text("ok\n"),
+        ("GET", "/metrics") => metrics_response(state),
+        ("GET", "/sweeps") => list_sweeps(state),
+        ("POST", "/sweeps") => submit_sweep(state, &request.body),
+        ("GET", p) if p.starts_with("/sweeps/") => sweep_detail(state, &p["/sweeps/".len()..]),
+        ("GET", _) => Response::error(404, "not found"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+/// `/metrics`: the server's own counters followed by the merged
+/// simulation metrics. Name sets are disjoint (`lifepred_serve_*` vs
+/// `lifepred_sim_*`), so plain concatenation is valid exposition text.
+fn metrics_response(state: &ServerState) -> Response {
+    let mut body = state.registry.snapshot().to_prometheus();
+    let sim = state.sim.lock().expect("sim lock");
+    if !sim.is_empty() {
+        body.push_str(&sim.to_prometheus());
+    }
+    Response {
+        status: 200,
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+        body: body.into_bytes(),
+    }
+}
+
+fn slot_summary_json(slot: &SweepSlot) -> String {
+    format!(
+        "{{\"id\": {}, \"name\": \"{}\", \"status\": \"{}\", \
+         \"computed\": {}, \"to_compute\": {}}}",
+        slot.id,
+        json::escape(&slot.name),
+        slot.status.name(),
+        slot.progress.0,
+        slot.progress.1
+    )
+}
+
+fn list_sweeps(state: &ServerState) -> Response {
+    let slots = state.slots.lock().expect("slots lock");
+    let entries: Vec<String> = slots.iter().map(slot_summary_json).collect();
+    Response::json(200, format!("{{\"sweeps\": [{}]}}\n", entries.join(", ")))
+}
+
+fn sweep_detail(state: &ServerState, id_text: &str) -> Response {
+    let Ok(id) = id_text.parse::<usize>() else {
+        return Response::error(400, format!("bad sweep id `{id_text}`"));
+    };
+    let slots = state.slots.lock().expect("slots lock");
+    let Some(slot) = slots.iter().find(|s| s.id == id) else {
+        return Response::error(404, format!("no sweep {id}"));
+    };
+    let mut body = String::new();
+    body.push('{');
+    let _ = write!(
+        body,
+        "\"id\": {}, \"name\": \"{}\", \"status\": \"{}\", \
+         \"computed\": {}, \"to_compute\": {}",
+        slot.id,
+        json::escape(&slot.name),
+        slot.status.name(),
+        slot.progress.0,
+        slot.progress.1
+    );
+    if let Some(stats) = &slot.stats {
+        let _ = write!(
+            body,
+            ", \"stats\": {{\"cells\": {}, \"unique\": {}, \"cache_hits\": {}, \
+             \"computed\": {}, \"errors\": {}, \"cancelled\": {}, \"elapsed_ms\": {}}}",
+            stats.cells,
+            stats.unique,
+            stats.cache_hits,
+            stats.computed,
+            stats.errors,
+            stats.cancelled,
+            stats.elapsed_ms
+        );
+    }
+    if let Some(table) = &slot.table {
+        let _ = write!(body, ", \"table\": \"{}\"", json::escape(table));
+    }
+    if let Some(error) = &slot.error {
+        let _ = write!(body, ", \"error\": \"{}\"", json::escape(error));
+    }
+    body.push_str("}\n");
+    Response::json(200, body)
+}
+
+/// `POST /sweeps`: validate the spec, register a slot, and start the
+/// sweep on its own thread.
+fn submit_sweep(state: &Arc<ServerState>, body: &[u8]) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
+    };
+    let spec = match GridSpec::from_json(text) {
+        Ok(spec) => spec,
+        Err(e) => return Response::error(400, e),
+    };
+    let cancel = CancelFlag::new();
+    let id = {
+        let mut slots = state.slots.lock().expect("slots lock");
+        let id = slots.len();
+        slots.push(SweepSlot {
+            id,
+            name: spec.name.clone(),
+            status: SlotStatus::Running,
+            progress: (0, 0),
+            cancel: cancel.clone(),
+            stats: None,
+            table: None,
+            report: None,
+            error: None,
+        });
+        id
+    };
+    state
+        .registry
+        .counter("lifepred_serve_sweeps_started_total")
+        .inc();
+    let cells = spec.cell_count();
+    let thread_state = Arc::clone(state);
+    let handle = std::thread::spawn(move || sweep_thread(&thread_state, id, &spec, &cancel));
+    state
+        .sweep_threads
+        .lock()
+        .expect("sweep threads")
+        .push(handle);
+    Response::json(202, format!("{{\"id\": {id}, \"cells\": {cells}}}\n"))
+}
+
+/// Body of one sweep thread: run, then publish results and metrics.
+fn sweep_thread(state: &Arc<ServerState>, id: usize, spec: &GridSpec, cancel: &CancelFlag) {
+    let update = |f: &dyn Fn(&mut SweepSlot)| {
+        let mut slots = state.slots.lock().expect("slots lock");
+        if let Some(slot) = slots.iter_mut().find(|s| s.id == id) {
+            f(slot);
+        }
+    };
+    let store = match ResultStore::open(&state.store_root) {
+        Ok(store) => store,
+        Err(e) => {
+            update(&|slot| {
+                slot.status = SlotStatus::Failed;
+                slot.error = Some(format!("result store: {e}"));
+            });
+            return;
+        }
+    };
+    let progress = |done: usize, total: usize| {
+        update(&|slot| slot.progress = (done, total));
+        state
+            .registry
+            .counter("lifepred_serve_cells_computed_total")
+            .inc();
+    };
+    let opts = SweepOptions {
+        threads: state.jobs,
+        want_metrics: true,
+    };
+    match run_sweep(spec, &store, &opts, cancel, Some(&progress)) {
+        Ok(outcome) => {
+            state
+                .registry
+                .counter("lifepred_serve_cache_hits_total")
+                .add(outcome.stats.cache_hits as u64);
+            state
+                .registry
+                .counter("lifepred_serve_sweeps_completed_total")
+                .inc();
+            state.sim.lock().expect("sim lock").merge(&outcome.metrics);
+            let table = render_table(&outcome);
+            let report = render_json(&outcome);
+            update(&|slot| {
+                slot.status = if outcome.stats.cancelled {
+                    SlotStatus::Cancelled
+                } else {
+                    SlotStatus::Done
+                };
+                slot.progress = (outcome.stats.computed, outcome.stats.computed);
+                slot.stats = Some(outcome.stats.clone());
+                slot.table = Some(table.clone());
+                slot.report = Some(report.clone());
+            });
+        }
+        Err(e) => update(&|slot| {
+            slot.status = SlotStatus::Failed;
+            slot.error = Some(e.clone());
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signal handling (Unix): SIGINT / SIGTERM → the shutdown flag.
+// ---------------------------------------------------------------------
+
+/// The flag [`install_shutdown_handlers`] registered; read by the
+/// signal handler. `OnceLock::get` is a lock-free atomic load, so the
+/// handler never takes a lock.
+static SHUTDOWN_FLAG: std::sync::OnceLock<CancelFlag> = std::sync::OnceLock::new();
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    // Async-signal-safe: one atomic load (OnceLock::get on an
+    // already-initialized cell) and one atomic store (CancelFlag).
+    if let Some(flag) = SHUTDOWN_FLAG.get() {
+        flag.cancel();
+    }
+}
+
+/// Registers `flag` to be cancelled on SIGINT (ctrl-c) or SIGTERM, so
+/// [`Server::run`] unwinds gracefully: running sweeps stop between
+/// cells (everything finished is already persisted) and the process
+/// exits 0.
+///
+/// Only the first registered flag wins; later calls return `false`.
+/// On non-Unix targets this is a no-op returning `false` — shut down
+/// via [`Server::shutdown_handle`] instead.
+pub fn install_shutdown_handlers(flag: &CancelFlag) -> bool {
+    if SHUTDOWN_FLAG.set(flag.clone()).is_err() {
+        return false;
+    }
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            /// `signal(2)`. Declared here instead of pulling in a
+            /// bindings crate: the workspace is dependency-free and
+            /// this is the one libc call the serve mode needs.
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: `signal` is the C standard library's handler
+        // registration. The handler we install (`on_signal`) is an
+        // `extern "C" fn(i32)` matching the expected ABI, performs
+        // only async-signal-safe operations (two atomic accesses, no
+        // locks, no allocation), and lives for the whole program
+        // (a static item). SIGINT/SIGTERM are valid signal numbers on
+        // every Unix this crate targets.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+        true
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}

@@ -1,0 +1,164 @@
+//! In-process integration test for the serve endpoint: bind on an
+//! ephemeral port, drive it over real TCP, submit a real (tiny) sweep,
+//! and shut down gracefully.
+
+use lifepred_sweep::{Server, ServerConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+fn churn_trace(name: &str) -> lifepred_trace::Trace {
+    let s = lifepred_trace::TraceSession::new(name);
+    {
+        let _g = s.enter("churn");
+        for _ in 0..300 {
+            let a = s.alloc(64);
+            s.free(a);
+        }
+    }
+    s.finish()
+}
+
+/// One raw HTTP exchange: write `raw`, read to EOF (the server always
+/// closes), return (status, body).
+fn request(addr: SocketAddr, raw: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut reply = String::new();
+    stream.read_to_string(&mut reply).expect("recv");
+    let status: u16 = reply
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r.get(..3))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {reply}"));
+    let body = reply
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_owned())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    request(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\
+             Content-Type: application/json\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn serve_endpoint_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("lifepred-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let trace_path = dir.join("churn.lpt");
+    lifepred_tracefile::save_trace(&trace_path, &churn_trace("churn")).expect("save trace");
+
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        store: dir.join("store"),
+        threads: 2,
+        jobs: 1,
+    })
+    .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    let stop = server.shutdown_handle();
+    let runner = std::thread::spawn(move || server.run());
+
+    // Liveness probe.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!((status, body.as_str()), (200, "ok\n"));
+
+    // Golden counters are exposed before any sweep ran.
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for name in [
+        "lifepred_serve_http_requests_total",
+        "lifepred_serve_sweeps_started_total",
+        "lifepred_serve_cells_computed_total",
+        "lifepred_serve_cache_hits_total",
+    ] {
+        assert!(metrics.contains(name), "missing {name} in:\n{metrics}");
+    }
+
+    // Unknown routes and methods are rejected, not crashed on.
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert_eq!(
+        request(addr, "DELETE /healthz HTTP/1.1\r\nHost: t\r\n\r\n").0,
+        405
+    );
+    assert_eq!(post(addr, "/sweeps", "{not json").0, 400);
+
+    // Submit a real sweep: offline + firstfit over one trace.
+    let spec = format!(
+        r#"{{"schema": "lifepred-sweep-v1", "name": "e2e",
+            "traces": ["{}"],
+            "backends": ["offline", "firstfit"],
+            "thresholds": [32768]}}"#,
+        trace_path.display()
+    );
+    let (status, body) = post(addr, "/sweeps", &spec);
+    assert_eq!(status, 202, "{body}");
+    assert!(body.contains("\"id\": 0"), "{body}");
+    assert!(body.contains("\"cells\": 2"), "{body}");
+
+    // Poll until it finishes (tiny grid; generous deadline for CI).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let detail = loop {
+        let (status, body) = get(addr, "/sweeps/0");
+        assert_eq!(status, 200, "{body}");
+        if body.contains("\"status\": \"done\"") {
+            break body;
+        }
+        assert!(
+            !body.contains("\"failed\"") && Instant::now() < deadline,
+            "sweep did not finish: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(detail.contains("\"stats\""), "{detail}");
+    assert!(detail.contains("\"table\""), "{detail}");
+    assert!(detail.contains("backend=offline"), "{detail}");
+
+    // The listing sees it too.
+    let (_, listing) = get(addr, "/sweeps");
+    assert!(listing.contains("\"name\": \"e2e\""), "{listing}");
+    assert!(listing.contains("\"status\": \"done\""), "{listing}");
+
+    // Unknown sweep ids are a 404, bad ids a 400.
+    assert_eq!(get(addr, "/sweeps/99").0, 404);
+    assert_eq!(get(addr, "/sweeps/xyz").0, 400);
+
+    // After a computed sweep, /metrics carries the simulation feed.
+    let (_, metrics) = get(addr, "/metrics");
+    assert!(
+        metrics.contains("lifepred_sim_allocs_total"),
+        "sim metrics missing:\n{metrics}"
+    );
+    let cells_line = metrics
+        .lines()
+        .find(|l| l.starts_with("lifepred_serve_cells_computed_total"))
+        .expect("cells counter");
+    assert!(cells_line.trim().ends_with('2'), "{cells_line}");
+
+    // Graceful shutdown: flag → run() returns Ok.
+    stop.cancel();
+    runner
+        .join()
+        .expect("server thread")
+        .expect("clean shutdown");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -65,6 +65,7 @@ mod varint;
 mod writer;
 
 pub use chunked::EventChunks;
+pub use crc32::Crc32;
 pub use error::TraceFileError;
 pub use reader::{EventsIter, RecordsIter, TraceEvent, TraceReader};
 pub use writer::TraceWriter;
