@@ -1,0 +1,78 @@
+//! Triage tool: dumps the cross-file engine's view of named fns.
+//!
+//! ```text
+//! cargo run -p lifepred-audit --example dump -- on_free flush_blocks
+//! ```
+//!
+//! For each matching fn: its propagated effects, lock closure, lock
+//! scopes, and which callees each call site resolved to. This is how
+//! to answer "why does the audit think X allocates?" without adding
+//! printf to the fixpoint.
+
+use lifepred_audit::callgraph::Workspace;
+use lifepred_audit::ctx::{module_id, FileCtx};
+use lifepred_audit::default_scan_set;
+use std::path::PathBuf;
+
+fn main() {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let root = PathBuf::from(".");
+    let files = default_scan_set(&root);
+    let mut ctxs = Vec::new();
+    for f in &files {
+        let Ok(src) = std::fs::read_to_string(f) else {
+            continue;
+        };
+        let rel = f.strip_prefix(&root).unwrap_or(f);
+        ctxs.push(FileCtx::new(rel.to_path_buf(), src, module_id(rel)));
+    }
+    let ws = Workspace::build(&ctxs);
+    for (i, f) in ws.fns.iter().enumerate() {
+        if !names.is_empty() && !names.contains(&f.item.name) {
+            continue;
+        }
+        let ctx = &ws.ctxs[f.file];
+        let (line, _) = ctx.line_col(f.item.offset);
+        println!(
+            "{}::{} ({}:{}) may_alloc={} always_guarded={} panics={:?}",
+            f.module,
+            f.item.name,
+            ctx.path.display(),
+            line,
+            f.may_alloc,
+            f.always_guarded,
+            f.panic_kinds
+        );
+        println!("  locks_closure: {:?}", f.locks_closure);
+        for s in &f.eff_scopes {
+            println!(
+                "  scope {} bytes={:?} guarded={} whole_body={}",
+                s.qual, s.bytes, s.guarded, s.whole_body
+            );
+        }
+        for a in &f.summary.allocs {
+            let (l, _) = ctx.line_col(a.offset);
+            println!("  alloc `{}` at line {} guarded={}", a.what, l, a.guarded);
+        }
+        for (ci, c) in f.summary.calls.iter().enumerate() {
+            let targets: Vec<String> = ws
+                .callees(i, ci)
+                .iter()
+                .map(|&j| format!("{}::{}", ws.fns[j].module, ws.fns[j].item.name))
+                .collect();
+            let (l, _) = ctx.line_col(c.offset);
+            println!(
+                "  call {}{} line {} recv={:?} guarded={} -> {:?}",
+                c.qual
+                    .as_deref()
+                    .map(|q| format!("{q}::"))
+                    .unwrap_or_default(),
+                c.name,
+                l,
+                c.recv,
+                c.guarded,
+                targets
+            );
+        }
+    }
+}

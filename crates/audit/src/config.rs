@@ -20,8 +20,14 @@ pub struct RuleConfig {
     /// `undocumented_unsafe_blocks` instead).
     pub include_tests: bool,
     /// Module ids the rule treats as allowlisted (R2) or as its scope
-    /// (R4); meaning is per-rule.
+    /// (R4); for `panic-surface`, entries without `/` are crate names.
     pub modules: Vec<String>,
+    /// Lock names `alloc-reentrancy` treats as critical beyond the
+    /// GlobalAlloc-crate default (`pending`, `learner`, ...).
+    pub locks: Vec<String>,
+    /// Panicking-construct kinds `panic-surface` checks (default:
+    /// unwrap, expect, panic-macro, index).
+    pub constructs: Vec<String>,
 }
 
 /// One `[[allow]]` entry: suppresses diagnostics of `rule` whose site
@@ -30,10 +36,14 @@ pub struct RuleConfig {
 #[derive(Debug, Clone)]
 pub struct AllowEntry {
     pub rule: String,
-    /// Site id to match: a module id (`alloc/profiler`) or a
-    /// per-atomic site (`alloc/sharded::NEXT_THREAD`).
+    /// Site id to match: a module id (`alloc/profiler`), a per-site id
+    /// (`alloc/sharded::NEXT_THREAD`, `galloc/feedback::record`), or a
+    /// lock pair (`adaptive/learner->alloc/meta`).
     pub site: String,
     pub reason: String,
+    /// 1-based line of the `[[allow]]` header in `audit.toml`, so
+    /// stale-waiver diagnostics point at the dead entry.
+    pub line: usize,
 }
 
 /// Parsed `audit.toml`.
@@ -68,6 +78,22 @@ impl AuditConfig {
             .unwrap_or(&[])
     }
 
+    /// The critical-lock list configured for a rule (empty if none).
+    pub fn locks(&self, rule: &str) -> &[String] {
+        self.rules
+            .get(rule)
+            .map(|r| r.locks.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The construct list configured for a rule (empty if none).
+    pub fn constructs(&self, rule: &str) -> &[String] {
+        self.rules
+            .get(rule)
+            .map(|r| r.constructs.as_slice())
+            .unwrap_or(&[])
+    }
+
     /// Whether an `[[allow]]` entry suppresses (rule, site).
     pub fn is_allowed(&self, rule: &str, site: &str) -> bool {
         self.allows.iter().any(|a| a.rule == rule && a.site == site)
@@ -87,28 +113,37 @@ impl AuditConfig {
         enum Section {
             None,
             Rule(String),
-            Allow(HashMap<String, Value>),
+            /// The in-progress entry's keys plus the 1-based line of
+            /// its `[[allow]]` header.
+            Allow(HashMap<String, Value>, usize),
         }
         let mut section = Section::None;
-        let finish_allow =
-            |map: HashMap<String, Value>, cfg: &mut AuditConfig| -> Result<(), String> {
-                let get = |k: &str| -> Option<String> {
-                    map.get(k).and_then(|v| match v {
-                        Value::Str(s) => Some(s.clone()),
-                        _ => None,
-                    })
-                };
-                let rule = get("rule").ok_or("[[allow]] entry missing `rule`")?;
-                let site = get("site").ok_or("[[allow]] entry missing `site`")?;
-                let reason = get("reason").unwrap_or_default();
-                if reason.trim().is_empty() {
-                    return Err(format!(
-                        "[[allow]] for {rule} at {site}: a written `reason` is required"
-                    ));
-                }
-                cfg.allows.push(AllowEntry { rule, site, reason });
-                Ok(())
+        let finish_allow = |map: HashMap<String, Value>,
+                            line: usize,
+                            cfg: &mut AuditConfig|
+         -> Result<(), String> {
+            let get = |k: &str| -> Option<String> {
+                map.get(k).and_then(|v| match v {
+                    Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
             };
+            let rule = get("rule").ok_or("[[allow]] entry missing `rule`")?;
+            let site = get("site").ok_or("[[allow]] entry missing `site`")?;
+            let reason = get("reason").unwrap_or_default();
+            if reason.trim().is_empty() {
+                return Err(format!(
+                    "[[allow]] for {rule} at {site}: a written `reason` is required"
+                ));
+            }
+            cfg.allows.push(AllowEntry {
+                rule,
+                site,
+                reason,
+                line,
+            });
+            Ok(())
+        };
         for (lineno, raw) in text.lines().enumerate() {
             let line = strip_comment(raw).trim().to_string();
             if line.is_empty() {
@@ -116,18 +151,18 @@ impl AuditConfig {
             }
             let err = |msg: &str| format!("audit.toml:{}: {}", lineno + 1, msg);
             if let Some(header) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
-                if let Section::Allow(map) = std::mem::replace(&mut section, Section::None) {
-                    finish_allow(map, &mut cfg)?;
+                if let Section::Allow(map, l) = std::mem::replace(&mut section, Section::None) {
+                    finish_allow(map, l, &mut cfg)?;
                 }
                 if header.trim() != "allow" {
                     return Err(err(&format!("unknown array table [[{}]]", header.trim())));
                 }
-                section = Section::Allow(HashMap::new());
+                section = Section::Allow(HashMap::new(), lineno + 1);
                 continue;
             }
             if let Some(header) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
-                if let Section::Allow(map) = std::mem::replace(&mut section, Section::None) {
-                    finish_allow(map, &mut cfg)?;
+                if let Section::Allow(map, l) = std::mem::replace(&mut section, Section::None) {
+                    finish_allow(map, l, &mut cfg)?;
                 }
                 let header = header.trim();
                 let rule = header.strip_prefix("rule.").ok_or_else(|| {
@@ -146,7 +181,7 @@ impl AuditConfig {
                 Section::None => {
                     return Err(err(&format!("key `{key}` outside any table")));
                 }
-                Section::Allow(map) => {
+                Section::Allow(map, _) => {
                     map.insert(key.to_string(), value);
                 }
                 Section::Rule(rule) => {
@@ -160,6 +195,8 @@ impl AuditConfig {
                         }
                         ("include_tests", Value::Bool(b)) => rc.include_tests = b,
                         ("modules", Value::Array(items)) => rc.modules = items,
+                        ("locks", Value::Array(items)) => rc.locks = items,
+                        ("constructs", Value::Array(items)) => rc.constructs = items,
                         (k, _) => {
                             return Err(err(&format!("unsupported rule key `{k}`")));
                         }
@@ -167,8 +204,8 @@ impl AuditConfig {
                 }
             }
         }
-        if let Section::Allow(map) = section {
-            finish_allow(map, &mut cfg)?;
+        if let Section::Allow(map, l) = section {
+            finish_allow(map, l, &mut cfg)?;
         }
         Ok(cfg)
     }
@@ -341,6 +378,27 @@ reason = "byte clock"
         let cfg = AuditConfig::parse("[rule.x] # trailing\nmodules = [\"a#b\"] # comment\n")
             .expect("parse");
         assert_eq!(cfg.modules("x"), &["a#b".to_string()]);
+    }
+
+    #[test]
+    fn locks_constructs_and_allow_lines() {
+        let cfg = AuditConfig::parse(
+            "[rule.alloc-reentrancy]\nlocks = [\"pending\", \"learner\"]\n\
+             [rule.panic-surface]\nconstructs = [\"unwrap\", \"index\"]\n\
+             \n\
+             [[allow]]\nrule = \"lock-order\"\nsite = \"a/x->b/y\"\nreason = \"distinct instances\"\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.locks("alloc-reentrancy"),
+            &["pending".to_string(), "learner".to_string()]
+        );
+        assert_eq!(
+            cfg.constructs("panic-surface"),
+            &["unwrap".to_string(), "index".to_string()]
+        );
+        assert_eq!(cfg.allows.len(), 1);
+        assert_eq!(cfg.allows[0].line, 6, "line of the [[allow]] header");
     }
 
     #[test]

@@ -117,6 +117,56 @@ pub fn render_json_report(diags: &[Diagnostic]) -> String {
     )
 }
 
+/// Renders a SARIF 2.1.0 log for GitHub code scanning. `rules` pairs
+/// each rule id with its one-line description (the driver's rule
+/// metadata); diagnostics referencing unlisted rules (e.g.
+/// `stale-waiver`) still render, they just carry no rule index.
+pub fn render_sarif(diags: &[Diagnostic], rules: &[(&str, &str)]) -> String {
+    let rule_objs: Vec<String> = rules
+        .iter()
+        .map(|(id, desc)| {
+            format!(
+                "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+                json_str(id),
+                json_str(desc)
+            )
+        })
+        .collect();
+    let results: Vec<String> = diags
+        .iter()
+        .map(|d| {
+            let level = match d.severity {
+                Severity::Deny => "error",
+                Severity::Warn => "warning",
+                Severity::Allow => "note",
+            };
+            let rule_index = rules.iter().position(|(id, _)| *id == d.rule);
+            let index = rule_index
+                .map(|i| format!(",\"ruleIndex\":{i}"))
+                .unwrap_or_default();
+            format!(
+                "{{\"ruleId\":{}{index},\"level\":{},\"message\":{{\"text\":{}}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                 {{\"uri\":{}}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+                json_str(d.rule),
+                json_str(level),
+                json_str(&d.message),
+                json_str(&d.file.replace('\\', "/")),
+                d.line.max(1),
+                d.col.max(1),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"lifepred-audit\",\"informationUri\":\
+         \"https://github.com/lifepred\",\"rules\":[{}]}}}},\"results\":[{}]}}]}}",
+        rule_objs.join(","),
+        results.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +194,24 @@ mod tests {
     #[test]
     fn json_escaping() {
         assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn sarif_shape_and_levels() {
+        let mut w = diag();
+        w.severity = Severity::Warn;
+        let s = render_sarif(
+            &[diag(), w],
+            &[("safety-comment", "every unsafe block carries // SAFETY:")],
+        );
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"lifepred-audit\""));
+        assert!(s.contains("\"ruleId\":\"safety-comment\""));
+        assert!(s.contains("\"ruleIndex\":0"));
+        assert!(s.contains("\"level\":\"error\""));
+        assert!(s.contains("\"level\":\"warning\""));
+        assert!(s.contains("\"startLine\":7"));
+        assert!(s.contains("\"uri\":\"crates/alloc/src/sharded.rs\""));
     }
 
     #[test]

@@ -25,11 +25,15 @@
 //! above. Run `cargo run -p lifepred-audit -- check` from the repo
 //! root; see DESIGN.md §9 for the invariant catalogue.
 
+pub mod app;
+pub mod callgraph;
 pub mod config;
 pub mod ctx;
 pub mod diag;
 pub mod lex;
+pub mod parse;
 pub mod rules;
+pub mod summary;
 
 use config::AuditConfig;
 use ctx::{module_id, FileCtx};
@@ -109,28 +113,110 @@ pub fn load_config(root: &Path) -> Result<AuditConfig, String> {
     }
 }
 
+/// Options for [`run_check_opts`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CheckOptions {
+    /// Escalate stale `[[allow]]` waivers from warnings to denials.
+    pub strict: bool,
+}
+
 /// Runs every registered rule over `files` (repo-relative to `root`).
 ///
 /// # Errors
 ///
 /// Returns a message when a file cannot be read.
 pub fn run_check(root: &Path, files: &[PathBuf], cfg: &AuditConfig) -> Result<CheckReport, String> {
-    let rules = rules::all_rules();
-    let mut diagnostics = Vec::new();
+    run_check_opts(root, files, cfg, CheckOptions::default())
+}
+
+/// [`run_check`] with explicit [`CheckOptions`].
+///
+/// Per-file rules run first; then the whole file set is handed to
+/// [`callgraph::Workspace::build`] and the cross-file rules run once
+/// over it. `[[allow]]` filtering is centralized here (matching either
+/// the diagnostic's site id or its file's module id) so entries that
+/// matched nothing can be reported as stale waivers.
+///
+/// # Errors
+///
+/// Returns a message when a file cannot be read.
+pub fn run_check_opts(
+    root: &Path,
+    files: &[PathBuf],
+    cfg: &AuditConfig,
+    opts: CheckOptions,
+) -> Result<CheckReport, String> {
+    let mut ctxs = Vec::with_capacity(files.len());
     for file in files {
         let src = fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
         let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
         let module = module_id(&rel);
-        let ctx = FileCtx::new(rel, src, module);
+        ctxs.push(FileCtx::new(rel, src, module));
+    }
+
+    let mut diagnostics = Vec::new();
+    let rules = rules::all_rules();
+    for ctx in &ctxs {
         let mut file_diags = Vec::new();
         for rule in &rules {
-            rule.check(&ctx, cfg, &mut file_diags);
+            rule.check(ctx, cfg, &mut file_diags);
         }
-        apply_inline_allows(&ctx, &mut file_diags);
-        // Module-level [[allow]] entries (site == module id).
-        file_diags.retain(|d| !cfg.is_allowed(d.rule, &ctx.module));
+        apply_inline_allows(ctx, &mut file_diags);
         diagnostics.extend(file_diags);
     }
+
+    let ws = callgraph::Workspace::build(&ctxs);
+    let mut ws_diags = Vec::new();
+    for rule in rules::all_workspace_rules() {
+        rule.check(&ws, cfg, &mut ws_diags);
+    }
+    for ctx in &ctxs {
+        apply_inline_allows(ctx, &mut ws_diags);
+    }
+    diagnostics.extend(ws_diags);
+
+    // Central [[allow]] filtering: an entry matches a diagnostic by
+    // exact site id or by the file's module id. Every matching entry
+    // is marked used so dead waivers surface below.
+    let module_by_file: std::collections::HashMap<String, &str> = ctxs
+        .iter()
+        .map(|c| (c.path.display().to_string(), c.module.as_str()))
+        .collect();
+    let mut used = vec![false; cfg.allows.len()];
+    diagnostics.retain(|d| {
+        let module = module_by_file.get(&d.file).copied().unwrap_or("");
+        let mut suppressed = false;
+        for (i, a) in cfg.allows.iter().enumerate() {
+            if a.rule == d.rule && (a.site == d.site || a.site == module) {
+                used[i] = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+
+    // Stale-waiver detection: an [[allow]] that suppressed nothing is
+    // dead weight — a warning normally, a denial under --strict.
+    for (a, _) in cfg.allows.iter().zip(&used).filter(|(_, &u)| !u) {
+        diagnostics.push(Diagnostic {
+            rule: "stale-waiver",
+            severity: if opts.strict {
+                Severity::Deny
+            } else {
+                Severity::Warn
+            },
+            file: "audit.toml".to_string(),
+            line: a.line,
+            col: 1,
+            message: format!(
+                "[[allow]] for `{}` at `{}` matches no current finding; delete it \
+                 (reason was: {})",
+                a.rule, a.site, a.reason
+            ),
+            site: a.site.clone(),
+        });
+    }
+
     diagnostics.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
     });
@@ -140,8 +226,10 @@ pub fn run_check(root: &Path, files: &[PathBuf], cfg: &AuditConfig) -> Result<Ch
     })
 }
 
-/// Drops diagnostics suppressed by an `// audit:allow(rule-id)`
-/// comment on the same line or the line directly above.
+/// Drops this file's diagnostics suppressed by an
+/// `// audit:allow(rule-id)` comment on the same line or the line
+/// directly above. Diagnostics for other files are untouched, so the
+/// same vector can be passed once per file.
 fn apply_inline_allows(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
     let mut allows: Vec<(usize, String)> = Vec::new();
     for t in &ctx.toks {
@@ -161,10 +249,12 @@ fn apply_inline_allows(ctx: &FileCtx, diags: &mut Vec<Diagnostic>) {
     if allows.is_empty() {
         return;
     }
+    let file = ctx.path.display().to_string();
     diags.retain(|d| {
-        !allows
-            .iter()
-            .any(|(line, rule)| rule == d.rule && (*line == d.line || *line + 1 == d.line))
+        d.file != file
+            || !allows
+                .iter()
+                .any(|(line, rule)| rule == d.rule && (*line == d.line || *line + 1 == d.line))
     });
 }
 

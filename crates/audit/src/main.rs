@@ -1,152 +1,24 @@
-//! CLI for the allocator-safety audit.
+//! CLI for the allocator-safety audit. All logic lives in
+//! [`lifepred_audit::app`], which is shared with the `lifepred audit`
+//! subcommand.
 //!
 //! ```text
-//! lifepred-audit check [--root DIR] [--config FILE] [--format human|json] [FILES...]
+//! lifepred-audit check [--root DIR] [--config FILE]
+//!                      [--format human|json|sarif] [--strict] [FILES...]
 //! lifepred-audit rules
 //! ```
 //!
 //! Exit codes: 0 = clean (warnings allowed), 1 = deny diagnostics
 //! found, 2 = usage or configuration error.
 
-use lifepred_audit::config::AuditConfig;
-use lifepred_audit::diag::{render_json_report, Severity};
-use lifepred_audit::{default_scan_set, load_config, rules, run_check};
-use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
-        Some("check") => check(&args[1..]),
-        Some("rules") => {
-            for rule in rules::all_rules() {
-                println!("{:<22} {}", rule.id(), rule.description());
-            }
-            ExitCode::SUCCESS
-        }
-        Some("--help") | Some("-h") | None => {
-            usage();
-            ExitCode::SUCCESS
-        }
-        Some(other) => {
-            eprintln!("unknown command {other:?}");
-            usage();
-            ExitCode::from(2)
-        }
-    }
-}
-
-fn usage() {
-    eprintln!(
-        "lifepred-audit — allocator-safety static analysis\n\
-         \n\
-         USAGE:\n\
-         \x20 lifepred-audit check [--root DIR] [--config FILE] [--format human|json] [FILES...]\n\
-         \x20 lifepred-audit rules\n\
-         \n\
-         check scans crates/*/src and src/ under --root (default: .)\n\
-         against audit.toml in --root (or --config). Explicit FILES\n\
-         override the default scan set. Exit codes: 0 clean, 1 deny\n\
-         diagnostics found, 2 usage/config error."
+    let code = lifepred_audit::app::run_app(
+        &args,
+        &mut std::io::stdout().lock(),
+        &mut std::io::stderr().lock(),
     );
-}
-
-fn check(args: &[String]) -> ExitCode {
-    let mut root = PathBuf::from(".");
-    let mut config_path: Option<PathBuf> = None;
-    let mut format = "human".to_string();
-    let mut files: Vec<PathBuf> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--root" => {
-                let Some(v) = it.next() else {
-                    eprintln!("--root needs a value");
-                    return ExitCode::from(2);
-                };
-                root = PathBuf::from(v);
-            }
-            "--config" => {
-                let Some(v) = it.next() else {
-                    eprintln!("--config needs a value");
-                    return ExitCode::from(2);
-                };
-                config_path = Some(PathBuf::from(v));
-            }
-            "--format" => {
-                let Some(v) = it.next() else {
-                    eprintln!("--format needs a value");
-                    return ExitCode::from(2);
-                };
-                format = v.clone();
-            }
-            flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag:?}");
-                return ExitCode::from(2);
-            }
-            file => files.push(PathBuf::from(file)),
-        }
-    }
-    if format != "human" && format != "json" {
-        eprintln!("--format must be human or json, got {format:?}");
-        return ExitCode::from(2);
-    }
-    let cfg = match config_path {
-        Some(path) => match std::fs::read_to_string(&path) {
-            Ok(text) => match AuditConfig::parse(&text) {
-                Ok(cfg) => cfg,
-                Err(e) => {
-                    eprintln!("config error: {e}");
-                    return ExitCode::from(2);
-                }
-            },
-            Err(e) => {
-                eprintln!("cannot read {}: {e}", path.display());
-                return ExitCode::from(2);
-            }
-        },
-        None => match load_config(&root) {
-            Ok(cfg) => cfg,
-            Err(e) => {
-                eprintln!("config error: {e}");
-                return ExitCode::from(2);
-            }
-        },
-    };
-    if files.is_empty() {
-        files = default_scan_set(&root);
-    }
-    if files.is_empty() {
-        eprintln!("no .rs files found under {}", root.display());
-        return ExitCode::from(2);
-    }
-    let report = match run_check(&root, &files, &cfg) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    if format == "json" {
-        println!("{}", render_json_report(&report.diagnostics));
-    } else {
-        for d in &report.diagnostics {
-            println!("{}", d.render_human());
-        }
-        let denies = report
-            .diagnostics
-            .iter()
-            .filter(|d| d.severity == Severity::Deny)
-            .count();
-        let warns = report.diagnostics.len() - denies;
-        println!(
-            "audit: {} file(s) scanned, {} deny, {} warn",
-            report.files_scanned, denies, warns
-        );
-    }
-    if report.has_denials() {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
-    }
+    ExitCode::from(code)
 }

@@ -1,0 +1,468 @@
+//! A lightweight item index over the token stream: every `fn` item
+//! with its body token range, plus the `impl` block (type and trait)
+//! it belongs to.
+//!
+//! This is the layer that turns the flat token stream into something
+//! the cross-file analysis can summarize per function. It is not a
+//! parser — it finds `impl ... { ... }` and `fn name ... { ... }`
+//! shapes by brace matching, which is sound for the rustfmt-formatted
+//! code this workspace contains and degrades to "fewer indexed
+//! functions" (never wrong spans) on exotic shapes.
+
+use crate::ctx::{match_brace, FileCtx};
+use crate::lex::TokKind;
+
+/// One `impl` block: its body token range and the names involved.
+#[derive(Debug, Clone)]
+pub struct ImplBlock {
+    /// Last path segment of the implemented type (`LifepredGlobal`).
+    pub type_name: Option<String>,
+    /// Last path segment of the trait, for `impl Trait for Type`
+    /// (`GlobalAlloc`, `Drop`, ...). `None` for inherent impls.
+    pub trait_name: Option<String>,
+    /// Token indices of the `{` and matching `}` of the impl body.
+    pub body: (usize, usize),
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// The enclosing impl's type, if any.
+    pub impl_type: Option<String>,
+    /// The enclosing impl's trait, if any (`GlobalAlloc`, `Drop`).
+    pub impl_trait: Option<String>,
+    /// Token indices of the `{` and matching `}` of the fn body.
+    pub body: (usize, usize),
+    /// Token index of the `fn` keyword (signature parsing anchor).
+    pub fn_tok: usize,
+    /// Byte offset of the `fn` keyword (diagnostic anchor).
+    pub offset: usize,
+    /// Whether the fn sits inside `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+}
+
+/// Indexes every `fn` item in the file, associating each with its
+/// enclosing `impl` block (if any). Nested fns are indexed as separate
+/// items; [`nested_bodies`] lets the summarizer exclude their tokens
+/// from the enclosing fn.
+pub fn index_fns(ctx: &FileCtx) -> Vec<FnItem> {
+    let impls = index_impls(ctx);
+    let toks = &ctx.toks;
+    let mut fns = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("fn") {
+            i += 1;
+            continue;
+        }
+        // `fn` must introduce an item: the next code token is its name.
+        let Some(n) = ctx.next_code_tok(i + 1) else {
+            break;
+        };
+        let Some(name) = toks[n].ident() else {
+            // `fn(` in a function-pointer type.
+            i = n;
+            continue;
+        };
+        // Find the body `{` before any `;` (trait method declarations
+        // have no body). Angle-bracket depth tracking keeps `{` inside
+        // generic defaults and return types from confusing us; none
+        // occur before a body brace in practice.
+        let mut m = n + 1;
+        let mut open = None;
+        while m < toks.len() {
+            match toks[m].kind {
+                TokKind::Punct('{') => {
+                    open = Some(m);
+                    break;
+                }
+                TokKind::Punct(';') => break,
+                _ => {}
+            }
+            m += 1;
+        }
+        let Some(open) = open else {
+            i = m + 1;
+            continue;
+        };
+        let close = match_brace(toks, open);
+        let offset = toks[i].start;
+        let owner = impls
+            .iter()
+            .find(|im| open > im.body.0 && close <= im.body.1);
+        fns.push(FnItem {
+            name: name.to_string(),
+            impl_type: owner.and_then(|im| im.type_name.clone()),
+            impl_trait: owner.and_then(|im| im.trait_name.clone()),
+            body: (open, close),
+            fn_tok: i,
+            offset,
+            is_test: ctx.in_test(offset),
+        });
+        // Continue *inside* the body so nested fns are indexed too.
+        i = open + 1;
+    }
+    fns
+}
+
+/// Parameter names of `item`, from its signature: idents directly
+/// followed by `:` at parenthesis depth 1 of the parameter list
+/// (`&self` and pattern internals are skipped). Used to spot closure
+/// invocations (`f(...)` where `f` is a parameter) inside fn bodies.
+pub fn param_names(ctx: &FileCtx, item: &FnItem) -> Vec<String> {
+    let toks = &ctx.toks;
+    // `fn name` then an optional generic list (which may itself contain
+    // parentheses, e.g. `F: Fn(u8) -> u8`), then the parameter list.
+    let Some(name_tok) = ctx.next_code_tok(item.fn_tok + 1) else {
+        return Vec::new();
+    };
+    let mut j = name_tok + 1;
+    let mut angle = 0usize;
+    while j < item.body.0 {
+        match toks[j].kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') if !(j > 0 && toks[j - 1].is_punct('-')) => {
+                angle = angle.saturating_sub(1);
+            }
+            TokKind::Punct('(') if angle == 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    if j >= item.body.0 {
+        return Vec::new();
+    }
+    let mut names = Vec::new();
+    let mut depth = 0usize;
+    while j < item.body.0 {
+        match &toks[j].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Ident(s)
+                if depth == 1
+                    && ctx
+                        .next_code_tok(j + 1)
+                        .is_some_and(|n| toks[n].is_punct(':'))
+                    && !matches!(s.as_str(), "mut" | "ref") =>
+            {
+                names.push(s.clone());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    names
+}
+
+/// Indexes named-struct fields: `(field_name, type idents)` pairs for
+/// every `struct Name { ... }` in the file. The type idents include
+/// wrapper generics (`feedback: Mutex<FeedbackTable>` → `[Mutex,
+/// FeedbackTable]`) so call resolution can try the inner type — a
+/// method call through a guard or `Arc` dereferences to it.
+pub fn index_struct_fields(ctx: &FileCtx) -> Vec<(String, Vec<String>)> {
+    let toks = &ctx.toks;
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        // `struct Name`, optional generics, then `{` for named fields
+        // (tuple structs and unit structs carry no field names).
+        let mut j = i + 1;
+        let mut open = None;
+        while j < toks.len() {
+            match toks[j].kind {
+                TokKind::Punct('{') => {
+                    open = Some(j);
+                    break;
+                }
+                TokKind::Punct('(') | TokKind::Punct(';') => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else {
+            i = j + 1;
+            continue;
+        };
+        let close = match_brace(toks, open);
+        let mut k = open + 1;
+        let mut depth = 0usize;
+        while k < close {
+            match &toks[k].kind {
+                TokKind::Punct('{')
+                | TokKind::Punct('(')
+                | TokKind::Punct('[')
+                | TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('}') | TokKind::Punct(')') | TokKind::Punct(']') => {
+                    depth = depth.saturating_sub(1)
+                }
+                TokKind::Punct('>') if !(k > 0 && toks[k - 1].is_punct('-')) => {
+                    depth = depth.saturating_sub(1);
+                }
+                TokKind::Ident(name)
+                    if depth == 0
+                        && ctx
+                            .next_code_tok(k + 1)
+                            .is_some_and(|n| toks[n].is_punct(':')) =>
+                {
+                    // Field: collect type idents to the `,` (or
+                    // body close) at depth 0.
+                    let mut tys = Vec::new();
+                    let mut t = k + 1;
+                    let mut tdepth = 0usize;
+                    while t < close {
+                        match &toks[t].kind {
+                            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('<') => {
+                                tdepth += 1
+                            }
+                            TokKind::Punct(')') | TokKind::Punct(']') => {
+                                tdepth = tdepth.saturating_sub(1)
+                            }
+                            TokKind::Punct('>') if !(toks[t - 1].is_punct('-')) => {
+                                tdepth = tdepth.saturating_sub(1);
+                            }
+                            TokKind::Punct(',') if tdepth == 0 => break,
+                            TokKind::Ident(s)
+                                if !matches!(
+                                    s.as_str(),
+                                    "pub" | "crate" | "dyn" | "mut" | "const" | "ref"
+                                ) =>
+                            {
+                                tys.push(s.clone())
+                            }
+                            _ => {}
+                        }
+                        t += 1;
+                    }
+                    fields.push((name.clone(), tys));
+                    k = t;
+                    continue;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        i = close + 1;
+    }
+    fields
+}
+
+/// Token ranges of fns nested inside `item`'s body (so the summarizer
+/// can skip them).
+pub fn nested_bodies(item: &FnItem, all: &[FnItem]) -> Vec<(usize, usize)> {
+    all.iter()
+        .filter(|f| f.body.0 > item.body.0 && f.body.1 < item.body.1)
+        .map(|f| f.body)
+        .collect()
+}
+
+/// Indexes every `impl` block in the file.
+pub fn index_impls(ctx: &FileCtx) -> Vec<ImplBlock> {
+    let toks = &ctx.toks;
+    let mut impls = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("impl") {
+            continue;
+        }
+        // Skip `impl` used as a type (`-> impl Iterator`): an item-level
+        // impl is preceded by nothing, `}`/`;`, `unsafe`, or an
+        // attribute close.
+        if let Some(p) = ctx.prev_code_tok(i) {
+            let ok = matches!(toks[p].kind, TokKind::Punct('}') | TokKind::Punct(';'))
+                || matches!(toks[p].kind, TokKind::Punct(']'))
+                || toks[p].is_ident("unsafe")
+                || toks[p].is_ident("pub");
+            if !ok {
+                continue;
+            }
+        }
+        let mut j = i + 1;
+        // Skip the generic parameter list, if any.
+        if j < toks.len() && toks[j].is_punct('<') {
+            let mut depth = 0usize;
+            while j < toks.len() {
+                match toks[j].kind {
+                    TokKind::Punct('<') => depth += 1,
+                    TokKind::Punct('>') => {
+                        // `->` inside `Fn() -> T` bounds is not a close.
+                        let arrow = j > 0 && toks[j - 1].is_punct('-');
+                        if !arrow {
+                            depth -= 1;
+                            if depth == 0 {
+                                j += 1;
+                                break;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Collect path-segment idents (at angle depth 0) until the
+        // body `{`, splitting at `for`.
+        let mut before_for: Vec<String> = Vec::new();
+        let mut after_for: Vec<String> = Vec::new();
+        let mut saw_for = false;
+        let mut depth = 0usize;
+        let mut open = None;
+        while j < toks.len() {
+            match &toks[j].kind {
+                TokKind::Punct('<') => depth += 1,
+                TokKind::Punct('>') if !(j > 0 && toks[j - 1].is_punct('-')) => {
+                    depth = depth.saturating_sub(1);
+                }
+                TokKind::Punct('{') if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                TokKind::Punct(';') if depth == 0 => break,
+                TokKind::Ident(s) if depth == 0 => {
+                    if s == "for" {
+                        saw_for = true;
+                    } else if s == "where" {
+                        // Stop collecting names; scan on for the `{`.
+                    } else if saw_for {
+                        after_for.push(s.clone());
+                    } else {
+                        before_for.push(s.clone());
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let close = match_brace(toks, open);
+        let (trait_name, type_name) = if saw_for {
+            (before_for.last().cloned(), strip_keywords(&after_for))
+        } else {
+            (None, strip_keywords(&before_for))
+        };
+        impls.push(ImplBlock {
+            type_name,
+            trait_name,
+            body: (open, close),
+        });
+    }
+    impls
+}
+
+/// The type name from a path ident list, ignoring `mut`/`dyn`/`where`
+/// noise: the last real segment.
+fn strip_keywords(idents: &[String]) -> Option<String> {
+    idents
+        .iter()
+        .rfind(|s| !matches!(s.as_str(), "mut" | "dyn" | "ref" | "where"))
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::new(PathBuf::from("t.rs"), src.to_string(), "m/x".into())
+    }
+
+    #[test]
+    fn free_fns_and_trait_decls() {
+        let c = ctx("fn a() { b(); }\ntrait T { fn decl(&self); }\nfn b() {}\n");
+        let fns = index_fns(&c);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b"], "bodyless decls are not indexed");
+    }
+
+    #[test]
+    fn impl_association_and_trait_detection() {
+        let c = ctx(
+            "unsafe impl GlobalAlloc for LifepredGlobal {\n  unsafe fn alloc(&self) {}\n}\n\
+             impl Drop for Tls { fn drop(&mut self) {} }\n\
+             impl Inner { fn build() {} }\n",
+        );
+        let fns = index_fns(&c);
+        assert_eq!(fns.len(), 3);
+        assert_eq!(fns[0].name, "alloc");
+        assert_eq!(fns[0].impl_trait.as_deref(), Some("GlobalAlloc"));
+        assert_eq!(fns[0].impl_type.as_deref(), Some("LifepredGlobal"));
+        assert_eq!(fns[1].impl_trait.as_deref(), Some("Drop"));
+        assert_eq!(fns[2].name, "build");
+        assert_eq!(fns[2].impl_trait, None);
+        assert_eq!(fns[2].impl_type.as_deref(), Some("Inner"));
+    }
+
+    #[test]
+    fn generic_impls_and_qualified_traits() {
+        let c = ctx("impl<T: Fn() -> u8> std::ops::Drop for Holder<T> { fn drop(&mut self) {} }");
+        let fns = index_fns(&c);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].impl_trait.as_deref(), Some("Drop"));
+        assert_eq!(fns[0].impl_type.as_deref(), Some("Holder"));
+    }
+
+    #[test]
+    fn nested_fns_are_separate_items() {
+        let c = ctx("fn outer() {\n  fn inner() { x(); }\n  inner();\n}\n");
+        let fns = index_fns(&c);
+        assert_eq!(fns.len(), 2);
+        let outer = fns.iter().find(|f| f.name == "outer").unwrap();
+        assert_eq!(nested_bodies(outer, &fns).len(), 1);
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let c = ctx("#[test]\nfn check() {}\nfn prod() {}");
+        let fns = index_fns(&c);
+        assert!(fns.iter().find(|f| f.name == "check").unwrap().is_test);
+        assert!(!fns.iter().find(|f| f.name == "prod").unwrap().is_test);
+    }
+
+    #[test]
+    fn param_names_skip_self_types_and_generic_parens() {
+        let c =
+            ctx("pub fn with_learner<R, F: Fn(u8) -> R>(&self, f: F, n: usize) -> R { f(n) }\n");
+        let fns = index_fns(&c);
+        assert_eq!(param_names(&c, &fns[0]), ["f", "n"]);
+    }
+
+    #[test]
+    fn struct_fields_capture_wrapper_and_inner_types() {
+        let c = ctx("pub struct Inner {\n\
+               pub feedback: FeedbackTable,\n\
+               pending: Mutex<Pending>,\n\
+               shards: Box<[CachePadded<Shard>]>,\n\
+               map: HashMap<u64, Vec<u8>>,\n\
+             }\n\
+             struct Tuple(u8);\n");
+        let fields = index_struct_fields(&c);
+        let get = |n: &str| {
+            fields
+                .iter()
+                .find(|(f, _)| f == n)
+                .map(|(_, t)| t.clone())
+                .unwrap()
+        };
+        assert_eq!(get("feedback"), ["FeedbackTable"]);
+        assert_eq!(get("pending"), ["Mutex", "Pending"]);
+        assert_eq!(get("shards"), ["Box", "CachePadded", "Shard"]);
+        assert_eq!(get("map"), ["HashMap", "u64", "Vec", "u8"]);
+        assert_eq!(fields.len(), 4, "tuple struct fields carry no names");
+    }
+
+    #[test]
+    fn impl_in_return_position_is_not_a_block() {
+        let c = ctx("fn make() -> impl Iterator<Item = u8> { std::iter::empty() }");
+        assert!(index_impls(&c).is_empty());
+        assert_eq!(index_fns(&c).len(), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! R7 `alloc-reentrancy`: no allocation while a critical lock is held
+//! or inside a `GlobalAlloc` impl body, unless the path is protected
+//! by the bookkeeping-flag idiom.
+//!
+//! This is the static form of the PR 6 bug: the feedback hot path
+//! allocated a `HashMap` entry while holding the `pending` mutex; the
+//! allocation re-entered the global allocator, which tried to record
+//! feedback again and self-deadlocked on the same mutex. The fix —
+//! and the sanctioned escape hatch this rule recognizes — is the
+//! thread-local bookkeeping flag: `let _g = enter_bookkeeping();`
+//! makes the allocator's recursive entry take the System fallback, so
+//! any allocation lexically after the guard (or inside a function
+//! whose *every* caller is guarded) is safe.
+//!
+//! Critical scopes are: every effective lock scope in a crate that
+//! implements `GlobalAlloc`, every lock named in the rule's
+//! `locks = [...]` config (e.g. `pending`, `learner` — locks the
+//! allocator's hot path takes in *other* crates), and the whole body
+//! of each `GlobalAlloc` impl fn. `may_alloc` propagation ignores
+//! callees invoked after a guard, so a helper that does its own
+//! bookkeeping dance does not taint its callers.
+//!
+//! `modules = [...]` (crate names) restricts which crates' *functions*
+//! are checked: a crate that implements `GlobalAlloc` purely as a
+//! simulation driver — never installed via `#[global_allocator]`, so
+//! its internal metadata allocations go to the system allocator and
+//! cannot re-enter it — can be scoped out with a rationale comment
+//! instead of one waiver per function.
+
+use super::{emit_ws, WorkspaceRule};
+use crate::callgraph::Workspace;
+use crate::config::AuditConfig;
+use crate::diag::Diagnostic;
+use std::collections::BTreeSet;
+
+pub struct AllocReentrancy;
+
+const ID: &str = "alloc-reentrancy";
+
+impl WorkspaceRule for AllocReentrancy {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "no allocation under GlobalAlloc-crate or configured locks without the bookkeeping guard"
+    }
+
+    fn check(&self, ws: &Workspace, cfg: &AuditConfig, out: &mut Vec<Diagnostic>) {
+        let cfg_locks: BTreeSet<&str> = cfg.locks(ID).iter().map(String::as_str).collect();
+        let critical = |qual: &str| -> bool {
+            let (krate, name) = qual.split_once('/').unwrap_or(("", qual));
+            ws.galloc_crates.contains(krate) || cfg_locks.contains(name)
+        };
+        let cfg_modules = cfg.modules(ID);
+        let in_scope =
+            |krate: &str| cfg_modules.is_empty() || cfg_modules.iter().any(|m| m == krate);
+        for (i, f) in ws.fns.iter().enumerate() {
+            if !ws.is_prod(i) || f.always_guarded || !in_scope(&f.krate) {
+                continue;
+            }
+            let ctx = &ws.ctxs[f.file];
+            // One diagnostic per (fn, lock): the first offending event.
+            let mut flagged: BTreeSet<&str> = BTreeSet::new();
+            for s in &f.eff_scopes {
+                if s.guarded || ctx.in_test(s.offset) || !critical(&s.qual) {
+                    continue;
+                }
+                if flagged.contains(s.qual.as_str()) {
+                    continue;
+                }
+                let inside = |off: usize| off > s.bytes.0 && off < s.bytes.1;
+                let mut hit: Option<(usize, String)> = None;
+                for a in &f.summary.allocs {
+                    if inside(a.offset) && !a.guarded {
+                        hit = Some((a.offset, format!("allocating `{}`", a.what)));
+                        break;
+                    }
+                }
+                if hit.is_none() {
+                    for (ci, c) in f.summary.calls.iter().enumerate() {
+                        if !inside(c.offset) || c.guarded {
+                            continue;
+                        }
+                        if ws
+                            .callees(i, ci)
+                            .iter()
+                            .any(|&j| ws.fns[j].may_alloc && !ws.fns[j].always_guarded)
+                        {
+                            hit = Some((c.offset, format!("call to allocating `{}`", c.name)));
+                            break;
+                        }
+                    }
+                }
+                let Some((offset, what)) = hit else { continue };
+                flagged.insert(s.qual.as_str());
+                let held = if s.whole_body {
+                    format!("inside the `GlobalAlloc` impl of crate `{}`", f.krate)
+                } else {
+                    format!("while `{}` is held", s.qual)
+                };
+                emit_ws(
+                    ID,
+                    ws,
+                    cfg,
+                    f.file,
+                    offset,
+                    format!("{}::{}", f.module, f.item.name),
+                    format!(
+                        "{what} in `{}` {held}: the allocation re-enters the global \
+                         allocator (PR 6 self-deadlock class); enter_bookkeeping() \
+                         first or move the allocation outside the lock",
+                        f.item.name
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! R8 `atomic-pairing`: every `Release`/`AcqRel` store on an atomic
+//! field must have a matching `Acquire` (or stronger) load somewhere
+//! in the same crate, and every `Acquire` load of a field the crate
+//! stores to must have a matching `Release` store.
+//!
+//! This upgrades `relaxed-publish` from "don't publish with Relaxed"
+//! to release/acquire *pairing*: a Release store nobody reads with
+//! Acquire establishes no happens-before edge (the fence is paid for
+//! nothing, and readers see stale data); an Acquire load of a field
+//! only ever stored Relaxed pairs with nothing (the read is not the
+//! synchronization the code shape claims). Fields are resolved by
+//! receiver chain (`self.shards[i].meta.state.store(..)` → `state`)
+//! and keyed per crate — cross-crate pairs (one crate publishes, a
+//! different crate consumes) are rare here and get a reasoned
+//! `[[allow]]` when they occur.
+//!
+//! RMW ops (`swap`, `fetch_*`, successful CAS) carry one ordering for
+//! both sides; CAS failure orderings are load-side only;
+//! `fetch_update` splits into a set (store) and fetch (load) ordering.
+//! Test code and `SeqCst` (both-sided) follow from the same
+//! classification. Fields a crate only loads are skipped — the store
+//! side lives elsewhere and is paired in its own crate.
+
+use super::{emit_ws, WorkspaceRule};
+use crate::callgraph::Workspace;
+use crate::config::AuditConfig;
+use crate::diag::Diagnostic;
+use std::collections::BTreeMap;
+
+pub struct AtomicPairing;
+
+const ID: &str = "atomic-pairing";
+
+#[derive(Default)]
+struct FieldAgg {
+    /// First Release/AcqRel/SeqCst-store site: (file, offset, module).
+    release_store: Option<(usize, usize, String)>,
+    /// First Acquire/AcqRel/SeqCst-load site.
+    acquire_load: Option<(usize, usize, String)>,
+    /// The crate stores to the field at all (Relaxed counts).
+    any_store: bool,
+}
+
+impl WorkspaceRule for AtomicPairing {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn description(&self) -> &'static str {
+        "Release/AcqRel stores and Acquire loads must pair up per atomic field, per crate"
+    }
+
+    fn check(&self, ws: &Workspace, cfg: &AuditConfig, out: &mut Vec<Diagnostic>) {
+        let mut fields: BTreeMap<(String, String), FieldAgg> = BTreeMap::new();
+        for (i, f) in ws.fns.iter().enumerate() {
+            if !ws.is_prod(i) {
+                continue;
+            }
+            let ctx = &ws.ctxs[f.file];
+            for op in &f.summary.atomics {
+                if op.field == "<expr>" || ctx.in_test(op.offset) {
+                    continue;
+                }
+                let agg = fields
+                    .entry((f.krate.clone(), op.field.clone()))
+                    .or_default();
+                agg.any_store |= op.has_store;
+                if op.release_store && agg.release_store.is_none() {
+                    agg.release_store = Some((f.file, op.offset, f.module.clone()));
+                }
+                if op.acquire_load && agg.acquire_load.is_none() {
+                    agg.acquire_load = Some((f.file, op.offset, f.module.clone()));
+                }
+            }
+        }
+        for ((krate, field), agg) in &fields {
+            match (&agg.release_store, &agg.acquire_load) {
+                (Some((file, offset, module)), None) => {
+                    emit_ws(
+                        ID,
+                        ws,
+                        cfg,
+                        *file,
+                        *offset,
+                        format!("{module}::{field}"),
+                        format!(
+                            "`{field}` is stored with Release but crate `{krate}` never \
+                             loads it with Acquire: the release fence pairs with nothing"
+                        ),
+                        out,
+                    );
+                }
+                (None, Some((file, offset, module))) if agg.any_store => {
+                    emit_ws(
+                        ID,
+                        ws,
+                        cfg,
+                        *file,
+                        *offset,
+                        format!("{module}::{field}"),
+                        format!(
+                            "`{field}` is loaded with Acquire but crate `{krate}` only \
+                             stores it Relaxed: the acquire pairs with no release"
+                        ),
+                        out,
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}

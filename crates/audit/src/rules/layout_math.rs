@@ -75,10 +75,8 @@ impl Rule for LayoutMath {
                 if !binary {
                     continue;
                 }
+                // Allowlist filtering happens centrally in `run_check`.
                 let site = format!("{}::mask", ctx.module);
-                if cfg.is_allowed(ID, &site) || cfg.is_allowed(ID, &ctx.module) {
-                    continue;
-                }
                 emit(
                     ID,
                     ctx,
@@ -122,9 +120,6 @@ impl Rule for LayoutMath {
             }
             let anchor = nearest_layoutish_ident(ctx, i).unwrap_or_else(|| "expr".into());
             let site = format!("{}::{}", ctx.module, anchor);
-            if cfg.is_allowed(ID, &site) || cfg.is_allowed(ID, &ctx.module) {
-                continue;
-            }
             emit(
                 ID,
                 ctx,

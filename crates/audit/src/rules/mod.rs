@@ -3,18 +3,27 @@
 //! scriptlet registry — adding a rule is adding a module and one line
 //! here).
 
+use crate::callgraph::Workspace;
 use crate::config::AuditConfig;
 use crate::ctx::FileCtx;
 use crate::diag::{Diagnostic, Severity};
 
+mod alloc_reentrancy;
+mod atomic_pairing;
 mod forbidden;
 mod layout_math;
+mod lock_order;
+mod panic_surface;
 mod raw_ptr;
 mod relaxed_publish;
 mod safety_comment;
 
+pub use alloc_reentrancy::AllocReentrancy;
+pub use atomic_pairing::AtomicPairing;
 pub use forbidden::ForbiddenConstructs;
 pub use layout_math::LayoutMath;
+pub use lock_order::LockOrder;
+pub use panic_surface::PanicSurface;
 pub use raw_ptr::RawPtrOps;
 pub use relaxed_publish::RelaxedPublish;
 pub use safety_comment::SafetyComment;
@@ -30,7 +39,7 @@ pub trait Rule {
     fn check(&self, ctx: &FileCtx, cfg: &AuditConfig, out: &mut Vec<Diagnostic>);
 }
 
-/// All registered rules, in reporting order.
+/// All registered per-file rules, in reporting order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(SafetyComment),
@@ -38,6 +47,27 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(RelaxedPublish),
         Box::new(LayoutMath),
         Box::new(ForbiddenConstructs),
+    ]
+}
+
+/// One cross-file rule: runs once over the whole workspace after the
+/// call-graph fixpoints ([`crate::callgraph::Workspace::build`]).
+pub trait WorkspaceRule {
+    /// Stable id used in config, allowlists, and output.
+    fn id(&self) -> &'static str;
+    /// One-line description for `lifepred-audit rules`.
+    fn description(&self) -> &'static str;
+    /// Emits diagnostics for the whole workspace.
+    fn check(&self, ws: &Workspace, cfg: &AuditConfig, out: &mut Vec<Diagnostic>);
+}
+
+/// All registered workspace rules, in reporting order.
+pub fn all_workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(LockOrder),
+        Box::new(AllocReentrancy),
+        Box::new(AtomicPairing),
+        Box::new(PanicSurface),
     ]
 }
 
@@ -72,4 +102,20 @@ pub(crate) fn emit(
 /// is configured to include tests).
 pub(crate) fn skip_tests(rule: &str, ctx: &FileCtx, cfg: &AuditConfig, offset: usize) -> bool {
     !cfg.include_tests(rule) && ctx.in_test(offset)
+}
+
+/// [`emit`] for workspace rules: the file is an index into
+/// [`Workspace::ctxs`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn emit_ws(
+    rule: &'static str,
+    ws: &Workspace,
+    cfg: &AuditConfig,
+    file: usize,
+    offset: usize,
+    site: String,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    emit(rule, &ws.ctxs[file], cfg, offset, site, message, out);
 }

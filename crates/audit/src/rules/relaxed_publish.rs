@@ -14,7 +14,7 @@ use super::{emit, skip_tests, Rule};
 use crate::config::AuditConfig;
 use crate::ctx::FileCtx;
 use crate::diag::Diagnostic;
-use crate::lex::TokKind;
+use crate::summary::{receiver_chain, split_args};
 
 pub struct RelaxedPublish;
 
@@ -87,11 +87,11 @@ impl Rule for RelaxedPublish {
             if !arg_is_relaxed(ctx, arg) {
                 continue;
             }
-            let receiver = receiver_ident(ctx, i).unwrap_or("<expr>");
+            // Receiver resolved through field chains, tuple indices,
+            // and index brackets (`self.shards[i].0.clock` → `clock`);
+            // allowlist filtering happens centrally in `run_check`.
+            let receiver = receiver_chain(ctx, i).unwrap_or_else(|| "<expr>".into());
             let site = format!("{}::{}", ctx.module, receiver);
-            if cfg.is_allowed(ID, &site) || cfg.is_allowed(ID, &ctx.module) {
-                continue;
-            }
             emit(
                 ID,
                 ctx,
@@ -108,46 +108,10 @@ impl Rule for RelaxedPublish {
     }
 }
 
-/// Splits the argument list opening at token `open` (a `(`) into
-/// top-level token ranges, one per argument.
-fn split_args(ctx: &FileCtx, open: usize) -> Vec<(usize, usize)> {
-    let toks = &ctx.toks;
-    let mut args = Vec::new();
-    let mut depth = 0usize;
-    let mut arg_start = open + 1;
-    for (i, tok) in toks.iter().enumerate().skip(open) {
-        match tok.kind {
-            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
-            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => {
-                depth -= 1;
-                if depth == 0 {
-                    if i > arg_start {
-                        args.push((arg_start, i));
-                    }
-                    break;
-                }
-            }
-            TokKind::Punct(',') if depth == 1 => {
-                args.push((arg_start, i));
-                arg_start = i + 1;
-            }
-            _ => {}
-        }
-    }
-    args
-}
-
 /// Whether an argument token range is a `Relaxed` ordering path
 /// (`Ordering::Relaxed`, `atomic::Ordering::Relaxed`, bare `Relaxed`).
 fn arg_is_relaxed(ctx: &FileCtx, &(start, end): &(usize, usize)) -> bool {
     ctx.toks[start..end].iter().any(|t| t.is_ident("Relaxed"))
-}
-
-/// The identifier immediately before the `.` of the method call —
-/// `state.clock.fetch_add(...)` → `clock`.
-fn receiver_ident(ctx: &FileCtx, dot: usize) -> Option<&str> {
-    let prev = ctx.prev_code_tok(dot)?;
-    ctx.toks[prev].ident()
 }
 
 #[cfg(test)]
@@ -206,17 +170,25 @@ mod tests {
     }
 
     #[test]
-    fn allowlist_suppresses_by_site() {
+    fn sites_are_emitted_for_central_allow_filtering() {
+        // Suppression itself happens in `run_check` (so unused waivers
+        // can be detected); the rule's job is emitting the site id.
         let cfg = AuditConfig::parse(
             "[[allow]]\nrule = \"relaxed-publish\"\nsite = \"m/x::counter\"\nreason = \"monotonic id counter, publishes nothing\"\n",
         )
         .unwrap();
-        assert!(run_cfg("fn f() { counter.fetch_add(1, Ordering::Relaxed); }", &cfg).is_empty());
-        // A different atomic in the same module still trips.
-        assert_eq!(
-            run_cfg("fn f() { other.fetch_add(1, Ordering::Relaxed); }", &cfg).len(),
-            1
-        );
+        let d = run_cfg("fn f() { counter.fetch_add(1, Ordering::Relaxed); }", &cfg);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].site, "m/x::counter");
+    }
+
+    #[test]
+    fn receiver_chains_resolve_through_indexing_and_tuples() {
+        let d = run("fn f(&self) { self.shards[i].0.clock.fetch_add(1, Ordering::Relaxed); }");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].site, "m/x::clock");
+        let d = run("fn f(&self) { self.cells[k].store(v, Ordering::Relaxed); }");
+        assert_eq!(d[0].site, "m/x::cells");
     }
 
     #[test]

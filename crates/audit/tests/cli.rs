@@ -105,6 +105,115 @@ fn clean_tree_exits_zero() {
 }
 
 #[test]
+fn crossfile_tree_reports_every_seeded_violation_with_exact_spans() {
+    let root = fixture("crossfile");
+    let out = run(&["check", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    // (file:line:col, rule) for every seeded cross-file violation, in
+    // output order: the PR 6 self-deadlock shape twice (the allocating
+    // helper under `ga/PENDING` and the unguarded call inside the
+    // GlobalAlloc impl), two panic-surface reachability findings, the
+    // cross-file ABBA pair plus a re-acquisition self-edge, and both
+    // unpaired-fence directions.
+    let expected = [
+        ("crates/ga/src/feedback.rs:14:13", "alloc-reentrancy"),
+        ("crates/ga/src/lib.rs:14:9", "alloc-reentrancy"),
+        ("crates/ga/src/util.rs:7:16", "panic-surface"),
+        ("crates/ga/src/util.rs:11:20", "panic-surface"),
+        ("crates/lk/src/a.rs:8:5", "lock-order"),
+        ("crates/lk/src/a.rs:17:5", "lock-order"),
+        ("crates/lk/src/b.rs:11:21", "lock-order"),
+        ("crates/lk/src/sync.rs:9:13", "atomic-pairing"),
+        ("crates/lk/src/sync.rs:14:16", "atomic-pairing"),
+    ];
+    let diag_lines: Vec<&str> = text.lines().filter(|l| l.contains(": deny[")).collect();
+    assert_eq!(diag_lines.len(), expected.len(), "{text}");
+    for (line, (span, rule)) in diag_lines.iter().zip(expected) {
+        assert!(
+            line.starts_with(&format!("{span}: deny[{rule}]:")),
+            "expected {span} deny[{rule}], got {line}"
+        );
+    }
+    assert!(text.contains("6 file(s) scanned, 9 deny, 0 warn"), "{text}");
+    // The sanctioned twins stay clean: `record_free` allocates under
+    // the same lock as `record_alloc` but its only caller guards the
+    // call site with enter_bookkeeping() (the shipped PR 6 fix), and
+    // the `done` flag is a correctly paired Release/Acquire.
+    assert!(!text.contains("record_free"), "{text}");
+    assert!(!text.contains("`done`"), "{text}");
+}
+
+#[test]
+fn stale_waiver_warns_normally_and_denies_under_strict() {
+    let dir = std::env::temp_dir().join(format!("lifepred-audit-stale-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = dir.join("stale.toml");
+    // The clean tree's real waiver (used) plus one that matches
+    // nothing (stale).
+    std::fs::write(
+        &cfg,
+        "[[allow]]\n\
+         rule = \"relaxed-publish\"\n\
+         site = \"fx/lib::TICKETS\"\n\
+         reason = \"Ticket counter needs uniqueness only.\"\n\n\
+         [[allow]]\n\
+         rule = \"layout-math\"\n\
+         site = \"fx/nowhere\"\n\
+         reason = \"Matches nothing; exercises stale detection.\"\n",
+    )
+    .unwrap();
+    let root = fixture("clean");
+    let root = root.to_str().unwrap();
+    let cfg = cfg.to_str().unwrap();
+
+    let out = run(&["check", "--root", root, "--config", cfg]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains("warn[stale-waiver]: [[allow]] for `layout-math` at `fx/nowhere`"),
+        "{text}"
+    );
+    assert!(text.contains("0 deny, 1 warn"), "{text}");
+
+    let out = run(&["check", "--root", root, "--config", cfg, "--strict"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("deny[stale-waiver]"), "{text}");
+    assert!(text.contains("1 deny, 0 warn"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sarif_format_carries_rules_results_and_spans() {
+    let root = fixture("crossfile");
+    let out = run(&[
+        "check",
+        "--root",
+        root.to_str().unwrap(),
+        "--format",
+        "sarif",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = stdout(&out);
+    assert!(
+        text.contains("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""),
+        "{text}"
+    );
+    for rule in [
+        "lock-order",
+        "alloc-reentrancy",
+        "atomic-pairing",
+        "panic-surface",
+    ] {
+        assert!(text.contains(&format!("\"id\":\"{rule}\"")), "{text}");
+        assert!(text.contains(&format!("\"ruleId\":\"{rule}\"")), "{text}");
+    }
+    assert!(text.contains("\"uri\":\"crates/lk/src/b.rs\""), "{text}");
+    assert!(text.contains("\"startLine\":11"), "{text}");
+}
+
+#[test]
 fn real_workspace_is_audit_clean() {
     let root = workspace_root();
     assert!(
@@ -158,6 +267,11 @@ fn rules_subcommand_lists_the_registry() {
         "relaxed-publish",
         "layout-math",
         "forbidden-constructs",
+        "lock-order",
+        "alloc-reentrancy",
+        "atomic-pairing",
+        "panic-surface",
+        "stale-waiver",
     ] {
         assert!(text.contains(rule), "{text}");
     }

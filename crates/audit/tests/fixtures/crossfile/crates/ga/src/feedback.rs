@@ -1,0 +1,20 @@
+//! The feedback table: `record_alloc` is the PR 6 bug verbatim
+//! (Vec growth while `PENDING` is held re-enters the allocator, which
+//! tries to record again and deadlocks on the same mutex).
+//! `record_free` is textually identical but clean: its only caller
+//! guards the call site, so the always-guarded fixpoint proves every
+//! path here already took the System route.
+
+use std::sync::Mutex;
+
+pub static PENDING: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+pub fn record_alloc(size: usize) {
+    let mut pending = PENDING.lock();
+    pending.push(size);
+}
+
+pub fn record_free(size: usize) {
+    let mut pending = PENDING.lock();
+    pending.push(size);
+}

@@ -1,0 +1,12 @@
+//! Helpers reachable from the `GlobalAlloc` surface: both may panic,
+//! which the panic-surface rule must report at the construct site.
+
+pub const CLASS_TABLE: [u32; 8] = [8, 16, 32, 64, 128, 256, 512, 1024];
+
+pub fn seg_class(addr: usize) -> u32 {
+    CLASS_TABLE[addr >> 16]
+}
+
+pub fn checked_meta(addr: usize) -> u32 {
+    meta_for(addr).unwrap()
+}

@@ -1,0 +1,18 @@
+//! Lock-order fixture, file one: `stats` holds `meta` and calls into
+//! b.rs, whose lock closure contains `hist` — establishing the
+//! meta -> hist edge across files. `reenter_meta` re-acquires `meta`
+//! through a helper while already holding it (self-deadlock).
+
+pub fn stats(s: &Shard) {
+    let _m = s.meta.lock();
+    merge_hist(s);
+}
+
+pub fn grab_meta(s: &Shard) {
+    let _m = s.meta.lock();
+}
+
+pub fn reenter_meta(s: &Shard) {
+    let _m = s.meta.lock();
+    grab_meta(s);
+}

@@ -1,0 +1,12 @@
+//! Lock-order fixture, file two: `rebalance` acquires hist -> meta,
+//! the reverse of the meta -> hist edge a.rs establishes. Both
+//! acquisition sites must be flagged as one deadlock-shaped pair.
+
+pub fn merge_hist(s: &Shard) {
+    let _h = s.hist.lock();
+}
+
+pub fn rebalance(s: &Shard) {
+    let _h = s.hist.lock();
+    let _m = s.meta.lock();
+}

@@ -1,0 +1,23 @@
+//! Atomic-pairing fixture: `ready` is stored Release but never loaded
+//! Acquire (the fence pairs with nothing); `state` is loaded Acquire
+//! but only ever stored Relaxed (the acquire pairs with no release);
+//! `done` is correctly paired and must NOT be flagged.
+
+use std::sync::atomic::Ordering;
+
+pub fn publish(f: &Flags) {
+    f.ready.store(true, Ordering::Release);
+    f.done.store(true, Ordering::Release);
+}
+
+pub fn poll(f: &Flags) -> bool {
+    if f.state.load(Ordering::Acquire) == 1 {
+        return true;
+    }
+    f.done.load(Ordering::Acquire)
+}
+
+pub fn tick(f: &Flags) {
+    f.state.store(1, Ordering::Relaxed);
+    let _seen = f.ready.load(Ordering::Relaxed);
+}

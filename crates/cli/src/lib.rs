@@ -23,7 +23,11 @@
 //!   design-space evaluation ([`lifepred_sweep`]), caching every cell
 //!   so re-runs and resumes recompute only what changed;
 //! * `serve` exposes the sweep engine and a Prometheus `/metrics`
-//!   endpoint over a dependency-free HTTP/1.1 server.
+//!   endpoint over a dependency-free HTTP/1.1 server;
+//! * `audit` runs the allocator-safety static analysis
+//!   ([`lifepred_audit`]) — the same engine as the standalone
+//!   `lifepred-audit` binary — with the documented exit-code contract
+//!   (0 clean, 1 deny findings, 2 usage/config error).
 //!
 //! Everything routes through [`run`], which writes to a caller-provided
 //! sink so integration tests can capture output.
@@ -72,6 +76,9 @@ USAGE:
     lifepred sweep diff <before.json> <after.json>
     lifepred serve [--addr <host:port>] [--store <dir>] [--threads <n>]
                    [--jobs <n>]
+    lifepred audit check [--root <dir>] [--config <audit.toml>]
+                   [--format <human|json|sarif>] [--strict] [FILES...]
+    lifepred audit rules
 
 OPTIONS:
     --workload <name>     one of: cfrac, espresso, gawk, ghost, perl
@@ -137,6 +144,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         Some("native") => cmd_native(&args[1..], out),
         Some("sweep") => cmd_sweep(&args[1..], out),
         Some("serve") => cmd_serve(&args[1..], out),
+        Some("audit") => cmd_audit(&args[1..], out),
         Some(other) => Err(format!("unknown command {other:?} (try `lifepred --help`)")),
     }
 }
@@ -212,6 +220,44 @@ fn write_out(out: &mut dyn Write, text: impl Display) -> Result<(), String> {
 
 fn file_err(path: &str, e: impl Display) -> String {
     format!("{path}: {e}")
+}
+
+/// Maps a [`run`] error message to a process exit code: usage and
+/// configuration errors (messages starting with `usage:`) exit 2,
+/// everything else — including audit deny findings — exits 1.
+#[must_use]
+pub fn exit_code(err: &str) -> u8 {
+    if err.starts_with("usage:") {
+        2
+    } else {
+        1
+    }
+}
+
+// ---------------------------------------------------------------------
+// audit
+// ---------------------------------------------------------------------
+
+fn cmd_audit(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut err_buf: Vec<u8> = Vec::new();
+    let code = lifepred_audit::app::run_app(args, out, &mut err_buf);
+    let err_text = String::from_utf8_lossy(&err_buf).trim_end().to_string();
+    match code {
+        0 => {
+            // Help text and warnings land on the driver's error
+            // stream even on success; surface them.
+            if !err_text.is_empty() {
+                write_out(out, format_args!("{err_text}\n"))?;
+            }
+            Ok(())
+        }
+        1 => Err(
+            "audit: deny diagnostics found (report above); fix the code or add \
+             a reasoned [[allow]] to audit.toml"
+                .into(),
+        ),
+        _ => Err(format!("usage: {err_text}")),
+    }
 }
 
 // ---------------------------------------------------------------------

@@ -15,7 +15,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("lifepred: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(lifepred_cli::exit_code(&e))
         }
     }
 }
