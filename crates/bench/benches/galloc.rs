@@ -106,7 +106,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 fn main() {
     let ops = if smoke() { OPS / 20 } else { OPS };
     let rounds = if smoke() { 3 } else { ROUNDS };
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host = lifepred_bench::BenchHost::probe();
 
     let galloc = LifepredGlobal::new();
     lifepred_galloc::activate_with(GallocConfig::default()).expect("activate");
@@ -178,13 +178,14 @@ fn main() {
         "{{\n  \
            \"schema\": \"lifepred-bench-galloc-v1\",\n  \
            \"smoke\": {smoke},\n  \
-           \"cores\": {cores},\n  \
+           {host_fields},\n  \
            \"ops_per_round\": {ops},\n  \
            \"rounds\": {rounds},\n  \
            \"window_per_thread\": {WINDOW},\n  \
            \"magazine_hit_rate\": {hit:.4},\n  \
            \"storm\": [\n{storm}\n  ]\n}}\n",
         smoke = smoke(),
+        host_fields = host.json_fields(),
         hit = stats.hit_rate(),
         storm = reports.join(",\n"),
     );

@@ -246,10 +246,12 @@ fn main() {
         || churn(&attached),
     );
 
+    let host = lifepred_bench::BenchHost::probe();
     let json = format!(
         "{{\n  \
            \"schema\": \"lifepred-bench-obs-v1\",\n  \
            \"smoke\": {},\n  \
+           {host_fields},\n  \
            \"simulate\": {{\n    \
              \"events\": {n_events},\n    \
              \"baseline_ops_per_sec\": {replay_base:.0},\n    \
@@ -263,6 +265,7 @@ fn main() {
              \"overhead_pct\": {alloc_overhead:.2}\n  \
            }}\n}}\n",
         smoke(),
+        host_fields = host.json_fields(),
     );
     println!("simulate: {replay_base:.0} events/s bare, {replay_obs:.0} observed ({replay_overhead:+.2}% overhead)");
     println!("alloc:    {alloc_base:.0} ops/s bare, {alloc_obs:.0} observed ({alloc_overhead:+.2}% overhead)");

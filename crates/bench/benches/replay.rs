@@ -275,7 +275,8 @@ fn main() {
     let pairs = if smoke() { PAIRS / 10 } else { PAIRS };
     let keepers = if smoke() { KEEPERS / 10 } else { KEEPERS };
     let churn = if smoke() { CHURN / 10 } else { CHURN };
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host = lifepred_bench::BenchHost::probe();
+    let cores = host.cores;
 
     // --- decode: per-event iterator vs chunked SoA ----------------------
     let trace = workload(pairs);
@@ -358,7 +359,7 @@ fn main() {
         "{{\n  \
            \"schema\": \"lifepred-bench-replay-v1\",\n  \
            \"smoke\": {smoke},\n  \
-           \"cores\": {cores},\n  \
+           {host_fields},\n  \
            \"decode\": {{\n    \
              \"events\": {n_events},\n    \
              \"iter_events_per_sec\": {iter_rate:.0},\n    \
@@ -381,6 +382,7 @@ fn main() {
              \"speedup_jobs4\": {s4:.2}\n  \
            }}\n}}\n",
         smoke = smoke(),
+        host_fields = host.json_fields(),
         iter_rate = n_events as f64 / t_iter,
         chunk_rate = n_events as f64 / t_chunk,
         linear_rate = ff_events as f64 / t_linear,

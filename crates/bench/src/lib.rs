@@ -11,8 +11,10 @@
 #![warn(missing_docs)]
 
 mod driver;
+mod host;
 
 pub use driver::run_jobs;
+pub use host::BenchHost;
 
 use lifepred_adaptive::EpochConfig;
 use lifepred_core::{

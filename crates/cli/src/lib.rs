@@ -51,7 +51,7 @@ use lifepred_sweep::{
     diff_reports, install_shutdown_handlers, render_csv, render_json, render_table, run_sweep,
     CancelFlag, GridSpec, ResultStore, Server, ServerConfig, SweepOptions,
 };
-use lifepred_trace::{shared_registry, Trace};
+use lifepred_trace::{shared_registry, AllocationRecord, Trace};
 use lifepred_tracefile::{load_trace, save_trace, TraceFileError, TraceReader};
 use lifepred_workloads::{all_workloads, by_name, record as record_workload};
 use std::fmt::Display;
@@ -70,7 +70,9 @@ USAGE:
                       [--jobs <n>]
     lifepred stats <m.json> [--format <prometheus|json>]
     lifepred report [--workload <name>]... [--policy <p>] [--jobs <n>]
+    lifepred report --drag [--workload <name>]... [--threshold <bytes>] [--jobs <n>]
     lifepred native [<workload>]... [--metrics-out <m.json>]
+    lifepred trace [<workload>]... [-o <trace.json>] [--force]
     lifepred sweep run|resume|render --spec <grid.json> [--store <dir>]
                       [--jobs <n>] [--format <table|csv|json>] [--out <file>]
     lifepred sweep diff <before.json> <after.json>
@@ -118,6 +120,9 @@ OPTIONS:
     --addr <host:port>    serve: listen address (default 127.0.0.1:7878;
                           port 0 picks an ephemeral port)
     --threads <n>         serve: HTTP worker threads (default 4)
+    --drag                report: per-arena liveness timelines and object
+                          drag (bytes between last touch and free) instead
+                          of prediction quality
 ";
 
 /// Entry point shared by the binary and the integration tests.
@@ -142,6 +147,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         Some("stats") => cmd_stats(&args[1..], out),
         Some("report") => cmd_report(&args[1..], out),
         Some("native") => cmd_native(&args[1..], out),
+        Some("trace") => cmd_trace(&args[1..], out),
         Some("sweep") => cmd_sweep(&args[1..], out),
         Some("serve") => cmd_serve(&args[1..], out),
         Some("audit") => cmd_audit(&args[1..], out),
@@ -912,16 +918,148 @@ fn report_row(name: &str, config: &SiteConfig) -> Result<Vec<String>, String> {
     ])
 }
 
+/// One workload's drag analysis: a liveness-timeline block plus two
+/// per-arena table rows. Arenas are the *oracle* split — objects whose
+/// actual lifetime stayed under `threshold` versus the rest — so the
+/// table bounds what a perfect predictor could reclaim promptly.
+fn drag_row(name: &str, threshold: u64) -> Result<(String, Vec<Vec<String>>), String> {
+    let w = by_name(name).ok_or_else(|| format!("unknown workload {name:?}"))?;
+    let trace = record_workload(w.as_ref(), 0, shared_registry());
+    let end = trace.end_clock();
+    let records = trace.records();
+    let is_short = |r: &AllocationRecord| r.lifetime(end) < threshold;
+
+    let mut block = format!("{name}: {} objects, end clock {end} bytes\n", records.len());
+    block.push_str(&format!(
+        "{:>6} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13}\n",
+        "t%", "short.alloc", "short.live", "short.ref", "long.alloc", "long.live", "long.ref"
+    ));
+    for k in 1u64..=10 {
+        let t = u64::try_from(u128::from(end) * u128::from(k) / 10).unwrap_or(end);
+        let mut cols = [0u64; 6];
+        for r in records {
+            if r.birth_clock > t {
+                continue;
+            }
+            let size = u64::from(r.size);
+            let live = r.death_clock.is_none_or(|d| d > t);
+            // "Referenced": live bytes the program will still touch at
+            // or after t — the complement of drag.
+            let referenced = live && r.last_ref_clock.is_some_and(|l| l >= t);
+            let base = if is_short(r) { 0 } else { 3 };
+            cols[base] += size;
+            if live {
+                cols[base + 1] += size;
+                if referenced {
+                    cols[base + 2] += size;
+                }
+            }
+        }
+        block.push_str(&format!(
+            "{:>6} {:>13} {:>13} {:>13} {:>13} {:>13} {:>13}\n",
+            k * 10,
+            cols[0],
+            cols[1],
+            cols[2],
+            cols[3],
+            cols[4],
+            cols[5]
+        ));
+    }
+
+    let arena = |short: bool, label: &str| -> Vec<String> {
+        let (mut objects, mut bytes, mut untouched) = (0u64, 0u64, 0u64);
+        let (mut drag_sum, mut life_sum) = (0u128, 0u128);
+        for r in records.iter().filter(|r| is_short(r) == short) {
+            objects += 1;
+            bytes += u64::from(r.size);
+            if r.last_ref_clock.is_none() {
+                untouched += 1;
+            }
+            drag_sum += u128::from(r.drag(end));
+            life_sum += u128::from(r.lifetime(end));
+        }
+        let pct = |num: u128, den: u128| {
+            if den == 0 {
+                0.0
+            } else {
+                100.0 * num as f64 / den as f64
+            }
+        };
+        vec![
+            name.to_owned(),
+            label.to_owned(),
+            objects.to_string(),
+            bytes.to_string(),
+            format!("{:.1}", pct(u128::from(untouched), u128::from(objects))),
+            if objects == 0 {
+                "0".to_owned()
+            } else {
+                (drag_sum / u128::from(objects)).to_string()
+            },
+            format!("{:.1}", pct(drag_sum, life_sum)),
+        ]
+    };
+    Ok((block, vec![arena(true, "short"), arena(false, "long")]))
+}
+
+/// `report --drag`: how much of each workload's heap was *useful* over
+/// time. The timelines sample allocated/live/referenced bytes per
+/// arena at ten byte-clock points; the table aggregates per-object
+/// drag (clock between an object's last touch and its free).
+fn report_drag(
+    names: Vec<String>,
+    threshold: u64,
+    jobs: usize,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    write_out(
+        out,
+        format!(
+            "liveness timelines (oracle arenas at threshold {threshold} bytes; \
+             clocks in allocated bytes)\n\n"
+        ),
+    )?;
+    let outcomes = lifepred_bench::run_jobs(names, jobs, |_, name| drag_row(&name, threshold));
+    let mut rows = Vec::new();
+    for outcome in outcomes {
+        let (block, arena_rows) = outcome?;
+        write_out(out, block)?;
+        write_out(out, "\n")?;
+        rows.extend(arena_rows);
+    }
+    write_table(
+        out,
+        "object drag (byte clock held past the last touch)",
+        &[
+            "program",
+            "arena",
+            "objects",
+            "bytes",
+            "untouched%",
+            "mean drag",
+            "drag%",
+        ],
+        &rows,
+    )
+}
+
 fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let mut names: Vec<String> = Vec::new();
     let mut policy = SitePolicy::Complete;
     let mut jobs = 1usize;
+    let mut drag = false;
+    let mut threshold: u64 = 32 * 1024;
     let mut s = Scanner::new(args);
     while let Some(arg) = s.next() {
         match arg {
             Arg::Opt("workload", v) => names.push(s.value("workload", v)?.to_owned()),
             Arg::Opt("policy", v) => policy = parse_policy(s.value("policy", v)?)?,
             Arg::Opt("jobs", v) => jobs = parse_num("jobs", s.value("jobs", v)?)?,
+            Arg::Opt("drag", _) => drag = true,
+            Arg::Opt("threshold", v) => {
+                threshold = parse_num("threshold", s.value("threshold", v)?)?;
+            }
             Arg::Opt(o, _) => return Err(format!("report: unknown option --{o}")),
             Arg::Positional(p) => return Err(format!("report: unexpected argument {p:?}")),
         }
@@ -931,6 +1069,9 @@ fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             .iter()
             .map(|w| w.name().to_owned())
             .collect();
+    }
+    if drag {
+        return report_drag(names, threshold, jobs, out);
     }
     let config = SiteConfig {
         policy,
@@ -959,6 +1100,25 @@ fn cmd_report(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 // native
 // ---------------------------------------------------------------------
 
+/// Resolves positional workload names into the suite's workloads,
+/// defaulting to all five when none are named.
+fn resolve_workloads(
+    names: &[String],
+) -> Result<Vec<Box<dyn lifepred_workloads::Workload>>, String> {
+    if names.is_empty() {
+        return Ok(all_workloads());
+    }
+    names
+        .iter()
+        .map(|n| {
+            by_name(n).ok_or_else(|| {
+                let known: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
+                format!("unknown workload {n:?} (known: {})", known.join(", "))
+            })
+        })
+        .collect()
+}
+
 /// Runs workloads with the binary's own global allocator switched to
 /// [`lifepred_galloc::LifepredGlobal`]: the traced programs allocate
 /// through the lifetime-predicting allocator for real, and the
@@ -981,19 +1141,7 @@ fn cmd_native(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     if let Some(path) = metrics_out.as_deref() {
         guard_overwrite(path, force)?;
     }
-    let workloads = if names.is_empty() {
-        all_workloads()
-    } else {
-        names
-            .iter()
-            .map(|n| {
-                by_name(n).ok_or_else(|| {
-                    let known: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
-                    format!("unknown workload {n:?} (known: {})", known.join(", "))
-                })
-            })
-            .collect::<Result<Vec<_>, _>>()?
-    };
+    let workloads = resolve_workloads(&names)?;
     lifepred_galloc::activate().map_err(|e| format!("native: {e}"))?;
     let mut rows = Vec::new();
     for w in &workloads {
@@ -1069,6 +1217,73 @@ fn cmd_native(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         let registry = Registry::new();
         lifepred_galloc::export_metrics(&registry);
         write_metrics(out, path, &registry.snapshot(), force)?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// trace
+// ---------------------------------------------------------------------
+
+/// Runs the workload suite natively with the flight recorder on, then
+/// exports the captured events as Chrome-trace JSON (`-o`, loadable in
+/// Perfetto or `chrome://tracing`) and prints the span summary.
+fn cmd_trace(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut out_path: Option<String> = None;
+    let mut force = false;
+    let mut s = Scanner::new(args);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt("o" | "output", v) => out_path = Some(s.value("output", v)?.to_owned()),
+            Arg::Opt("force", _) => force = true,
+            Arg::Opt(o, _) => return Err(format!("trace: unknown option --{o}")),
+            Arg::Positional(p) => names.push(p.to_owned()),
+        }
+    }
+    if !lifepred_flight::COMPILED {
+        return Err(
+            "trace: this build cannot capture flight events (the `flight` \
+             feature is off); rebuild with `cargo build -p lifepred-cli \
+             --features flight` and re-run"
+                .into(),
+        );
+    }
+    if let Some(path) = out_path.as_deref() {
+        guard_overwrite(path, force)?;
+    }
+    let workloads = resolve_workloads(&names)?;
+    lifepred_galloc::activate().map_err(|e| format!("trace: {e}"))?;
+    lifepred_flight::set_recording(true);
+    for (i, w) in workloads.iter().enumerate() {
+        let _span = lifepred_flight::span_arg(lifepred_flight::catalog::CLI_WORKLOAD, i as u64);
+        let registry = shared_registry();
+        let inputs = w.inputs().len();
+        let train = record_workload(w.as_ref(), 0, registry.clone());
+        let test = record_workload(w.as_ref(), inputs - 1, registry);
+        // The traces themselves are byproducts here; the run exists to
+        // drive the instrumented allocator and replay layers.
+        drop((train, test));
+    }
+    lifepred_flight::set_recording(false);
+    let events = lifepred_flight::drain();
+    if let Some(path) = out_path.as_deref() {
+        std::fs::write(path, lifepred_flight::chrome::chrome_trace_json(&events))
+            .map_err(|e| file_err(path, e))?;
+        write_out(out, format!("wrote {} events to {path}\n\n", events.len()))?;
+    }
+    write_out(out, lifepred_flight::summary::render_summary(&events))?;
+    let dropped = lifepred_flight::dropped_events();
+    if dropped > 0 {
+        write_out(
+            out,
+            format!(
+                "\nwarning: {dropped} events dropped (per-thread ring full); \
+                 set {}=<events> to enlarge (default {})\n",
+                lifepred_flight::RING_ENV,
+                lifepred_flight::DEFAULT_RING_EVENTS,
+            ),
+        )?;
     }
     Ok(())
 }
@@ -1232,7 +1447,7 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         out,
         format!(
             "serving on http://{local}/ (store {store}, {} http threads, {} sweep jobs)\n\
-             routes: GET /healthz, GET /metrics, GET /sweeps, GET /sweeps/<id>, POST /sweeps\n",
+             routes: GET /healthz, GET /metrics, GET /trace, GET /sweeps, GET /sweeps/<id>, POST /sweeps\n",
             threads.max(1),
             jobs.max(1),
         ),

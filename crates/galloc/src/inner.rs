@@ -252,8 +252,11 @@ impl Inner {
         Some(seg)
     }
 
-    /// Drains the remote-free stack into the central lists.
-    fn drain_remote(&self, shard: usize, guard: &mut ShardInner) {
+    /// Drains the remote-free stack into the central lists, returning
+    /// how many blocks came across. Runs under the shard lock, so it
+    /// must not emit flight events itself — callers report the count
+    /// after the lock drops.
+    fn drain_remote(&self, shard: usize, guard: &mut ShardInner) -> u64 {
         let mut head = self.shards[shard].0.remote.swap(0, Ordering::Acquire);
         let mut drained = 0u64;
         while head != 0 {
@@ -273,6 +276,7 @@ impl Inner {
                 .remote_drained
                 .fetch_add(drained, Ordering::Relaxed);
         }
+        drained
     }
 
     /// Refills `out` with blocks of `class` from `shard`, returning
@@ -282,37 +286,46 @@ impl Inner {
     /// needed).
     pub fn refill(&self, shard: usize, class: usize, out: &mut [*mut u8]) -> usize {
         let size = CLASS_SIZES[class];
-        let mut guard = self.shards[shard].0.inner.lock();
-        let guard = &mut *guard;
-        let mut n = 0;
-        while n < out.len() {
-            if let Some(block) = pop_block(guard, class) {
-                out[n] = block;
-                n += 1;
-                continue;
-            }
-            // Central list empty: pull in remote frees once, then carve.
-            self.drain_remote(shard, guard);
-            if let Some(block) = pop_block(guard, class) {
-                out[n] = block;
-                n += 1;
-                continue;
-            }
-            if guard.regular[class].cursor + size > guard.regular[class].end {
-                match self.pop_free_seg(shard, guard, class, SEG_REGULAR) {
-                    Some(seg) => {
-                        let bump = &mut guard.regular[class];
-                        bump.cursor = self.seg_base(seg);
-                        bump.end = bump.cursor + SEG_SIZE;
-                        bump.seg = 0;
-                    }
-                    None => break,
+        let mut remote = 0u64;
+        let n = {
+            let mut guard = self.shards[shard].0.inner.lock();
+            let guard = &mut *guard;
+            let mut n = 0;
+            while n < out.len() {
+                if let Some(block) = pop_block(guard, class) {
+                    out[n] = block;
+                    n += 1;
+                    continue;
                 }
+                // Central list empty: pull in remote frees once, then carve.
+                remote += self.drain_remote(shard, guard);
+                if let Some(block) = pop_block(guard, class) {
+                    out[n] = block;
+                    n += 1;
+                    continue;
+                }
+                if guard.regular[class].cursor + size > guard.regular[class].end {
+                    match self.pop_free_seg(shard, guard, class, SEG_REGULAR) {
+                        Some(seg) => {
+                            let bump = &mut guard.regular[class];
+                            bump.cursor = self.seg_base(seg);
+                            bump.end = bump.cursor + SEG_SIZE;
+                            bump.seg = 0;
+                        }
+                        None => break,
+                    }
+                }
+                let bump = &mut guard.regular[class];
+                out[n] = bump.cursor as *mut u8;
+                bump.cursor += size;
+                n += 1;
             }
-            let bump = &mut guard.regular[class];
-            out[n] = bump.cursor as *mut u8;
-            bump.cursor += size;
-            n += 1;
+            n
+        };
+        // Report outside the shard lock: a first-ever emit on this
+        // thread allocates its ring, which re-enters the allocator.
+        if remote > 0 {
+            lifepred_flight::instant(lifepred_flight::catalog::GALLOC_REMOTE_DRAIN, remote);
         }
         n
     }
@@ -434,15 +447,17 @@ impl Inner {
         let meta = &self.segs[seg as usize];
         meta.state.store(SEG_SHORT_FULL, Ordering::Release);
         if meta.live.load(Ordering::Acquire) == 0 {
-            self.try_reclaim(seg);
+            // Runs under the shard lock (short_refill): swallow the
+            // election result rather than emit a flight event here.
+            let _ = self.try_reclaim(seg);
         }
     }
 
     /// Attempts the `SEG_SHORT_FULL -> SEG_SHORT_RECLAIM` claim and,
     /// on winning, pushes the segment onto the owner's reclaim stack.
     /// Both the last freeing thread and the retiring owner race here;
-    /// the CAS picks exactly one.
-    fn try_reclaim(&self, seg: u32) {
+    /// the CAS picks exactly one. Returns whether this caller won.
+    fn try_reclaim(&self, seg: u32) -> bool {
         let meta = &self.segs[seg as usize];
         if meta
             .state
@@ -454,7 +469,7 @@ impl Inner {
             )
             .is_err()
         {
-            return;
+            return false;
         }
         let shard = &self.shards[(seg as usize) >> self.seg_shard_shift].0;
         let mut head = shard.reclaim.load(Ordering::Relaxed);
@@ -466,7 +481,7 @@ impl Inner {
                 Ordering::Release,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return,
+                Ok(_) => return true,
                 Err(actual) => head = actual,
             }
         }
@@ -497,8 +512,12 @@ impl Inner {
                 Err(actual) => live = actual,
             }
         }
-        if live == 1 && meta.state.load(Ordering::Acquire) == SEG_SHORT_FULL {
-            self.try_reclaim(seg as u32);
+        if live == 1
+            && meta.state.load(Ordering::Acquire) == SEG_SHORT_FULL
+            && self.try_reclaim(seg as u32)
+        {
+            // Lock-free path: safe to emit (a first emit allocates).
+            lifepred_flight::instant(lifepred_flight::catalog::GALLOC_SHORT_RECLAIM, seg as u64);
         }
         true
     }
@@ -512,8 +531,15 @@ impl Inner {
         let meta = &self.segs[seg as usize];
         let prev = meta.live.fetch_sub(n, Ordering::AcqRel);
         debug_assert!(prev >= n);
-        if prev == n && meta.state.load(Ordering::Acquire) == SEG_SHORT_FULL {
-            self.try_reclaim(seg);
+        if prev == n
+            && meta.state.load(Ordering::Acquire) == SEG_SHORT_FULL
+            && self.try_reclaim(seg)
+        {
+            // Lock-free path: safe to emit (a first emit allocates).
+            lifepred_flight::instant(
+                lifepred_flight::catalog::GALLOC_SHORT_RECLAIM,
+                u64::from(seg),
+            );
         }
     }
 
@@ -539,6 +565,9 @@ impl Inner {
             return;
         }
         self.counters.epoch_ticks.fetch_add(1, Ordering::Relaxed);
+        // Allocation is explicitly permitted here (the tick itself
+        // allocates), so a first-emit ring creation is safe.
+        let _span = lifepred_flight::span_arg(lifepred_flight::catalog::GALLOC_EPOCH_TICK, now);
         // The tick allocates inside the learner and the aging scan
         // while holding bookkeeping locks: mark the section so those
         // nested allocations skip sampling, probing, and re-ticking.

@@ -200,6 +200,10 @@ unsafe impl GlobalAlloc for LifepredGlobal {
                             .counters
                             .fallback_exhausted
                             .fetch_add(1, Ordering::Relaxed);
+                        lifepred_flight::instant(
+                            lifepred_flight::catalog::GALLOC_SYS_FALLBACK,
+                            layout.size() as u64,
+                        );
                         // SAFETY: caller upholds the GlobalAlloc contract.
                         unsafe { System.alloc(layout) }
                     }
@@ -212,6 +216,10 @@ unsafe impl GlobalAlloc for LifepredGlobal {
                     &inner.counters.fallback_large
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
+                lifepred_flight::instant(
+                    lifepred_flight::catalog::GALLOC_SYS_FALLBACK,
+                    layout.size() as u64,
+                );
                 // SAFETY: caller upholds the GlobalAlloc contract.
                 unsafe { System.alloc(layout) }
             }
@@ -288,6 +296,10 @@ unsafe impl GlobalAlloc for LifepredGlobal {
                     &inner.counters.fallback_large
                 };
                 counter.fetch_add(1, Ordering::Relaxed);
+                lifepred_flight::instant(
+                    lifepred_flight::catalog::GALLOC_SYS_FALLBACK,
+                    layout.size() as u64,
+                );
             }
             // SAFETY: caller upholds the GlobalAlloc contract.
             unsafe { System.alloc_zeroed(layout) }

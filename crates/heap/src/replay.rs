@@ -325,11 +325,17 @@ fn firstfit_stream_impl<S: ChunkSource>(
     let mut chunk = EventChunk::new();
     let mut refills = 0u64;
     loop {
-        match source.next_chunk(&mut chunk) {
+        let decoded = {
+            let _span = lifepred_flight::span(lifepred_flight::catalog::REPLAY_DECODE);
+            source.next_chunk(&mut chunk)
+        };
+        match decoded {
             Ok(true) => refills += 1,
             Ok(false) => break,
             Err(e) => return Err(ReplayStreamError::Source(e)),
         }
+        let _place =
+            lifepred_flight::span_arg(lifepred_flight::catalog::REPLAY_PLACE, chunk.len() as u64);
         for event in chunk.events() {
             let timer = Timer::start();
             match event {
@@ -354,6 +360,7 @@ fn firstfit_stream_impl<S: ChunkSource>(
     if let Some(mut ctx) = ctx {
         ctx.set_heap_stats(heap.index_stats(), heap.counts().frees_invalid);
         ctx.set_batch_refills(refills);
+        let _span = lifepred_flight::span(lifepred_flight::catalog::REPLAY_OBS_FLUSH);
         ctx.flush();
     }
     Ok(ReplayReport {
@@ -444,11 +451,17 @@ fn bsd_stream_impl<S: ChunkSource>(
     let mut chunk = EventChunk::new();
     let mut refills = 0u64;
     loop {
-        match source.next_chunk(&mut chunk) {
+        let decoded = {
+            let _span = lifepred_flight::span(lifepred_flight::catalog::REPLAY_DECODE);
+            source.next_chunk(&mut chunk)
+        };
+        match decoded {
             Ok(true) => refills += 1,
             Ok(false) => break,
             Err(e) => return Err(ReplayStreamError::Source(e)),
         }
+        let _place =
+            lifepred_flight::span_arg(lifepred_flight::catalog::REPLAY_PLACE, chunk.len() as u64);
         for event in chunk.events() {
             let timer = Timer::start();
             match event {
@@ -473,6 +486,7 @@ fn bsd_stream_impl<S: ChunkSource>(
     if let Some(mut ctx) = ctx {
         // The BSD heap has no free index; only the refill count is new.
         ctx.set_batch_refills(refills);
+        let _span = lifepred_flight::span(lifepred_flight::catalog::REPLAY_OBS_FLUSH);
         ctx.flush();
     }
     Ok(ReplayReport {
@@ -583,11 +597,17 @@ fn arena_stream_impl<S: ChunkSource>(
     let mut chunk = EventChunk::new();
     let mut refills = 0u64;
     loop {
-        match source.next_chunk(&mut chunk) {
+        let decoded = {
+            let _span = lifepred_flight::span(lifepred_flight::catalog::REPLAY_DECODE);
+            source.next_chunk(&mut chunk)
+        };
+        match decoded {
             Ok(true) => refills += 1,
             Ok(false) => break,
             Err(e) => return Err(ReplayStreamError::Source(e)),
         }
+        let _place =
+            lifepred_flight::span_arg(lifepred_flight::catalog::REPLAY_PLACE, chunk.len() as u64);
         for event in chunk.events() {
             let timer = Timer::start();
             match event {
@@ -625,6 +645,7 @@ fn arena_stream_impl<S: ChunkSource>(
         let counts = heap.counts();
         ctx.set_heap_stats(heap.general_heap().index_stats(), counts.frees_invalid);
         ctx.set_batch_refills(refills);
+        let _span = lifepred_flight::span(lifepred_flight::catalog::REPLAY_OBS_FLUSH);
         ctx.flush();
     }
     Ok(ReplayReport {
@@ -820,11 +841,17 @@ fn arena_online_stream_impl<S: ChunkSource>(
     let mut chunk = EventChunk::new();
     let mut refills = 0u64;
     loop {
-        match source.next_chunk(&mut chunk) {
+        let decoded = {
+            let _span = lifepred_flight::span(lifepred_flight::catalog::REPLAY_DECODE);
+            source.next_chunk(&mut chunk)
+        };
+        match decoded {
             Ok(true) => refills += 1,
             Ok(false) => break,
             Err(e) => return Err(ReplayStreamError::Source(e)),
         }
+        let _place =
+            lifepred_flight::span_arg(lifepred_flight::catalog::REPLAY_PLACE, chunk.len() as u64);
         for event in chunk.events() {
             let timer = Timer::start();
             match event {
@@ -880,6 +907,10 @@ fn arena_online_stream_impl<S: ChunkSource>(
                         ctx.on_alloc(record, size, in_arena, timer);
                         if learner.clock() >= next_tick {
                             push_epoch_sample(ctx.obs(), &learner, &heap, live_arena_bytes);
+                            lifepred_flight::instant(
+                                lifepred_flight::catalog::REPLAY_EPOCH,
+                                learner.clock(),
+                            );
                             while next_tick <= learner.clock() {
                                 next_tick = next_tick.saturating_add(epoch.epoch_bytes);
                             }
@@ -914,6 +945,7 @@ fn arena_online_stream_impl<S: ChunkSource>(
         let counts = heap.counts();
         ctx.set_heap_stats(heap.general_heap().index_stats(), counts.frees_invalid);
         ctx.set_batch_refills(refills);
+        let _span = lifepred_flight::span(lifepred_flight::catalog::REPLAY_OBS_FLUSH);
         ctx.flush();
     }
     Ok(OnlineReplayReport {

@@ -2,8 +2,9 @@
 //! aggregation must equal a serial oracle, and snapshots must survive
 //! a JSON round trip.
 
-use lifepred_obs::{HistogramSnapshot, LogHistogram, Registry, Snapshot};
+use lifepred_obs::{HistogramSnapshot, LogHistogram, Registry, Snapshot, MERGE_NAME_MISSES_METRIC};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 proptest! {
@@ -106,5 +107,101 @@ proptest! {
         let snap = registry.snapshot();
         let parsed = Snapshot::from_json(&snap.to_json()).expect("own JSON parses");
         prop_assert_eq!(parsed, snap);
+    }
+
+    /// Merging bare [`HistogramSnapshot`]s part by part equals one
+    /// histogram that recorded every value serially.
+    #[test]
+    fn histogram_snapshot_merge_matches_serial_oracle(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..40),
+            1..6,
+        )
+    ) {
+        let mut oracle = HistogramSnapshot::empty();
+        for &v in parts.iter().flatten() {
+            oracle.record(v);
+        }
+        let mut merged = HistogramSnapshot::empty();
+        for part in &parts {
+            let mut local = HistogramSnapshot::empty();
+            for &v in part {
+                local.record(v);
+            }
+            merged.merge(&local);
+        }
+        prop_assert_eq!(merged, oracle);
+    }
+
+    /// Folding per-job snapshots with [`Snapshot::merge`] — the sweep
+    /// engine's and parallel driver's combine step — equals a serial
+    /// oracle that saw every job's activity, for any mix of disjoint
+    /// and overlapping metric names across counters, gauges and
+    /// histograms.
+    #[test]
+    fn snapshot_merge_matches_serial_oracle(
+        jobs in proptest::collection::vec(
+            proptest::collection::vec(
+                // (metric kind, name index, value): a small name pool
+                // so jobs overlap on some names and miss others.
+                (0u8..3, 0usize..5, 0u64..100_000),
+                0..16,
+            ),
+            1..6,
+        )
+    ) {
+        let mut counter_oracle: BTreeMap<String, u64> = BTreeMap::new();
+        let mut gauge_oracle: BTreeMap<String, u64> = BTreeMap::new();
+        let mut hist_oracle: BTreeMap<String, HistogramSnapshot> = BTreeMap::new();
+        let mut merged = Snapshot::default();
+        for entries in &jobs {
+            let registry = Registry::new();
+            for &(kind, idx, v) in entries {
+                match kind {
+                    0 => {
+                        let name = format!("lifepred_pc{idx}_total");
+                        registry.counter(&name).add(v);
+                        *counter_oracle.entry(name).or_default() += v;
+                    }
+                    1 => {
+                        // Merged gauges sum across jobs by contract.
+                        let name = format!("lifepred_pg{idx}_bytes");
+                        let prior = registry.gauge(&name).get();
+                        registry.gauge(&name).set(prior + v);
+                        *gauge_oracle.entry(name).or_default() += v;
+                    }
+                    _ => {
+                        let name = format!("lifepred_ph{idx}_ns");
+                        registry.histogram(&name).observe(v);
+                        hist_oracle.entry(name).or_default().record(v);
+                    }
+                }
+            }
+            merged.merge(&registry.snapshot());
+        }
+        for (name, &total) in &counter_oracle {
+            prop_assert_eq!(merged.counter(name), Some(total));
+        }
+        for (name, &level) in &gauge_oracle {
+            prop_assert_eq!(merged.gauge(name), Some(level));
+        }
+        for (name, oracle) in &hist_oracle {
+            prop_assert_eq!(merged.histogram(name), Some(oracle));
+        }
+        // Nothing beyond the oracle names and the name-miss warning
+        // counter may appear, and every kind stays name-sorted.
+        for (name, _) in &merged.counters {
+            prop_assert!(
+                counter_oracle.contains_key(name) || name == MERGE_NAME_MISSES_METRIC
+            );
+        }
+        prop_assert_eq!(merged.gauges.len(), gauge_oracle.len());
+        prop_assert_eq!(merged.histograms.len(), hist_oracle.len());
+        for window in merged.counters.windows(2) {
+            prop_assert!(window[0].0 < window[1].0);
+        }
+        for window in merged.histograms.windows(2) {
+            prop_assert!(window[0].0 < window[1].0);
+        }
     }
 }

@@ -253,6 +253,14 @@ pub fn run_sweep(
                 let key = cell_key(*identity, cell);
                 let exec = *exec_of_key.entry(key).or_insert_with(|| {
                     let hit = store.load(key);
+                    lifepred_flight::instant(
+                        if hit.is_some() {
+                            lifepred_flight::catalog::SWEEP_CACHE_HIT
+                        } else {
+                            lifepred_flight::catalog::SWEEP_CACHE_MISS
+                        },
+                        execs.len() as u64,
+                    );
                     let train = if hit.is_none() {
                         TrainKey::of(cell).map(|tk| {
                             *train_of_key.entry(tk.clone()).or_insert_with(|| {
@@ -344,17 +352,28 @@ pub fn run_sweep(
                     if cancel.is_cancelled() || sched.done.load(Ordering::Acquire) >= total {
                         return;
                     }
-                    let job = sched
-                        .pop_own(me)
-                        .or_else(|| (1..threads).find_map(|d| sched.steal(me, (me + d) % threads)));
+                    let job = sched.pop_own(me).or_else(|| {
+                        (1..threads)
+                            .find_map(|d| sched.steal(me, (me + d) % threads))
+                            .inspect(|&stolen| {
+                                lifepred_flight::instant(
+                                    lifepred_flight::catalog::SWEEP_STEAL,
+                                    stolen as u64,
+                                );
+                            })
+                    });
                     let Some(job) = job else {
+                        let _park = lifepred_flight::span(lifepred_flight::catalog::SWEEP_PARK);
                         let guard = sched.park.lock().expect("park lock");
                         let _unused = sched
                             .bell
                             .wait_timeout(guard, std::time::Duration::from_millis(1))
                             .expect("park wait");
+                        lifepred_flight::instant(lifepred_flight::catalog::SWEEP_UNPARK, 0);
                         continue;
                     };
+                    let _job_span =
+                        lifepred_flight::span_arg(lifepred_flight::catalog::SWEEP_JOB, job as u64);
                     // A panicking job must still count as done: with the
                     // unwind swallowed here, `done` keeps advancing and the
                     // other workers cannot wedge waiting for a completion

@@ -12,6 +12,9 @@
 //! | `/sweeps`        | GET    | JSON list of submitted sweeps          |
 //! | `/sweeps`        | POST   | Submit a [`GridSpec`] body → `202 {id}`|
 //! | `/sweeps/{id}`   | GET    | Status, stats and rendered table       |
+//! | `/trace`         | GET    | Chrome-trace JSON snapshot of the      |
+//! |                  |        | flight recorder (empty when the build  |
+//! |                  |        | lacks the `flight` feature)            |
 //!
 //! # Shape
 //!
@@ -40,7 +43,7 @@ use crate::spec::GridSpec;
 use crate::store::ResultStore;
 use crate::table::{render_json, render_table};
 use lifepred_obs::json;
-use lifepred_obs::{Registry, Snapshot};
+use lifepred_obs::{Registry, Snapshot, Timer};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -161,6 +164,12 @@ impl Server {
         ] {
             registry.counter(name);
         }
+        // Request latency: populated only in `timing`-enabled builds
+        // (the CLI), but always present in the exposition.
+        registry.histogram("lifepred_serve_request_ns");
+        // A serving process records from the start: without this,
+        // `GET /trace` on a flight build would always answer empty.
+        lifepred_flight::set_recording(true);
         Ok(Server {
             listener,
             state: Arc::new(ServerState {
@@ -278,11 +287,14 @@ fn connection_worker(state: &Arc<ServerState>) {
             }
         };
         let Some(mut stream) = stream else { return };
+        let timer = Timer::start();
+        let _span = lifepred_flight::span(lifepred_flight::catalog::SERVE_REQUEST);
         let response = match read_request(&mut stream) {
             Ok(request) => handle_request(state, &request),
             Err(response) => response,
         };
         let _ = write_response(&mut stream, &response);
+        timer.observe_ns(&state.registry.histogram("lifepred_serve_request_ns"));
     }
 }
 
@@ -297,12 +309,25 @@ fn handle_request(state: &Arc<ServerState>, request: &Request) -> Response {
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => Response::text("ok\n"),
         ("GET", "/metrics") => metrics_response(state),
+        ("GET", "/trace") => trace_response(),
         ("GET", "/sweeps") => list_sweeps(state),
         ("POST", "/sweeps") => submit_sweep(state, &request.body),
         ("GET", p) if p.starts_with("/sweeps/") => sweep_detail(state, &p["/sweeps/".len()..]),
         ("GET", _) => Response::error(404, "not found"),
         _ => Response::error(405, "method not allowed"),
     }
+}
+
+/// `/trace`: drains the flight recorder and answers with the pending
+/// events as Chrome-trace JSON (loadable in Perfetto). A build without
+/// the `flight` feature answers a valid, empty trace.
+fn trace_response() -> Response {
+    let events = lifepred_flight::drain();
+    lifepred_flight::instant(
+        lifepred_flight::catalog::SERVE_TRACE_SNAPSHOT,
+        events.len() as u64,
+    );
+    Response::json(200, lifepred_flight::chrome::chrome_trace_json(&events))
 }
 
 /// `/metrics`: the server's own counters followed by the merged

@@ -49,6 +49,12 @@ pub struct AllocationRecord {
     pub death_seq: Option<u64>,
     /// Heap references made to this object over its life.
     pub refs: u64,
+    /// Byte clock at the first recorded reference; `None` if the
+    /// object was never touched.
+    pub first_ref_clock: Option<u64>,
+    /// Byte clock at the last recorded reference; `None` if the
+    /// object was never touched.
+    pub last_ref_clock: Option<u64>,
 }
 
 impl AllocationRecord {
@@ -67,6 +73,19 @@ impl AllocationRecord {
     pub fn is_immortal(&self) -> bool {
         self.death_clock.is_none()
     }
+
+    /// *Drag*: byte-clock distance between the object's last recorded
+    /// reference and its death (or `end_clock` for immortal objects) —
+    /// the window where the allocator held bytes the program had
+    /// finished using. An object never touched drags for its whole
+    /// lifetime.
+    pub fn drag(&self, end_clock: u64) -> u64 {
+        let death = self.death_clock.unwrap_or(end_clock);
+        match self.last_ref_clock {
+            Some(last) => death.saturating_sub(last),
+            None => self.lifetime(end_clock),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -83,6 +102,8 @@ mod tests {
             birth_seq: 0,
             death_seq: death.map(|_| 1),
             refs: 0,
+            first_ref_clock: None,
+            last_ref_clock: None,
         }
     }
 
@@ -100,5 +121,29 @@ mod tests {
         let r = record(100, None, 16);
         assert_eq!(r.lifetime(5000), 4900);
         assert!(r.is_immortal());
+    }
+
+    #[test]
+    fn drag_measures_bytes_after_last_touch() {
+        let mut r = record(100, Some(500), 16);
+        r.first_ref_clock = Some(120);
+        r.last_ref_clock = Some(300);
+        assert_eq!(r.drag(1000), 200);
+    }
+
+    #[test]
+    fn untouched_objects_drag_their_whole_lifetime() {
+        let r = record(100, Some(500), 16);
+        assert_eq!(r.drag(1000), r.lifetime(1000));
+        let immortal = record(100, None, 16);
+        assert_eq!(immortal.drag(1000), 900);
+    }
+
+    #[test]
+    fn immortal_touched_objects_drag_to_trace_end() {
+        let mut r = record(0, None, 8);
+        r.first_ref_clock = Some(10);
+        r.last_ref_clock = Some(40);
+        assert_eq!(r.drag(100), 60);
     }
 }

@@ -146,6 +146,8 @@ impl TraceSession {
             birth_seq: inner.seq,
             death_seq: None,
             refs: 0,
+            first_ref_clock: None,
+            last_ref_clock: None,
         };
         inner.records.push(record);
         inner.seq += 1;
@@ -188,13 +190,21 @@ impl TraceSession {
     }
 
     /// Records `n` heap references to `object` (counted as `n`
-    /// instructions as well).
+    /// instructions as well), stamping the object's first/last
+    /// reference clocks with the current byte clock for liveness and
+    /// drag analysis.
     pub fn touch(&self, object: ObjectId, n: u64) {
         let mut inner = self.inner.borrow_mut();
         if inner.finished {
             return;
         }
-        inner.records[object.0 as usize].refs += n;
+        let clock = inner.clock;
+        let record = &mut inner.records[object.0 as usize];
+        record.refs += n;
+        if n > 0 {
+            record.first_ref_clock.get_or_insert(clock);
+            record.last_ref_clock = Some(clock);
+        }
         inner.stats.heap_refs += n;
         inner.stats.instructions += n;
     }
@@ -544,6 +554,26 @@ mod tests {
         let c1 = t1.chain(t1.records()[0].chain);
         let c2 = t2.chain(t2.records()[0].chain);
         assert_eq!(c1.frames(), c2.frames());
+    }
+
+    #[test]
+    fn touch_stamps_first_and_last_ref_clocks() {
+        let s = TraceSession::new("t");
+        let a = s.alloc(10); // clock now 10
+        s.touch(a, 1); // first touch at clock 10
+        s.alloc(90); // clock now 100
+        s.touch(a, 3); // last touch at clock 100
+        s.touch(a, 0); // zero refs must not move the clocks
+        s.free(a);
+        let t = s.finish();
+        let r = &t.records()[0];
+        assert_eq!(r.refs, 4);
+        assert_eq!(r.first_ref_clock, Some(10));
+        assert_eq!(r.last_ref_clock, Some(100));
+        // Untouched object keeps None on both.
+        let rb = &t.records()[1];
+        assert_eq!(rb.first_ref_clock, None);
+        assert_eq!(rb.last_ref_clock, None);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! ```text
 //! magic      [0x89, b'L', b'P', b'T']
 //! version    u16
-//! sections   u16 (always 5 in version 1)
+//! sections   u16 (always 5 in versions 1 and 2)
 //! 5 x section:
 //!   id          u8
 //!   payload_len varint
@@ -21,10 +21,16 @@
 /// mistake a trace for text, then the format name.
 pub(crate) const MAGIC: [u8; 4] = [0x89, b'L', b'P', b'T'];
 
-/// Current (and only) format version.
-pub(crate) const VERSION: u16 = 1;
+/// Current format version, the one the writer produces. Version 2
+/// appends per-record first/last-reference clocks (for liveness/drag
+/// analysis) to the records section; the reader still accepts
+/// version-1 files, whose records decode with `None` reference clocks.
+pub(crate) const VERSION: u16 = 2;
 
-/// Number of sections a version-1 file carries.
+/// Oldest version the reader accepts.
+pub(crate) const VERSION_MIN: u16 = 1;
+
+/// Number of sections a file carries (both versions).
 pub(crate) const SECTION_COUNT: u16 = 5;
 
 /// Program name, end clock/seq and aggregate statistics.

@@ -252,6 +252,71 @@ mod tests {
     }
 
     #[test]
+    fn version1_files_decode_with_no_ref_clocks() {
+        // A version-1 image built by hand: one chain, one immortal
+        // 16-byte record with 5 refs. v1 records end at the ref count —
+        // no first/last-ref fields — and must decode to `None` clocks.
+        fn section(out: &mut Vec<u8>, id: u8, payload: &[u8]) {
+            out.push(id);
+            crate::varint::write_varint(out, payload.len() as u64);
+            out.extend_from_slice(payload);
+            out.extend_from_slice(&crate::crc32::crc32(payload).to_le_bytes());
+        }
+        fn varints(values: &[u64]) -> Vec<u8> {
+            let mut out = Vec::new();
+            for &v in values {
+                crate::varint::write_varint(&mut out, v);
+            }
+            out
+        }
+        let mut meta = varints(&[2]); // name length
+        meta.extend_from_slice(b"v1");
+        // end clock, end seq, then the eight stats counters.
+        meta.extend_from_slice(&varints(&[16, 1, 16, 1, 16, 1, 0, 0, 5, 0]));
+        let functions = varints(&[0]);
+        // One empty chain.
+        let chains = varints(&[1, 0]);
+        // count, then: size, chain, clock delta, seq delta, death code,
+        // refs — and nothing else (the v2 first-ref code is absent).
+        let records = varints(&[1, 16, 0, 0, 0, 0, 5]);
+        let events = varints(&[1, 0, 16 << 1]); // one alloc of 16 bytes
+        let mut bytes = vec![0x89, b'L', b'P', b'T', 1, 0, 5, 0];
+        section(&mut bytes, 1, &meta);
+        section(&mut bytes, 2, &functions);
+        section(&mut bytes, 3, &chains);
+        section(&mut bytes, 4, &records);
+        section(&mut bytes, 5, &events);
+
+        let reader = TraceReader::new(&bytes[..]).expect("open v1");
+        assert_eq!(reader.version(), 1);
+        let loaded = reader.read_trace().expect("decode v1");
+        let r = &loaded.records()[0];
+        assert_eq!(r.size, 16);
+        assert_eq!(r.refs, 5);
+        assert_eq!(r.first_ref_clock, None);
+        assert_eq!(r.last_ref_clock, None);
+    }
+
+    #[test]
+    fn version2_roundtrip_preserves_ref_clocks() {
+        let s = TraceSession::new("touched");
+        let a = s.alloc(10);
+        s.touch(a, 2); // first touch at clock 10
+        let b = s.alloc(30); // clock 40
+        s.touch(a, 1); // last touch at clock 40
+        s.free(a);
+        let _ = b; // immortal, never touched
+        let trace = s.finish();
+        let bytes = trace_to_vec(&trace).expect("encode");
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), 2);
+        let loaded = trace_from_bytes(&bytes).expect("decode");
+        assert_eq!(loaded.records()[0].first_ref_clock, Some(10));
+        assert_eq!(loaded.records()[0].last_ref_clock, Some(40));
+        assert_eq!(loaded.records()[1].first_ref_clock, None);
+        assert_eq!(loaded.records(), trace.records());
+    }
+
+    #[test]
     fn flipped_payload_byte_is_a_checksum_mismatch() {
         let trace = sample_trace();
         let mut bytes = trace_to_vec(&trace).expect("encode");

@@ -19,7 +19,7 @@ use crate::crc32::Crc32;
 use crate::error::TraceFileError;
 use crate::format::{
     MAGIC, SECTION_CHAINS, SECTION_COUNT, SECTION_EVENTS, SECTION_FUNCTIONS, SECTION_META,
-    SECTION_RECORDS, VERSION,
+    SECTION_RECORDS, VERSION, VERSION_MIN,
 };
 use crate::varint;
 use lifepred_trace::{
@@ -228,6 +228,7 @@ impl SectionState {
 #[derive(Debug)]
 pub struct TraceReader<R: Read> {
     src: R,
+    version: u16,
     name: String,
     stats: TraceStats,
     end_clock: u64,
@@ -255,7 +256,7 @@ impl<R: Read> TraceReader<R> {
         let mut half = [0u8; 2];
         read_exact(&mut src, &mut half, "header")?;
         let version = u16::from_le_bytes(half);
-        if version != VERSION {
+        if !(VERSION_MIN..=VERSION).contains(&version) {
             return Err(TraceFileError::UnsupportedVersion(version));
         }
         read_exact(&mut src, &mut half, "header")?;
@@ -263,7 +264,9 @@ impl<R: Read> TraceReader<R> {
         if sections != SECTION_COUNT {
             return Err(TraceFileError::malformed(
                 "header",
-                format!("version 1 carries {SECTION_COUNT} sections, header says {sections}"),
+                format!(
+                    "version {version} carries {SECTION_COUNT} sections, header says {sections}"
+                ),
             ));
         }
 
@@ -348,6 +351,7 @@ impl<R: Read> TraceReader<R> {
 
         Ok(TraceReader {
             src,
+            version,
             name,
             stats,
             end_clock,
@@ -355,6 +359,11 @@ impl<R: Read> TraceReader<R> {
             registry,
             chains,
         })
+    }
+
+    /// The file's format version (1 or 2).
+    pub fn version(&self) -> u16 {
+        self.version
     }
 
     /// The traced program's name.
@@ -398,7 +407,7 @@ impl<R: Read> TraceReader<R> {
             src: self.src,
             state: Some(state),
             remaining: count,
-            decoder: RecordDecoder::new(self.chains.len() as u64),
+            decoder: RecordDecoder::new(self.chains.len() as u64, self.version),
         })
     }
 
@@ -449,7 +458,7 @@ impl<R: Read> TraceReader<R> {
     pub fn read_trace(mut self) -> Result<Trace, TraceFileError> {
         let mut state = SectionState::open(&mut self.src, SECTION_RECORDS, "records")?;
         let count = state.read_varint(&mut self.src)?;
-        let mut decoder = RecordDecoder::new(self.chains.len() as u64);
+        let mut decoder = RecordDecoder::new(self.chains.len() as u64, self.version);
         // Preallocation is capped: a lying count cannot force a huge
         // up-front allocation.
         let mut records = Vec::with_capacity(count.min(1 << 20) as usize);
@@ -510,15 +519,17 @@ impl<R: Read> TraceReader<R> {
 #[derive(Debug)]
 struct RecordDecoder {
     chain_count: u64,
+    version: u16,
     next_index: u64,
     prev_clock: u64,
     prev_seq: Option<u64>,
 }
 
 impl RecordDecoder {
-    fn new(chain_count: u64) -> Self {
+    fn new(chain_count: u64, version: u16) -> Self {
         RecordDecoder {
             chain_count,
+            version,
             next_index: 0,
             prev_clock: 0,
             prev_seq: None,
@@ -571,6 +582,26 @@ impl RecordDecoder {
             (Some(dc), Some(ds))
         };
         let refs = state.read_varint(src)?;
+        // Version 1 predates reference clocks; its records decode with
+        // `None` so old traces stay loadable (they just carry no
+        // liveness signal for `report --drag`).
+        let (first_ref_clock, last_ref_clock) = if self.version >= 2 {
+            let first_code = state.read_varint(src)?;
+            if first_code == 0 {
+                (None, None)
+            } else {
+                let first = birth_clock
+                    .checked_add(first_code - 1)
+                    .ok_or_else(|| bad(format!("record {i} first ref clock overflows")))?;
+                let last_delta = state.read_varint(src)?;
+                let last = first
+                    .checked_add(last_delta)
+                    .ok_or_else(|| bad(format!("record {i} last ref clock overflows")))?;
+                (Some(first), Some(last))
+            }
+        } else {
+            (None, None)
+        };
         self.prev_clock = birth_clock;
         self.prev_seq = Some(birth_seq);
         self.next_index += 1;
@@ -583,6 +614,8 @@ impl RecordDecoder {
             birth_seq,
             death_seq,
             refs,
+            first_ref_clock,
+            last_ref_clock,
         })
     }
 }

@@ -15,8 +15,10 @@
 //!   verbatim; later ones store `seq - prev - 1`, as seqs strictly
 //!   increase), a death code (`0` = immortal, else
 //!   `death_seq - birth_seq`), the death-clock delta
-//!   (`death_clock - birth_clock`, present only when dead), and the
-//!   reference count.
+//!   (`death_clock - birth_clock`, present only when dead), the
+//!   reference count, and (version 2) a first-ref code (`0` = never
+//!   referenced, else `first_ref_clock - birth_clock + 1`) followed —
+//!   only when referenced — by `last_ref_clock - first_ref_clock`.
 //! * **events** — count, then per event: the seq delta (same scheme as
 //!   birth seqs) and a key varint. An even key is an allocation of
 //!   `key >> 1` bytes for the next record in birth order; an odd key
@@ -205,6 +207,25 @@ fn encode_records(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
             }
         }
         write_varint(&mut out, r.refs);
+        match (r.first_ref_clock, r.last_ref_clock) {
+            (None, None) => write_varint(&mut out, 0),
+            (Some(first), Some(last)) => {
+                let first_code = first
+                    .checked_sub(r.birth_clock)
+                    .and_then(|d| d.checked_add(1))
+                    .ok_or_else(|| bad(format!("record {i} first ref precedes birth")))?;
+                let last_delta = last
+                    .checked_sub(first)
+                    .ok_or_else(|| bad(format!("record {i} last ref precedes first ref")))?;
+                write_varint(&mut out, first_code);
+                write_varint(&mut out, last_delta);
+            }
+            _ => {
+                return Err(bad(format!(
+                    "record {i} has mismatched first/last ref clocks"
+                )))
+            }
+        }
         prev_clock = r.birth_clock;
         prev_seq = Some(r.birth_seq);
     }
