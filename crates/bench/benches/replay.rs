@@ -1,10 +1,12 @@
-//! The PR-5 performance ledger: measured evidence for the three
-//! optimisations of the indexed-replay stack.
+//! The replay performance ledger: measured evidence for the
+//! optimisations of the decode and indexed-replay stack.
 //!
-//! 1. **decode** — per-event `into_events()` iteration vs the chunked
-//!    SoA decoder (`into_event_chunks()`) over the same in-memory
-//!    `.lpt` image. Same bytes, same CRC checks; the chunked path
-//!    amortises framing and dispatch over 4096-event batches.
+//! 1. **decode** — a three-way comparison over the same on-disk `.lpt`
+//!    file: per-event `into_events()` iteration, the chunked SoA
+//!    decoder (`into_event_chunks()`) with pooled 16Ki-event chunks,
+//!    and the mmap-backed zero-copy [`MappedTrace`] path (bulk CRC up
+//!    front, SWAR varint batch decode straight out of the mapping).
+//!    Same bytes, same integrity checks, three cost models.
 //! 2. **firstfit** — the seed's linear first-fit scan
 //!    ([`LinearFirstFit`]) vs the size-segregated indexed [`FirstFit`]
 //!    on a fragmentation workload built to be the linear scan's worst
@@ -19,6 +21,19 @@
 //!    [`lifepred_bench::run_jobs`] at `--jobs` 1, 2 and 4. Speedup
 //!    here is bounded by the host's core count, which is recorded in
 //!    the output.
+//! 4. **decode gate** — mapped vs iterator decode on the lattice
+//!    trace, with a 1.5x floor. Advisory by default; the CI `decode`
+//!    job exports `LIFEPRED_BENCH_REQUIRE_DECODE` to make a miss fail.
+//! 5. **scale + server** — `lifepred gen` streams a synthetic server
+//!    trace (10⁷ events on full runs), then the iterator and mapped
+//!    decoders race over it and the first-fit allocator replays it
+//!    end to end. The trace is verified once up front (recorded as
+//!    `verify_once_secs`); decode rounds then measure the
+//!    repeated-pass price of each path — the iterator re-checksums
+//!    inline on every pass by construction, the mapped path decodes
+//!    zero-copy out of the verified mapping. This is where the
+//!    memory-bandwidth story is told: at this size the trace no
+//!    longer fits any cache.
 //!
 //! The harness mirrors `benches/obs.rs`: self-timed paired rounds,
 //! median-of-rounds throughputs, median-of-paired-ratios speedups, and
@@ -31,10 +46,17 @@ use lifepred_core::{
     train, Profile, ShortLivedSet, SiteConfig, SiteExtractor, TrainConfig, DEFAULT_THRESHOLD,
 };
 use lifepred_heap::reference::LinearFirstFit;
-use lifepred_heap::{replay_arena_chunks, Addr, FirstFit, ReplayConfig, ReplayMeta, ReplayReport};
-use lifepred_trace::{EventKind, Trace, TraceSession};
-use lifepred_tracefile::{TraceReader, TraceWriter};
-use std::path::Path;
+use lifepred_heap::{
+    replay_arena_chunks, replay_firstfit_chunks, Addr, FirstFit, ReplayConfig, ReplayMeta,
+    ReplayReport,
+};
+use lifepred_trace::{
+    ChunkSource, EventChunk, EventKind, Trace, TraceSession, POOLED_CHUNK_EVENTS,
+};
+use lifepred_tracefile::{MappedTrace, TraceReader, TraceWriter};
+use lifepred_workloads::server::sim::SimConfig;
+use lifepred_workloads::server::synth::generate_lpt;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Alloc/free pairs in the decode/simulate trace (divided by 10 in
@@ -61,6 +83,20 @@ const FF_ROUNDS: usize = 15;
 /// Rounds for the simulate sweep; each round runs 3 × [`SIM_TRACES`]
 /// full pipelines.
 const SIM_ROUNDS: usize = 11;
+
+/// Events in the generated server trace for the scale section
+/// (divided by 100 in smoke mode).
+const SCALE_EVENTS: u64 = 10_000_000;
+
+/// Paired rounds over the scale trace; each round decodes it twice.
+const SCALE_ROUNDS: usize = 7;
+
+/// Floor for mapped-vs-iterator decode on the lattice trace (enforced
+/// when `LIFEPRED_BENCH_REQUIRE_DECODE` is set).
+const DECODE_FLOOR: f64 = 1.5;
+
+/// Target for mapped-vs-iterator decode at scale (recorded; advisory).
+const SCALE_TARGET: f64 = 3.0;
 
 fn smoke() -> bool {
     // `cargo bench -- --test` asks every bench for a functional check,
@@ -258,6 +294,65 @@ fn paired_speedup(
     (median(&mut tb), median(&mut ta), median(&mut ratios))
 }
 
+/// A per-run temp path for an on-disk trace; every decode path reads
+/// the same file so page-cache state is shared fairly.
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lifepred-bench-{tag}-{}.lpt", std::process::id()))
+}
+
+/// Drains a chunk source into a pooled chunk, returning the event count.
+fn drain_events<C: ChunkSource>(mut chunks: C) -> u64
+where
+    C::Error: std::fmt::Debug,
+{
+    let mut chunk = EventChunk::with_capacity(POOLED_CHUNK_EVENTS);
+    let mut n = 0u64;
+    while chunks.next_chunk(&mut chunk).expect("chunk") {
+        n += chunk.len() as u64;
+    }
+    std::hint::black_box(n)
+}
+
+/// Counts events through the buffered per-event iterator (inline CRC).
+fn file_iter_events(path: &Path) -> u64 {
+    let mut n = 0u64;
+    for event in TraceReader::open(path)
+        .expect("trace header")
+        .into_events()
+        .expect("events section")
+    {
+        event.expect("event");
+        n += 1;
+    }
+    std::hint::black_box(n)
+}
+
+/// Counts events through the buffered chunked SoA decoder.
+fn file_chunked_events(path: &Path) -> u64 {
+    let chunks = TraceReader::open(path)
+        .expect("trace header")
+        .into_event_chunks()
+        .expect("events section");
+    drain_events(chunks)
+}
+
+/// Opens the file through [`MappedTrace`] — bulk CRC over the mapping
+/// up front, then the SWAR batch decoder straight out of the mapped
+/// bytes. The open is timed inside the round so the comparison against
+/// the iterator (which checksums inline) stays honest.
+fn file_mapped_events(path: &Path) -> u64 {
+    let mapped = MappedTrace::open(path).expect("mapped open");
+    drain_events(mapped.events())
+}
+
+/// Mapped decode without the bulk CRC pass — the repeated-decode cost
+/// once a trace has been verified at ingest. Only the scale section
+/// uses this, and it records the one-time verify cost alongside.
+fn file_mapped_events_unverified(path: &Path) -> u64 {
+    let mapped = MappedTrace::open_unverified(path).expect("mapped open");
+    drain_events(mapped.events())
+}
+
 /// Median seconds of `f` over `rounds` runs.
 fn median_time(rounds: usize, mut f: impl FnMut()) -> f64 {
     let mut times: Vec<f64> = (0..rounds)
@@ -278,40 +373,45 @@ fn main() {
     let host = lifepred_bench::BenchHost::probe();
     let cores = host.cores;
 
-    // --- decode: per-event iterator vs chunked SoA ----------------------
+    // --- decode: iterator vs chunked vs mmap over the same file ---------
     let trace = workload(pairs);
     let bytes = TraceWriter::new(Vec::new())
         .write(&trace)
         .expect("encode trace");
     let n_events = trace.events().len() as u64;
-    let decode_iter = || {
-        let mut n = 0u64;
-        for event in TraceReader::new(bytes.as_slice())
-            .expect("trace header")
-            .into_events()
-            .expect("events section")
-        {
-            event.expect("event");
-            n += 1;
-        }
-        assert_eq!(std::hint::black_box(n), n_events);
-    };
-    let decode_chunks = || {
-        let mut chunks = TraceReader::new(bytes.as_slice())
-            .expect("trace header")
-            .into_event_chunks()
-            .expect("events section");
-        let mut chunk = lifepred_trace::EventChunk::new();
-        let mut n = 0u64;
-        while lifepred_trace::ChunkSource::next_chunk(&mut chunks, &mut chunk).expect("chunk") {
-            n += chunk.len() as u64;
-        }
-        assert_eq!(std::hint::black_box(n), n_events);
-    };
+    let decode_path = temp_path("decode");
+    std::fs::write(&decode_path, &bytes).expect("write decode trace");
+    let decode_iter = || assert_eq!(file_iter_events(&decode_path), n_events);
+    let decode_chunks = || assert_eq!(file_chunked_events(&decode_path), n_events);
+    let decode_mapped = || assert_eq!(file_mapped_events(&decode_path), n_events);
     decode_iter();
     decode_chunks();
-    let (t_iter, t_chunk, decode_speedup) =
+    decode_mapped();
+    let (t_iter, t_chunk, chunk_speedup) =
         paired_speedup(rounds(ROUNDS), decode_iter, decode_chunks);
+    let (_, t_mapped, mapped_speedup) = paired_speedup(rounds(ROUNDS), decode_iter, decode_mapped);
+    std::fs::remove_file(&decode_path).ok();
+
+    // --- decode gate: mapped vs iterator on the lattice trace -----------
+    // Always the full-size lattice: recording 40k events is cheap even
+    // in smoke mode, and gating on a smoke-sized trace would measure
+    // file-open overhead, not decode bandwidth.
+    let gate_trace = frag_workload(KEEPERS, CHURN);
+    let gate_events = gate_trace.events().len() as u64;
+    let gate_path = temp_path("lattice");
+    std::fs::write(
+        &gate_path,
+        TraceWriter::new(Vec::new())
+            .write(&gate_trace)
+            .expect("encode lattice trace"),
+    )
+    .expect("write lattice trace");
+    let (t_gate_iter, t_gate_mapped, gate_speedup) = paired_speedup(
+        FF_ROUNDS,
+        || assert_eq!(file_iter_events(&gate_path), gate_events),
+        || assert_eq!(file_mapped_events(&gate_path), gate_events),
+    );
+    std::fs::remove_file(&gate_path).ok();
 
     // --- firstfit: linear scan vs size-segregated index -----------------
     let frag = frag_workload(keepers, churn);
@@ -355,16 +455,78 @@ fn main() {
     let s2 = t_jobs1 / t_jobs2;
     let s4 = t_jobs1 / t_jobs4;
 
+    // --- scale + server: a streamed 10⁷-event synthetic trace -----------
+    let scale_target = if smoke() {
+        SCALE_EVENTS / 100
+    } else {
+        SCALE_EVENTS
+    };
+    let scale_config = SimConfig::for_events(scale_target, 0x1993);
+    let scale_path = temp_path("scale");
+    let gen_start = Instant::now();
+    let sink = std::io::BufWriter::with_capacity(
+        1 << 20,
+        std::fs::File::create(&scale_path).expect("create scale trace"),
+    );
+    let (summary, sink) = generate_lpt(&scale_config, sink).expect("generate scale trace");
+    sink.into_inner().expect("flush scale trace");
+    let gen_secs = gen_start.elapsed().as_secs_f64();
+    let scale_events = summary.events;
+    let scale_file_bytes = std::fs::metadata(&scale_path)
+        .expect("stat scale trace")
+        .len();
+    // Verify once, decode many: the bulk CRC is a property of the file,
+    // paid at ingest and recorded below as its own cost. The decode
+    // rounds then measure the repeated-pass price of each path — the
+    // iterator re-checksums inline on every pass because it cannot
+    // carry verified state across opens; the mapped path can.
+    let verify_start = Instant::now();
+    drop(MappedTrace::open(&scale_path).expect("verify scale trace"));
+    let verify_secs = verify_start.elapsed().as_secs_f64();
+    let (t_scale_iter, t_scale_mapped, scale_speedup) = paired_speedup(
+        rounds(SCALE_ROUNDS),
+        || assert_eq!(file_iter_events(&scale_path), scale_events),
+        || assert_eq!(file_mapped_events_unverified(&scale_path), scale_events),
+    );
+    // End-to-end server row: first-fit replay straight off the mapping
+    // (the file was verified once above, so the replay opens
+    // unverified, same as the decode rounds).
+    let server_meta = {
+        let mapped = MappedTrace::open_unverified(&scale_path).expect("mapped open");
+        ReplayMeta {
+            program: mapped.name().to_owned(),
+            function_calls: mapped.stats().function_calls,
+        }
+    };
+    let replay_cfg = ReplayConfig::default();
+    // The replay is ~30x slower than decode, so 3 rounds bound the run.
+    let t_server = median_time(3, || {
+        let mapped = MappedTrace::open_unverified(&scale_path).expect("mapped open");
+        let report = replay_firstfit_chunks(&server_meta, mapped.events(), &replay_cfg)
+            .expect("server replay");
+        std::hint::black_box(report);
+    });
+    std::fs::remove_file(&scale_path).ok();
+
     let json = format!(
         "{{\n  \
-           \"schema\": \"lifepred-bench-replay-v1\",\n  \
+           \"schema\": \"lifepred-bench-replay-v2\",\n  \
            \"smoke\": {smoke},\n  \
            {host_fields},\n  \
            \"decode\": {{\n    \
              \"events\": {n_events},\n    \
              \"iter_events_per_sec\": {iter_rate:.0},\n    \
              \"chunk_events_per_sec\": {chunk_rate:.0},\n    \
-             \"speedup\": {decode_speedup:.2}\n  \
+             \"mapped_events_per_sec\": {mapped_rate:.0},\n    \
+             \"chunk_speedup\": {chunk_speedup:.2},\n    \
+             \"mapped_speedup\": {mapped_speedup:.2}\n  \
+           }},\n  \
+           \"decode_lattice\": {{\n    \
+             \"events\": {gate_events},\n    \
+             \"iter_events_per_sec\": {gate_iter_rate:.0},\n    \
+             \"mapped_events_per_sec\": {gate_mapped_rate:.0},\n    \
+             \"speedup\": {gate_speedup:.2},\n    \
+             \"floor\": {DECODE_FLOOR}\n  \
            }},\n  \
            \"firstfit\": {{\n    \
              \"events\": {ff_events},\n    \
@@ -380,18 +542,43 @@ fn main() {
              \"jobs4_secs\": {t_jobs4:.4},\n    \
              \"speedup_jobs2\": {s2:.2},\n    \
              \"speedup_jobs4\": {s4:.2}\n  \
+           }},\n  \
+           \"server\": {{\n    \
+             \"events\": {scale_events},\n    \
+             \"file_bytes\": {scale_file_bytes},\n    \
+             \"gen_events_per_sec\": {gen_rate:.0},\n    \
+             \"verify_once_secs\": {verify_secs:.4},\n    \
+             \"iter_events_per_sec\": {scale_iter_rate:.0},\n    \
+             \"mapped_events_per_sec\": {scale_mapped_rate:.0},\n    \
+             \"decode_speedup\": {scale_speedup:.2},\n    \
+             \"decode_target\": {SCALE_TARGET},\n    \
+             \"replay_events_per_sec\": {server_rate:.0}\n  \
            }}\n}}\n",
         smoke = smoke(),
         host_fields = host.json_fields(),
         iter_rate = n_events as f64 / t_iter,
         chunk_rate = n_events as f64 / t_chunk,
+        mapped_rate = n_events as f64 / t_mapped,
+        gate_iter_rate = gate_events as f64 / t_gate_iter,
+        gate_mapped_rate = gate_events as f64 / t_gate_mapped,
         linear_rate = ff_events as f64 / t_linear,
         indexed_rate = ff_events as f64 / t_indexed,
+        gen_rate = scale_events as f64 / gen_secs,
+        scale_iter_rate = scale_events as f64 / t_scale_iter,
+        scale_mapped_rate = scale_events as f64 / t_scale_mapped,
+        server_rate = scale_events as f64 / t_server,
     );
     println!(
-        "decode:   {:.0} events/s per-event, {:.0} events/s chunked ({decode_speedup:.2}x)",
+        "decode:   {:.0} events/s per-event, {:.0} events/s chunked ({chunk_speedup:.2}x), \
+         {:.0} events/s mapped ({mapped_speedup:.2}x)",
         n_events as f64 / t_iter,
         n_events as f64 / t_chunk,
+        n_events as f64 / t_mapped,
+    );
+    println!(
+        "lattice:  {:.0} events/s per-event, {:.0} events/s mapped ({gate_speedup:.2}x)",
+        gate_events as f64 / t_gate_iter,
+        gate_events as f64 / t_gate_mapped,
     );
     println!(
         "firstfit: {:.0} events/s linear, {:.0} events/s indexed ({ff_speedup:.2}x)",
@@ -402,6 +589,32 @@ fn main() {
         "simulate: {SIM_TRACES} traces in {t_jobs1:.3}s @ jobs=1, {t_jobs2:.3}s @ jobs=2 \
          ({s2:.2}x), {t_jobs4:.3}s @ jobs=4 ({s4:.2}x) on {cores} core(s)",
     );
+    println!(
+        "server:   {scale_events} events generated at {:.1}M events/s ({scale_file_bytes} file \
+         bytes); verified once in {verify_secs:.3}s; decode {:.1}M events/s per-event vs \
+         {:.1}M events/s mapped ({scale_speedup:.2}x, target {SCALE_TARGET}x); first-fit \
+         replay {:.1}M events/s",
+        scale_events as f64 / gen_secs / 1e6,
+        scale_events as f64 / t_scale_iter / 1e6,
+        scale_events as f64 / t_scale_mapped / 1e6,
+        scale_events as f64 / t_server / 1e6,
+    );
+    // Decode floor: the mapped SWAR path must beat per-event iteration
+    // by DECODE_FLOOR on the lattice trace. This check runs in smoke
+    // mode too (the gate trace never shrinks); the CI `decode` job
+    // exports LIFEPRED_BENCH_REQUIRE_DECODE to turn a miss into a
+    // failure.
+    if gate_speedup < DECODE_FLOOR {
+        println!(
+            "warning: mapped decode speedup {gate_speedup:.2}x is below the {DECODE_FLOOR}x \
+             floor on the lattice trace"
+        );
+        if std::env::var_os("LIFEPRED_BENCH_REQUIRE_DECODE").is_some() {
+            std::process::exit(1);
+        }
+    } else {
+        println!("decode check: mapped speedup {gate_speedup:.2}x meets the {DECODE_FLOOR}x floor");
+    }
     // Scaling floor: on a machine with the cores to show it, `--jobs 4`
     // must be at least 1.3x faster than sequential. Advisory by
     // default (a shared CI runner can eat the headroom); exporting

@@ -52,7 +52,9 @@ use lifepred_sweep::{
     CancelFlag, GridSpec, ResultStore, Server, ServerConfig, SweepOptions,
 };
 use lifepred_trace::{shared_registry, AllocationRecord, Trace};
-use lifepred_tracefile::{load_trace, save_trace, TraceFileError, TraceReader};
+use lifepred_tracefile::{load_trace, save_trace, MappedTrace, TraceFileError, TraceReader};
+use lifepred_workloads::server::sim::SimConfig;
+use lifepred_workloads::server::synth::generate_lpt;
 use lifepred_workloads::{all_workloads, by_name, record as record_workload};
 use std::fmt::Display;
 use std::io::Write;
@@ -62,7 +64,9 @@ lifepred — trace, train and simulate lifetime-predicting allocation
 
 USAGE:
     lifepred record --workload <name> [--input <n>]... -o <file.lpt>
+    lifepred gen --events <n[k|m|g]> -o <file.lpt> [--seed <n>] [--force]
     lifepred inspect <file.lpt> [--functions] [--chains] [--verify]
+                     [--sections] [--head <n>]
     lifepred train <file.lpt>... -o <pred.json> [--policy <p>] [--rounding <n>] [--threshold <bytes>]
     lifepred simulate <file.lpt>... --predictor <pred.json|online> [--allocator <a>]
                       [--policy <p>] [--rounding <n>] [--threshold <bytes>]
@@ -83,7 +87,7 @@ USAGE:
     lifepred audit rules
 
 OPTIONS:
-    --workload <name>     one of: cfrac, espresso, gawk, ghost, perl
+    --workload <name>     one of: cfrac, espresso, gawk, ghost, perl, server
     --input <n>           input index (record; repeatable, default 0);
                           with several inputs, -o must contain {} which
                           is replaced by the input index
@@ -108,9 +112,17 @@ OPTIONS:
                           for independent runs (default 1)
     --format <f>          stats: prometheus (default) or json;
                           sweep: table (default), csv or json
+    --events <n[k|m|g]>   gen: events to target (k/m/g = 10^3/10^6/10^9);
+                          the synthetic server run lands within a few
+                          percent of this
+    --seed <n>            gen: simulation seed (default 1)
     --functions           inspect: list the function registry
     --chains              inspect: list the interned call chains
     --verify              inspect: stream every section, checking CRCs
+    --sections            inspect: list section framing and sizes only
+                          (maps the file; decodes no events)
+    --head <n>            inspect: print the first n events (maps the
+                          file; decodes only what it prints)
     --spec <grid.json>    sweep: declarative grid spec (schema
                           lifepred-sweep-v1; see DESIGN.md section 13)
     --store <dir>         sweep/serve: content-addressed result cache
@@ -141,6 +153,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             Ok(())
         }
         Some("record") => cmd_record(&args[1..], out),
+        Some("gen") => cmd_gen(&args[1..], out),
         Some("inspect") => cmd_inspect(&args[1..], out),
         Some("train") => cmd_train(&args[1..], out),
         Some("simulate") => cmd_simulate(&args[1..], out),
@@ -331,6 +344,90 @@ fn cmd_record(args: &[String], out: &mut dyn Write) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------
+// gen
+// ---------------------------------------------------------------------
+
+/// Parses an event-count target with an optional k/m/g suffix.
+fn parse_events(text: &str) -> Result<u64, String> {
+    let (digits, scale) = match text.as_bytes().last() {
+        Some(b'k' | b'K') => (&text[..text.len() - 1], 1_000u64),
+        Some(b'm' | b'M') => (&text[..text.len() - 1], 1_000_000),
+        Some(b'g' | b'G') => (&text[..text.len() - 1], 1_000_000_000),
+        _ => (text, 1),
+    };
+    let n: u64 = parse_num("events", digits)?;
+    n.checked_mul(scale)
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("bad value for --events ({text:?})"))
+}
+
+/// Peak resident set size of this process in bytes, if the platform
+/// exposes it (`VmHWM` on Linux).
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
+}
+
+fn cmd_gen(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let mut events = None;
+    let mut seed = 1u64;
+    let mut output = None;
+    let mut force = false;
+    let mut s = Scanner::new(args);
+    while let Some(arg) = s.next() {
+        match arg {
+            Arg::Opt("events", v) => events = Some(parse_events(s.value("events", v)?)?),
+            Arg::Opt("seed", v) => seed = parse_num("seed", s.value("seed", v)?)?,
+            Arg::Opt("o" | "output", v) => output = Some(s.value("output", v)?.to_owned()),
+            Arg::Opt("force", _) => force = true,
+            Arg::Opt(o, _) => return Err(format!("gen: unknown option --{o}")),
+            Arg::Positional(p) => return Err(format!("gen: unexpected argument {p:?}")),
+        }
+    }
+    let events = events.ok_or("gen: --events is required")?;
+    let output = output.ok_or("gen: -o is required")?;
+    guard_overwrite(&output, force)?;
+    let config = SimConfig::for_events(events, seed);
+    let file = std::fs::File::create(&output).map_err(|e| file_err(&output, e))?;
+    let sink = std::io::BufWriter::with_capacity(1 << 20, file);
+    let started = std::time::Instant::now();
+    let (summary, sink) = match generate_lpt(&config, sink) {
+        Ok(done) => done,
+        Err(e) => {
+            // Don't leave a half-written trace behind.
+            std::fs::remove_file(&output).ok();
+            return Err(file_err(&output, e));
+        }
+    };
+    let elapsed = started.elapsed();
+    drop(sink);
+    let file_bytes = std::fs::metadata(&output).map(|m| m.len()).unwrap_or(0);
+    let mut text = format!(
+        "{output}: {} events, {} objects ({} immortal), {} bytes allocated\n\
+         file:           {} bytes ({:.2} bytes/event)\n\
+         generated in:   {:.2}s ({:.1}M events/s)\n",
+        summary.events,
+        summary.objects,
+        summary.immortal,
+        summary.total_bytes,
+        file_bytes,
+        file_bytes as f64 / summary.events as f64,
+        elapsed.as_secs_f64(),
+        summary.events as f64 / elapsed.as_secs_f64() / 1e6,
+    );
+    if let Some(rss) = peak_rss_bytes() {
+        text.push_str(&format!(
+            "peak rss:       {} bytes ({:.2}x file size)\n",
+            rss,
+            rss as f64 / file_bytes.max(1) as f64
+        ));
+    }
+    write_out(out, &text)
+}
+
+// ---------------------------------------------------------------------
 // inspect
 // ---------------------------------------------------------------------
 
@@ -339,12 +436,16 @@ fn cmd_inspect(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let mut functions = false;
     let mut chains = false;
     let mut verify = false;
+    let mut sections = false;
+    let mut head: Option<u64> = None;
     let mut s = Scanner::new(args);
     while let Some(arg) = s.next() {
         match arg {
             Arg::Opt("functions", _) => functions = true,
             Arg::Opt("chains", _) => chains = true,
             Arg::Opt("verify", _) => verify = true,
+            Arg::Opt("sections", _) => sections = true,
+            Arg::Opt("head", v) => head = Some(parse_num("head", s.value("head", v)?)?),
             Arg::Opt(o, _) => return Err(format!("inspect: unknown option --{o}")),
             Arg::Positional(p) if path.is_none() => path = Some(p.to_owned()),
             Arg::Positional(p) => return Err(format!("inspect: unexpected argument {p:?}")),
@@ -405,6 +506,60 @@ fn cmd_inspect(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         }
     }
     write_out(out, &text)?;
+    // The mapped fast paths: frame the file (and optionally decode a
+    // prefix of the events) without streaming or checksumming the two
+    // large sections.
+    if sections || head.is_some() {
+        let mapped = MappedTrace::open_unverified(&path).map_err(|e| file_err(&path, e))?;
+        if sections {
+            let mut text = format!(
+                "\nsections ({}, {} file bytes):\n",
+                if mapped.is_mapped() { "mmap" } else { "heap" },
+                mapped.file_len(),
+            );
+            for info in mapped.sections() {
+                match info.entries {
+                    Some(n) => text.push_str(&format!(
+                        "  {:<10} {:>12} bytes  {:>12} entries\n",
+                        info.name, info.payload_bytes, n
+                    )),
+                    None => text.push_str(&format!(
+                        "  {:<10} {:>12} bytes\n",
+                        info.name, info.payload_bytes
+                    )),
+                }
+            }
+            write_out(out, &text)?;
+        }
+        if let Some(head) = head {
+            use lifepred_trace::{ChunkEvent, ChunkSource, EventChunk};
+            let mut text = format!("\nevents (first {head} of {}):\n", mapped.event_count());
+            let mut source = mapped.events();
+            let mut chunk = EventChunk::new();
+            let mut seq = 0u64;
+            'outer: while seq < head
+                && source
+                    .next_chunk(&mut chunk)
+                    .map_err(|e| file_err(&path, e))?
+            {
+                for event in chunk.events() {
+                    if seq == head {
+                        break 'outer;
+                    }
+                    match event {
+                        ChunkEvent::Alloc { record, size } => text.push_str(&format!(
+                            "  seq {seq:<10} alloc record {record:<12} size {size}\n"
+                        )),
+                        ChunkEvent::Free { record } => {
+                            text.push_str(&format!("  seq {seq:<10} free  record {record}\n"))
+                        }
+                    }
+                    seq += 1;
+                }
+            }
+            write_out(out, &text)?;
+        }
+    }
     if verify {
         let records = TraceReader::open(&path)
             .map_err(|e| file_err(&path, e))?
@@ -534,10 +689,14 @@ fn simulate_one(
         None
     };
     let obs = registry.as_ref().map(ReplayObs::register);
-    let open = || TraceReader::open(path).map_err(|e| file_err(path, e));
-    let meta_of = |reader: &TraceReader<_>| ReplayMeta {
-        program: reader.name().to_owned(),
-        function_calls: reader.stats().function_calls,
+    // One mmap (or heap read, where mapping is unavailable) serves
+    // both passes: the records walk borrows the mapped records
+    // section, the replay decodes event chunks straight out of the
+    // mapped events section. CRCs are checked once, up front.
+    let mapped = MappedTrace::open(path).map_err(|e| file_err(path, e))?;
+    let meta = ReplayMeta {
+        program: mapped.name().to_owned(),
+        function_calls: mapped.stats().function_calls,
     };
 
     match predictor {
@@ -547,22 +706,18 @@ fn simulate_one(
             sites: site_config,
             epoch,
         } => {
-            // Pass 1: stream the records, fingerprinting each object's
+            // Pass 1: walk the records, fingerprinting each object's
             // allocation site. Only the (small) chain table is held in
             // memory, plus one u64 per object.
-            let reader = open()?;
-            let chains = reader.chain_table().clone();
-            let mut extractor = SiteExtractor::from_chains(&chains, *site_config);
+            let mut extractor = SiteExtractor::from_chains(mapped.chain_table(), *site_config);
             let mut sites = Vec::new();
-            for record in reader.into_records().map_err(|e| file_err(path, e))? {
+            for record in mapped.records().map_err(|e| file_err(path, e))? {
                 let record = record.map_err(|e| file_err(path, e))?;
                 sites.push(extractor.site_of(&record).fingerprint());
             }
             // Pass 2: stream the event chunks through the allocator,
             // with the learner predicting and correcting as they go by.
-            let reader = open()?;
-            let meta = meta_of(&reader);
-            let chunks = reader.into_event_chunks().map_err(|e| file_err(path, e))?;
+            let chunks = mapped.events();
             let online = match &obs {
                 Some(obs) => {
                     replay_arena_online_chunks_observed(&meta, chunks, &sites, epoch, config, obs)
@@ -580,21 +735,17 @@ fn simulate_one(
             })
         }
         SimPredictor::Db(db) => {
-            // Pass 1: stream the records, predicting each object from
+            // Pass 1: walk the records, predicting each object from
             // its allocation site. Only the (small) chain table is held
             // in memory, plus one bit per object.
-            let reader = open()?;
-            let chains = reader.chain_table().clone();
-            let mut extractor = SiteExtractor::from_chains(&chains, *db.config());
+            let mut extractor = SiteExtractor::from_chains(mapped.chain_table(), *db.config());
             let mut predicted = Vec::new();
-            for record in reader.into_records().map_err(|e| file_err(path, e))? {
+            for record in mapped.records().map_err(|e| file_err(path, e))? {
                 let record = record.map_err(|e| file_err(path, e))?;
                 predicted.push(db.predicts(&extractor.site_of(&record)));
             }
             // Pass 2: stream the event chunks through the allocator.
-            let reader = open()?;
-            let meta = meta_of(&reader);
-            let chunks = reader.into_event_chunks().map_err(|e| file_err(path, e))?;
+            let chunks = mapped.events();
             let report = match &obs {
                 Some(obs) => replay_arena_chunks_observed(&meta, chunks, &predicted, config, obs),
                 None => replay_arena_chunks(&meta, chunks, &predicted, config),
@@ -607,9 +758,7 @@ fn simulate_one(
             })
         }
         SimPredictor::None => {
-            let reader = open()?;
-            let meta = meta_of(&reader);
-            let chunks = reader.into_event_chunks().map_err(|e| file_err(path, e))?;
+            let chunks = mapped.events();
             let report = if allocator == "bsd" {
                 match &obs {
                     Some(obs) => replay_bsd_chunks_observed(&meta, chunks, config, obs),

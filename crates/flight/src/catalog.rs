@@ -67,6 +67,13 @@ pub const SERVE_TRACE_SNAPSHOT: u16 = 0x0402;
 /// `cli`: one native workload run (span; `arg` = workload ordinal).
 pub const CLI_WORKLOAD: u16 = 0x0501;
 
+/// `tracefile`: bulk CRC verification of a mapped trace's large
+/// sections (span; `arg` = payload bytes verified).
+pub const TRACEFILE_MAP_VERIFY: u16 = 0x0601;
+/// `tracefile`: streaming out one section of a synthetic trace (span;
+/// `arg` = the section id).
+pub const TRACEFILE_GEN_SECTION: u16 = 0x0602;
+
 /// The full catalogue, sorted by id.
 pub const CATALOG: &[EventDesc] = &[
     EventDesc {
@@ -163,6 +170,16 @@ pub const CATALOG: &[EventDesc] = &[
         id: CLI_WORKLOAD,
         name: "cli.workload",
         cat: "cli",
+    },
+    EventDesc {
+        id: TRACEFILE_MAP_VERIFY,
+        name: "tracefile.map_verify",
+        cat: "tracefile",
+    },
+    EventDesc {
+        id: TRACEFILE_GEN_SECTION,
+        name: "tracefile.gen_section",
+        cat: "tracefile",
     },
 ];
 

@@ -25,7 +25,9 @@ use crate::Addr;
 use lifepred_adaptive::{EpochConfig, LearnerStats, OnlineLearner};
 use lifepred_core::{ShortLivedSet, SiteConfig, SiteExtractor};
 use lifepred_obs::{EpochSample, Timer};
-use lifepred_trace::{ChunkEvent, ChunkSource, EventChunk, Trace, TraceChunks, CHUNK_EVENTS};
+use lifepred_trace::{
+    ChunkEvent, ChunkSource, EventChunk, Trace, TraceChunks, CHUNK_EVENTS, POOLED_CHUNK_EVENTS,
+};
 use std::collections::VecDeque;
 use std::convert::Infallible;
 use std::fmt;
@@ -322,7 +324,7 @@ fn firstfit_stream_impl<S: ChunkSource>(
     let mut heap = FirstFit::new();
     let mut slots = SlotTable::default();
     let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
-    let mut chunk = EventChunk::new();
+    let mut chunk = EventChunk::with_capacity(POOLED_CHUNK_EVENTS);
     let mut refills = 0u64;
     loop {
         let decoded = {
@@ -448,7 +450,7 @@ fn bsd_stream_impl<S: ChunkSource>(
     let mut heap = BsdMalloc::new();
     let mut slots = SlotTable::default();
     let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
-    let mut chunk = EventChunk::new();
+    let mut chunk = EventChunk::with_capacity(POOLED_CHUNK_EVENTS);
     let mut refills = 0u64;
     loop {
         let decoded = {
@@ -594,7 +596,7 @@ fn arena_stream_impl<S: ChunkSource>(
     let mut slots = SlotTable::default();
     let (mut total_allocs, mut total_bytes) = (0u64, 0u64);
     let (mut arena_allocs, mut arena_bytes) = (0u64, 0u64);
-    let mut chunk = EventChunk::new();
+    let mut chunk = EventChunk::with_capacity(POOLED_CHUNK_EVENTS);
     let mut refills = 0u64;
     loop {
         let decoded = {
@@ -838,7 +840,7 @@ fn arena_online_stream_impl<S: ChunkSource>(
     // sample is due, and the bytes currently live in the arena area.
     let mut next_tick = epoch.epoch_bytes;
     let mut live_arena_bytes = 0u64;
-    let mut chunk = EventChunk::new();
+    let mut chunk = EventChunk::with_capacity(POOLED_CHUNK_EVENTS);
     let mut refills = 0u64;
     loop {
         let decoded = {

@@ -29,6 +29,13 @@ use std::convert::Infallible;
 /// chunk) far below one part in a thousand.
 pub const CHUNK_EVENTS: usize = 4096;
 
+/// Events per chunk for long-lived, pooled replay loops. 16384 events
+/// is ~192 KB of chunk storage — still L2-resident on current parts —
+/// and quarters the per-refill overhead (source dispatch, flight span,
+/// loop restart) relative to [`CHUNK_EVENTS`]. Drivers that keep one
+/// chunk alive for a whole replay should size it with this.
+pub const POOLED_CHUNK_EVENTS: usize = 16 * 1024;
+
 /// One decoded event, borrowed out of an [`EventChunk`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChunkEvent {
@@ -60,12 +67,20 @@ pub enum ChunkEvent {
 /// assert_eq!(events[0], ChunkEvent::Alloc { record: 0, size: 64 });
 /// assert_eq!(events[1], ChunkEvent::Free { record: 0 });
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EventChunk {
     /// `(record << 1) | is_free`, one word per event.
     tags: Vec<u64>,
     /// Requested size per event; `0` for frees.
     sizes: Vec<u32>,
+    /// Events a [`ChunkSource`] should aim to batch per refill.
+    target: usize,
+}
+
+impl Default for EventChunk {
+    fn default() -> EventChunk {
+        EventChunk::new()
+    }
 }
 
 impl EventChunk {
@@ -75,11 +90,23 @@ impl EventChunk {
     }
 
     /// An empty chunk with room for `capacity` events.
+    ///
+    /// The capacity doubles as the chunk's [`target`](Self::target):
+    /// sources fill up to it per refill, so a chunk built with
+    /// [`POOLED_CHUNK_EVENTS`] batches 4× more per source call.
     pub fn with_capacity(capacity: usize) -> EventChunk {
+        let target = capacity.max(1);
         EventChunk {
-            tags: Vec::with_capacity(capacity),
-            sizes: Vec::with_capacity(capacity),
+            tags: Vec::with_capacity(target),
+            sizes: Vec::with_capacity(target),
+            target,
         }
+    }
+
+    /// Events a source should batch per refill — the capacity the
+    /// chunk was built with.
+    pub fn target(&self) -> usize {
+        self.target
     }
 
     /// Empties the chunk, retaining its buffers.
@@ -189,7 +216,7 @@ impl ChunkSource for TraceChunks {
 
     fn next_chunk(&mut self, chunk: &mut EventChunk) -> Result<bool, Infallible> {
         chunk.clear();
-        let end = (self.pos + CHUNK_EVENTS).min(self.tags.len());
+        let end = (self.pos + chunk.target()).min(self.tags.len());
         if self.pos == end {
             return Ok(false);
         }
@@ -267,6 +294,34 @@ mod tests {
             .collect();
         assert_eq!(got, want);
         assert_eq!(got.len(), 20_000);
+    }
+
+    #[test]
+    fn capacity_sets_the_refill_target() {
+        assert_eq!(EventChunk::new().target(), CHUNK_EVENTS);
+        assert_eq!(EventChunk::default().target(), CHUNK_EVENTS);
+        let big = EventChunk::with_capacity(POOLED_CHUNK_EVENTS);
+        assert_eq!(big.target(), POOLED_CHUNK_EVENTS);
+        // Degenerate capacities still make progress one event at a time.
+        assert_eq!(EventChunk::with_capacity(0).target(), 1);
+
+        let s = TraceSession::new("target");
+        let mut ids = Vec::new();
+        for i in 0..6_000u32 {
+            ids.push(s.alloc(i % 64 + 1));
+        }
+        for id in ids {
+            s.free(id);
+        }
+        let t = s.finish();
+        let mut src = TraceChunks::new(&t);
+        let mut chunk = EventChunk::with_capacity(512);
+        let mut total = 0usize;
+        while src.next_chunk(&mut chunk).unwrap() {
+            assert!(chunk.len() <= 512);
+            total += chunk.len();
+        }
+        assert_eq!(total, 12_000);
     }
 
     #[test]

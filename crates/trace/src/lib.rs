@@ -43,7 +43,9 @@ mod session;
 mod stats;
 
 pub use chain::{eliminate_cycles, CallChain, ChainId, ChainTable};
-pub use chunk::{ChunkEvent, ChunkSource, EventChunk, TraceChunks, CHUNK_EVENTS};
+pub use chunk::{
+    ChunkEvent, ChunkSource, EventChunk, TraceChunks, CHUNK_EVENTS, POOLED_CHUNK_EVENTS,
+};
 pub use events::{Event, EventKind};
 pub use record::{AllocationRecord, ObjectId};
 pub use registry::{shared_registry, FnId, FunctionRegistry, SharedRegistry};

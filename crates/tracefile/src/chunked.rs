@@ -19,10 +19,11 @@
 //! numbers, which replay never consumes; their bytes are still decoded,
 //! checksummed and length-validated.
 
+use crate::batch;
 use crate::error::TraceFileError;
 use crate::reader::{expect_eof, read_exact, SectionState};
 use crate::varint::MAX_VARINT_LEN;
-use lifepred_trace::{ChunkSource, EventChunk, CHUNK_EVENTS};
+use lifepred_trace::{ChunkSource, EventChunk};
 use std::io::Read;
 
 /// Slab refill size. Large enough that refill overhead vanishes, small
@@ -31,48 +32,6 @@ const SLAB_BYTES: usize = 64 * 1024;
 
 /// Longest possible encoding of one event: two maximal varints.
 const MAX_EVENT_BYTES: usize = 2 * MAX_VARINT_LEN;
-
-/// How decoding a varint from the slab can fail.
-enum VarintErr {
-    /// The slab ran out before the terminating byte.
-    OutOfBytes,
-    /// Over-long or overflowing encoding.
-    Invalid,
-}
-
-impl VarintErr {
-    fn into_events_error(self) -> TraceFileError {
-        TraceFileError::malformed(
-            "events",
-            match self {
-                VarintErr::OutOfBytes => "value runs past the section payload",
-                VarintErr::Invalid => "invalid varint",
-            },
-        )
-    }
-}
-
-/// Decodes one LEB128 varint from `buf` starting at `*pos`, advancing
-/// `*pos` past it. Mirrors the validation rules of
-/// [`crate::varint::read_varint`] exactly.
-#[inline]
-fn take_varint(buf: &[u8], pos: &mut usize) -> Result<u64, VarintErr> {
-    let mut value: u64 = 0;
-    for i in 0..MAX_VARINT_LEN {
-        let byte = *buf.get(*pos + i).ok_or(VarintErr::OutOfBytes)?;
-        let payload = u64::from(byte & 0x7f);
-        // The tenth byte may only contribute the single remaining bit.
-        if i == MAX_VARINT_LEN - 1 && payload > 1 {
-            return Err(VarintErr::Invalid);
-        }
-        value |= payload << (7 * i);
-        if byte & 0x80 == 0 {
-            *pos += i + 1;
-            return Ok(value);
-        }
-    }
-    Err(VarintErr::Invalid)
-}
 
 /// Chunked decoder for the events section of an `.lpt` file, created by
 /// [`TraceReader::into_event_chunks`](crate::TraceReader::into_event_chunks).
@@ -164,42 +123,23 @@ impl<R: Read> EventChunks<R> {
         Ok(())
     }
 
-    /// Decodes events into `chunk` until it is full or the stream ends.
+    /// Decodes events into `chunk` until it reaches its refill target
+    /// or the stream ends.
     fn fill(&mut self, chunk: &mut EventChunk) -> Result<(), TraceFileError> {
-        let bad = |detail: &str| TraceFileError::malformed("events", detail);
-        while chunk.len() < CHUNK_EVENTS && self.remaining_events > 0 {
+        let target = chunk.target();
+        while chunk.len() < target && self.remaining_events > 0 {
             if self.end - self.start < MAX_EVENT_BYTES
                 && self.state.as_ref().expect("open section").remaining > 0
             {
                 self.refill_slab()?;
             }
             // After the refill the slab holds either a whole event or
-            // the entire rest of the payload, so OutOfBytes below can
-            // only mean the payload itself ends mid-value.
+            // the entire rest of the payload, so OutOfBytes inside
+            // `decode_event` can only mean the payload itself ends
+            // mid-value.
             let mut pos = self.start;
-            let window = &self.buf[..self.end];
-            // Sequence-number delta: length-validated and checksummed,
-            // but replay has no use for the reconstructed value.
-            take_varint(window, &mut pos).map_err(VarintErr::into_events_error)?;
-            let key = take_varint(window, &mut pos).map_err(VarintErr::into_events_error)?;
+            batch::decode_event(&self.buf[..self.end], &mut pos, &mut self.allocs, chunk)?;
             self.start = pos;
-            if key & 1 == 0 {
-                let size = u32::try_from(key >> 1).map_err(|_| bad("event size exceeds u32"))?;
-                let record = self.allocs;
-                self.allocs = self
-                    .allocs
-                    .checked_add(1)
-                    .ok_or_else(|| bad("allocation count overflows"))?;
-                chunk.push_alloc(record, size);
-            } else {
-                let back = key >> 1;
-                let record = self
-                    .allocs
-                    .checked_sub(1)
-                    .and_then(|last| last.checked_sub(back))
-                    .ok_or_else(|| bad("free references an object never allocated"))?;
-                chunk.push_free(record);
-            }
             self.remaining_events -= 1;
         }
         Ok(())
@@ -277,7 +217,7 @@ mod tests {
         let mut chunk = EventChunk::new();
         let mut events = Vec::new();
         while src.next_chunk(&mut chunk)? {
-            assert!(chunk.len() <= CHUNK_EVENTS);
+            assert!(chunk.len() <= chunk.target());
             events.extend(chunk.events());
         }
         Ok(events)
@@ -371,6 +311,27 @@ mod tests {
         bytes.push(0);
         let err = collect_chunked(&bytes).expect_err("trailing byte");
         assert!(matches!(err, TraceFileError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn pooled_chunks_fill_to_their_target() {
+        let bytes = sample_bytes(30_000);
+        let mut src = TraceReader::new(&bytes[..])
+            .expect("open")
+            .into_event_chunks()
+            .expect("chunks");
+        let mut chunk = EventChunk::with_capacity(lifepred_trace::POOLED_CHUNK_EVENTS);
+        let mut sizes = Vec::new();
+        while src.next_chunk(&mut chunk).expect("decode") {
+            sizes.push(chunk.len());
+        }
+        // Every chunk but the last must be filled to the target.
+        let (last, full) = sizes.split_last().expect("events decoded");
+        for len in full {
+            assert_eq!(*len, lifepred_trace::POOLED_CHUNK_EVENTS);
+        }
+        assert!(*last <= lifepred_trace::POOLED_CHUNK_EVENTS);
+        assert_eq!(sizes.iter().sum::<usize>(), 60_000);
     }
 
     #[test]

@@ -53,21 +53,32 @@
 //! assert_eq!(loaded.stats(), trace.stats());
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the crate is safe code except for the
+// one module that owns the mmap lifecycle (`map`), which opts back in
+// explicitly and is covered by the allocator-safety audit
+// (audit.toml `raw-ptr-ops` scope) plus per-block SAFETY comments.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod chunked;
 mod crc32;
 mod error;
 mod format;
+mod map;
+mod mapped;
 mod reader;
+mod stream;
 mod varint;
 mod writer;
 
 pub use chunked::EventChunks;
 pub use crc32::Crc32;
 pub use error::TraceFileError;
+pub use map::{TraceMap, NO_MMAP_ENV};
+pub use mapped::{MappedEvents, MappedTrace, SectionInfo};
 pub use reader::{EventsIter, RecordsIter, TraceEvent, TraceReader};
+pub use stream::{StreamMeta, StreamTraceWriter};
 pub use writer::TraceWriter;
 
 use lifepred_trace::Trace;

@@ -361,6 +361,20 @@ impl<R: Read> TraceReader<R> {
         })
     }
 
+    /// Tears the reader down into its parsed header pieces (used by
+    /// the mapped reader, which re-reads bodies from its own slices).
+    pub(crate) fn into_parts(self) -> HeaderParts {
+        HeaderParts {
+            version: self.version,
+            name: self.name,
+            stats: self.stats,
+            end_clock: self.end_clock,
+            end_seq: self.end_seq,
+            registry: self.registry,
+            chains: self.chains,
+        }
+    }
+
     /// The file's format version (1 or 2).
     pub fn version(&self) -> u16 {
         self.version
@@ -513,6 +527,18 @@ impl<R: Read> TraceReader<R> {
             self.end_seq,
         ))
     }
+}
+
+/// The eagerly-parsed header sections of a trace, detached from the
+/// reader that produced them.
+pub(crate) struct HeaderParts {
+    pub(crate) version: u16,
+    pub(crate) name: String,
+    pub(crate) stats: TraceStats,
+    pub(crate) end_clock: u64,
+    pub(crate) end_seq: u64,
+    pub(crate) registry: FunctionRegistry,
+    pub(crate) chains: ChainTable,
 }
 
 /// Delta-decoding state for the records section.
@@ -682,6 +708,33 @@ pub struct RecordsIter<R: Read> {
     state: Option<SectionState>,
     remaining: u64,
     decoder: RecordDecoder,
+}
+
+impl<'a> RecordsIter<&'a [u8]> {
+    /// Builds a records iterator over a borrowed section body: the
+    /// payload (starting at its count varint) followed by the 4-byte
+    /// stored CRC, as handed out by
+    /// [`MappedTrace`](crate::MappedTrace). Decoding and the final CRC
+    /// check behave exactly as in the streaming path.
+    pub(crate) fn over_slice(
+        mut body: &'a [u8],
+        payload_len: u64,
+        chain_count: u64,
+        version: u16,
+    ) -> Result<RecordsIter<&'a [u8]>, TraceFileError> {
+        let mut state = SectionState {
+            section: "records",
+            remaining: payload_len,
+            crc: Crc32::new(),
+        };
+        let count = state.read_varint(&mut body)?;
+        Ok(RecordsIter {
+            src: body,
+            state: Some(state),
+            remaining: count,
+            decoder: RecordDecoder::new(chain_count, version),
+        })
+    }
 }
 
 impl<R: Read> Iterator for RecordsIter<R> {

@@ -33,7 +33,9 @@ use crate::format::{
     SECTION_RECORDS, VERSION,
 };
 use crate::varint::write_varint;
-use lifepred_trace::{EventKind, Trace};
+use lifepred_trace::{
+    AllocationRecord, ChainTable, EventKind, FunctionRegistry, Trace, TraceStats,
+};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
@@ -103,14 +105,18 @@ impl<W: Write> TraceWriter<W> {
     }
 }
 
-fn encode_meta(trace: &Trace) -> Vec<u8> {
+pub(crate) fn encode_meta_parts(
+    name: &str,
+    end_clock: u64,
+    end_seq: u64,
+    s: &TraceStats,
+) -> Vec<u8> {
     let mut out = Vec::new();
-    let name = trace.name().as_bytes();
+    let name = name.as_bytes();
     write_varint(&mut out, name.len() as u64);
     out.extend_from_slice(name);
-    write_varint(&mut out, trace.end_clock());
-    write_varint(&mut out, trace.end_seq());
-    let s = trace.stats();
+    write_varint(&mut out, end_clock);
+    write_varint(&mut out, end_seq);
     for v in [
         s.total_bytes,
         s.total_objects,
@@ -126,21 +132,36 @@ fn encode_meta(trace: &Trace) -> Vec<u8> {
     out
 }
 
-fn encode_functions(trace: &Trace) -> Vec<u8> {
+fn encode_meta(trace: &Trace) -> Vec<u8> {
+    encode_meta_parts(
+        trace.name(),
+        trace.end_clock(),
+        trace.end_seq(),
+        trace.stats(),
+    )
+}
+
+pub(crate) fn encode_functions_parts(registry: &FunctionRegistry) -> Vec<u8> {
     let mut out = Vec::new();
-    write_varint(&mut out, trace.registry().len() as u64);
-    for name in trace.registry().names() {
+    write_varint(&mut out, registry.len() as u64);
+    for name in registry.names() {
         write_varint(&mut out, name.len() as u64);
         out.extend_from_slice(name.as_bytes());
     }
     out
 }
 
-fn encode_chains(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
+fn encode_functions(trace: &Trace) -> Vec<u8> {
+    encode_functions_parts(trace.registry())
+}
+
+pub(crate) fn encode_chains_parts(
+    chains: &ChainTable,
+    fn_count: u64,
+) -> Result<Vec<u8>, TraceFileError> {
     let mut out = Vec::new();
-    let fn_count = trace.registry().len() as u64;
-    write_varint(&mut out, trace.chains().len() as u64);
-    for (id, chain) in trace.chains().iter() {
+    write_varint(&mut out, chains.len() as u64);
+    for (id, chain) in chains.iter() {
         write_varint(&mut out, chain.len() as u64);
         for frame in chain.frames() {
             if u64::from(frame.index()) >= fn_count {
@@ -155,40 +176,67 @@ fn encode_chains(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
     Ok(out)
 }
 
-fn encode_records(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
-    let mut out = Vec::new();
-    let chain_count = trace.chains().len() as u64;
-    write_varint(&mut out, trace.records().len() as u64);
-    let mut prev_clock = 0u64;
-    let mut prev_seq: Option<u64> = None;
-    for (i, r) in trace.records().iter().enumerate() {
+fn encode_chains(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
+    encode_chains_parts(trace.chains(), trace.registry().len() as u64)
+}
+
+/// Delta-encoding state for one record stream, shared by the buffering
+/// writer and the streaming [`StreamTraceWriter`](crate::StreamTraceWriter).
+/// Validation (and its error strings) live here so both writers reject
+/// exactly the same inputs.
+#[derive(Debug)]
+pub(crate) struct RecordEncoder {
+    chain_count: u64,
+    next_index: u64,
+    prev_clock: u64,
+    prev_seq: Option<u64>,
+}
+
+impl RecordEncoder {
+    pub(crate) fn new(chain_count: u64) -> RecordEncoder {
+        RecordEncoder {
+            chain_count,
+            next_index: 0,
+            prev_clock: 0,
+            prev_seq: None,
+        }
+    }
+
+    /// Appends the delta encoding of `r` — which must be the next
+    /// record in birth order — to `out`.
+    pub(crate) fn encode(
+        &mut self,
+        r: &AllocationRecord,
+        out: &mut Vec<u8>,
+    ) -> Result<(), TraceFileError> {
+        let i = self.next_index;
         let bad = |detail: String| TraceFileError::Malformed {
             section: "records",
             detail,
         };
-        if r.object.index() != i as u64 {
+        if r.object.index() != i {
             return Err(bad(format!("record {i} carries object id {}", r.object)));
         }
-        if u64::from(r.chain.index()) >= chain_count {
+        if u64::from(r.chain.index()) >= self.chain_count {
             return Err(bad(format!("record {i} references unknown chain")));
         }
         let clock_delta = r
             .birth_clock
-            .checked_sub(prev_clock)
+            .checked_sub(self.prev_clock)
             .ok_or_else(|| bad(format!("record {i} birth clock decreases")))?;
-        let seq_delta = match prev_seq {
+        let seq_delta = match self.prev_seq {
             None => r.birth_seq,
             Some(p) => p
                 .checked_add(1)
                 .and_then(|q| r.birth_seq.checked_sub(q))
                 .ok_or_else(|| bad(format!("record {i} birth seq does not increase")))?,
         };
-        write_varint(&mut out, u64::from(r.size));
-        write_varint(&mut out, u64::from(r.chain.index()));
-        write_varint(&mut out, clock_delta);
-        write_varint(&mut out, seq_delta);
+        write_varint(out, u64::from(r.size));
+        write_varint(out, u64::from(r.chain.index()));
+        write_varint(out, clock_delta);
+        write_varint(out, seq_delta);
         match (r.death_seq, r.death_clock) {
-            (None, None) => write_varint(&mut out, 0),
+            (None, None) => write_varint(out, 0),
             (Some(ds), Some(dc)) => {
                 let code = ds
                     .checked_sub(r.birth_seq)
@@ -197,8 +245,8 @@ fn encode_records(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
                 let dclock = dc
                     .checked_sub(r.birth_clock)
                     .ok_or_else(|| bad(format!("record {i} death clock precedes birth")))?;
-                write_varint(&mut out, code);
-                write_varint(&mut out, dclock);
+                write_varint(out, code);
+                write_varint(out, dclock);
             }
             _ => {
                 return Err(bad(format!(
@@ -206,9 +254,9 @@ fn encode_records(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
                 )))
             }
         }
-        write_varint(&mut out, r.refs);
+        write_varint(out, r.refs);
         match (r.first_ref_clock, r.last_ref_clock) {
-            (None, None) => write_varint(&mut out, 0),
+            (None, None) => write_varint(out, 0),
             (Some(first), Some(last)) => {
                 let first_code = first
                     .checked_sub(r.birth_clock)
@@ -217,8 +265,8 @@ fn encode_records(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
                 let last_delta = last
                     .checked_sub(first)
                     .ok_or_else(|| bad(format!("record {i} last ref precedes first ref")))?;
-                write_varint(&mut out, first_code);
-                write_varint(&mut out, last_delta);
+                write_varint(out, first_code);
+                write_varint(out, last_delta);
             }
             _ => {
                 return Err(bad(format!(
@@ -226,52 +274,111 @@ fn encode_records(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
                 )))
             }
         }
-        prev_clock = r.birth_clock;
-        prev_seq = Some(r.birth_seq);
+        self.prev_clock = r.birth_clock;
+        self.prev_seq = Some(r.birth_seq);
+        self.next_index += 1;
+        Ok(())
+    }
+}
+
+fn encode_records(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
+    let mut out = Vec::new();
+    write_varint(&mut out, trace.records().len() as u64);
+    let mut enc = RecordEncoder::new(trace.chains().len() as u64);
+    for r in trace.records() {
+        enc.encode(r, &mut out)?;
     }
     Ok(out)
+}
+
+/// Delta-encoding state for one event stream, shared by both writers.
+#[derive(Debug)]
+pub(crate) struct EventEncoder {
+    prev_seq: Option<u64>,
+    allocs: u64,
+}
+
+impl EventEncoder {
+    pub(crate) fn new() -> EventEncoder {
+        EventEncoder {
+            prev_seq: None,
+            allocs: 0,
+        }
+    }
+
+    /// Allocation events encoded so far — the next birth-order index.
+    pub(crate) fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    fn seq_delta(&mut self, seq: u64) -> Result<u64, TraceFileError> {
+        match self.prev_seq {
+            None => Ok(seq),
+            Some(p) => p
+                .checked_add(1)
+                .and_then(|q| seq.checked_sub(q))
+                .ok_or_else(|| {
+                    TraceFileError::malformed(
+                        "events",
+                        format!("event seq {seq} does not increase"),
+                    )
+                }),
+        }
+    }
+
+    /// Appends an allocation of `size` bytes for the next record in
+    /// birth order.
+    pub(crate) fn encode_alloc(
+        &mut self,
+        seq: u64,
+        size: u32,
+        out: &mut Vec<u8>,
+    ) -> Result<(), TraceFileError> {
+        let delta = self.seq_delta(seq)?;
+        write_varint(out, delta);
+        write_varint(out, u64::from(size) << 1);
+        self.allocs += 1;
+        self.prev_seq = Some(seq);
+        Ok(())
+    }
+
+    /// Appends a free of birth-order record `record`.
+    pub(crate) fn encode_free(
+        &mut self,
+        seq: u64,
+        record: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<(), TraceFileError> {
+        let back = self.allocs.checked_sub(1 + record).ok_or_else(|| {
+            TraceFileError::malformed("events", format!("free before alloc at seq {seq}"))
+        })?;
+        let delta = self.seq_delta(seq)?;
+        write_varint(out, delta);
+        write_varint(out, (back << 1) | 1);
+        self.prev_seq = Some(seq);
+        Ok(())
+    }
 }
 
 fn encode_events(trace: &Trace) -> Result<Vec<u8>, TraceFileError> {
     let mut out = Vec::new();
     let events = trace.events();
     write_varint(&mut out, events.len() as u64);
-    let mut prev_seq: Option<u64> = None;
-    let mut allocs = 0u64;
+    let mut enc = EventEncoder::new();
     for e in events {
-        let bad = |detail: String| TraceFileError::Malformed {
-            section: "events",
-            detail,
-        };
-        let seq_delta = match prev_seq {
-            None => e.seq,
-            Some(p) => p
-                .checked_add(1)
-                .and_then(|q| e.seq.checked_sub(q))
-                .ok_or_else(|| bad(format!("event seq {} does not increase", e.seq)))?,
-        };
-        write_varint(&mut out, seq_delta);
-        let key = match e.kind {
+        match e.kind {
             EventKind::Alloc => {
-                if e.record as u64 != allocs {
-                    return Err(bad(format!(
-                        "allocation events out of birth order at seq {}",
-                        e.seq
-                    )));
+                if e.record as u64 != enc.allocs() {
+                    return Err(TraceFileError::malformed(
+                        "events",
+                        format!("allocation events out of birth order at seq {}", e.seq),
+                    ));
                 }
-                allocs += 1;
-                let size = u64::from(trace.records()[e.record].size);
-                size << 1
+                let size = trace.records()[e.record].size;
+                enc.encode_alloc(e.seq, size, &mut out)?;
             }
-            EventKind::Free => {
-                let back = allocs
-                    .checked_sub(1 + e.record as u64)
-                    .ok_or_else(|| bad(format!("free before alloc at seq {}", e.seq)))?;
-                (back << 1) | 1
-            }
-        };
-        write_varint(&mut out, key);
-        prev_seq = Some(e.seq);
+            EventKind::Free => enc.encode_free(e.seq, e.record as u64, &mut out)?,
+        }
     }
     Ok(out)
 }

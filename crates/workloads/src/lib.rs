@@ -18,6 +18,15 @@
 //! * [`perl`] — a report-extraction language (line processing, hashes,
 //!   sorting, a small regex engine, paragraph filling).
 //!
+//! A sixth family extends the set beyond the paper's batch jobs:
+//!
+//! * [`server`] — a deterministic high-QPS request/response server
+//!   (per-connection buffers, TTL-churned session caches, slab bursts,
+//!   bimodal short/long lifetimes). Its simulation doubles as the
+//!   streaming generator behind `lifepred gen`
+//!   ([`server::synth::generate_lpt`]), which writes 10⁸-event `.lpt`
+//!   files without materializing a trace.
+//!
 //! Every workload offers at least two deterministic, generated inputs:
 //! input 0 trains the predictor, the last input is the larger test run
 //! (the paper reports results for the largest input). Each workload
@@ -47,6 +56,7 @@ pub mod ghost;
 pub mod input;
 pub mod perl;
 pub mod regexlite;
+pub mod server;
 
 use lifepred_trace::{SharedRegistry, Trace, TraceSession};
 
@@ -70,7 +80,7 @@ pub trait Workload {
     fn run(&self, input: usize, session: &TraceSession);
 }
 
-/// All five workloads, in the paper's order.
+/// All six workloads: the paper's five in its order, then `server`.
 pub fn all_workloads() -> Vec<Box<dyn Workload>> {
     vec![
         Box::new(cfrac::Cfrac),
@@ -78,6 +88,7 @@ pub fn all_workloads() -> Vec<Box<dyn Workload>> {
         Box::new(gawk::Gawk),
         Box::new(ghost::Ghost),
         Box::new(perl::Perl),
+        Box::new(server::Server),
     ]
 }
 
@@ -114,9 +125,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn five_workloads_in_paper_order() {
+    fn six_workloads_in_paper_order_then_server() {
         let names: Vec<&str> = all_workloads().iter().map(|w| w.name()).collect();
-        assert_eq!(names, vec!["cfrac", "espresso", "gawk", "ghost", "perl"]);
+        assert_eq!(
+            names,
+            vec!["cfrac", "espresso", "gawk", "ghost", "perl", "server"]
+        );
     }
 
     #[test]

@@ -1,0 +1,131 @@
+//! Differential oracle: every `.lpt` decode path must agree.
+//!
+//! For each of the six workload families, the recorded trace is
+//! serialized once and decoded three ways — the streaming event
+//! iterator, the chunked SoA decoder, and the mmap-backed zero-copy
+//! reader — and the decoded event streams must be identical. The CI
+//! `decode` job runs this suite twice, with and without
+//! `LIFEPRED_NO_MMAP=1`, so both the mapped and heap-fallback flavors
+//! of [`TraceMap`] are covered.
+
+use lifepred_trace::{ChunkEvent, ChunkSource, EventChunk, CHUNK_EVENTS, POOLED_CHUNK_EVENTS};
+use lifepred_tracefile::{trace_to_vec, MappedTrace, TraceEvent, TraceMap, TraceReader};
+use lifepred_workloads::{all_workloads, record};
+
+/// One decoded event in path-neutral form: `(is_alloc, record, size)`.
+type Flat = (bool, u64, u32);
+
+fn via_iterator(bytes: &[u8]) -> Vec<Flat> {
+    let events = TraceReader::new(bytes)
+        .expect("open")
+        .into_events()
+        .expect("events");
+    events
+        .map(|event| match event.expect("decode") {
+            TraceEvent::Alloc { record, size, .. } => (true, record, size),
+            TraceEvent::Free { record, .. } => (false, record, 0),
+        })
+        .collect()
+}
+
+fn drain<C: ChunkSource>(mut source: C, chunk_capacity: usize) -> Vec<Flat>
+where
+    C::Error: std::fmt::Debug,
+{
+    let mut chunk = EventChunk::with_capacity(chunk_capacity);
+    let mut flat = Vec::new();
+    while source.next_chunk(&mut chunk).expect("chunk") {
+        assert!(chunk.len() <= chunk.target());
+        for event in chunk.events() {
+            flat.push(match event {
+                ChunkEvent::Alloc { record, size } => (true, record as u64, size),
+                ChunkEvent::Free { record } => (false, record as u64, 0),
+            });
+        }
+    }
+    flat
+}
+
+fn via_chunked(bytes: &[u8], chunk_capacity: usize) -> Vec<Flat> {
+    let chunks = TraceReader::new(bytes)
+        .expect("open")
+        .into_event_chunks()
+        .expect("chunks");
+    drain(chunks, chunk_capacity)
+}
+
+fn via_mapped(bytes: &[u8], chunk_capacity: usize) -> Vec<Flat> {
+    let mapped = MappedTrace::from_map(TraceMap::from_vec(bytes.to_vec())).expect("open");
+    drain(mapped.events(), chunk_capacity)
+}
+
+#[test]
+fn all_decode_paths_agree_on_every_workload() {
+    for workload in all_workloads() {
+        let trace = record(workload.as_ref(), 0, lifepred_trace::shared_registry());
+        let bytes = trace_to_vec(&trace).expect("encode");
+
+        let iterator = via_iterator(&bytes);
+        assert_eq!(
+            iterator.len() as u64,
+            trace.end_seq(),
+            "{}: iterator decodes every event",
+            workload.name()
+        );
+        for (label, decoded) in [
+            ("chunked/default", via_chunked(&bytes, CHUNK_EVENTS)),
+            ("chunked/pooled", via_chunked(&bytes, POOLED_CHUNK_EVENTS)),
+            ("chunked/tiny", via_chunked(&bytes, 3)),
+            ("mapped/default", via_mapped(&bytes, CHUNK_EVENTS)),
+            ("mapped/pooled", via_mapped(&bytes, POOLED_CHUNK_EVENTS)),
+            ("mapped/tiny", via_mapped(&bytes, 3)),
+        ] {
+            assert_eq!(decoded, iterator, "{}: {label} diverges", workload.name());
+        }
+    }
+}
+
+#[test]
+fn mapped_records_agree_on_every_workload() {
+    for workload in all_workloads() {
+        let trace = record(workload.as_ref(), 0, lifepred_trace::shared_registry());
+        let bytes = trace_to_vec(&trace).expect("encode");
+        let mapped = MappedTrace::from_map(TraceMap::from_vec(bytes)).expect("open");
+        let records: Vec<_> = mapped
+            .records()
+            .expect("records")
+            .collect::<Result<_, _>>()
+            .expect("decode");
+        assert_eq!(records, trace.records(), "{}", workload.name());
+    }
+}
+
+#[test]
+fn decode_paths_agree_on_a_streamed_synthetic_trace_file() {
+    use lifepred_workloads::server::sim::SimConfig;
+    use lifepred_workloads::server::synth::generate_lpt;
+
+    let config = SimConfig {
+        requests: 4_000,
+        connections: 32,
+        sessions: 256,
+        seed: 0x5e4e,
+    };
+    let (summary, sink) =
+        generate_lpt(&config, std::io::Cursor::new(Vec::new())).expect("generate");
+    let bytes = sink.into_inner();
+
+    // Round-trip through a real file so `TraceMap::open` exercises the
+    // mmap syscall path (or its heap fallback under LIFEPRED_NO_MMAP).
+    let path = std::env::temp_dir().join(format!("lifepred-diff-{}.lpt", std::process::id()));
+    std::fs::write(&path, &bytes).expect("write temp trace");
+    let mapped = MappedTrace::open(&path).expect("mapped open");
+    let from_file = drain(mapped.events(), POOLED_CHUNK_EVENTS);
+    drop(mapped);
+    std::fs::remove_file(&path).ok();
+
+    let iterator = via_iterator(&bytes);
+    assert_eq!(iterator.len() as u64, summary.events);
+    assert_eq!(from_file, iterator);
+    assert_eq!(via_chunked(&bytes, POOLED_CHUNK_EVENTS), iterator);
+}
